@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The sweeps §5.1 says were measured but "not shown due to space
+ * limitations": transpose, bit-complement and self-similar traffic
+ * across all layouts, with the same metrics as Figs 7/9.
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Extra patterns (§5.1)",
+                "transpose / bit-complement / self-similar sweeps");
+
+    std::printf("\n--- Transpose ---\n");
+    runSyntheticComparison(TrafficPattern::Transpose,
+                           {0.004, 0.008, 0.012, 0.016, 0.020, 0.024,
+                            0.028});
+
+    std::printf("\n--- Bit-complement ---\n");
+    runSyntheticComparison(TrafficPattern::BitComplement,
+                           {0.004, 0.008, 0.012, 0.016, 0.020, 0.024,
+                            0.028});
+
+    std::printf("\n--- Self-similar ---\n");
+    runSyntheticComparison(TrafficPattern::SelfSimilar,
+                           {0.004, 0.012, 0.020, 0.028, 0.036, 0.044,
+                            0.052});
+    return 0;
+}

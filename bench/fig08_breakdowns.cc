@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8: latency breakdown (blocking / queuing / transfer) and
+ * power breakdown (links / crossbar / arbiters+logic / buffers) under
+ * uniform-random traffic at a moderate load, normalized to baseline.
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Figure 8",
+                "latency and power breakdowns, UR traffic @ 0.036 "
+                "pkt/node/cycle");
+
+    SimPointOptions opts;
+    opts.injectionRate = 0.036;
+    opts.warmupCycles = 6000;
+    opts.measureCycles = 15000;
+    opts.drainCycles = 30000;
+
+    struct Run
+    {
+        LayoutKind kind;
+        SimPointResult res;
+    };
+    std::vector<Run> runs;
+    for (LayoutKind kind : allLayouts())
+        runs.push_back({kind, runOpenLoop(makeLayoutConfig(kind),
+                                          TrafficPattern::UniformRandom,
+                                          opts)});
+
+    const SimPointResult &base = runs.front().res;
+    double base_total = base.avgLatencyNs;
+
+    std::printf("\n(a) Latency breakdown (%% of baseline total):\n");
+    std::printf("%-12s %10s %10s %10s %10s\n", "layout", "blocking",
+                "queuing", "transfer", "total");
+    for (const Run &r : runs) {
+        std::printf("%-12s %10.1f %10.1f %10.1f %10.1f\n",
+                    layoutName(r.kind).c_str(),
+                    100.0 * r.res.avgBlockingNs / base_total,
+                    100.0 * r.res.avgQueuingNs / base_total,
+                    100.0 * r.res.avgTransferNs / base_total,
+                    100.0 * r.res.avgLatencyNs / base_total);
+    }
+
+    double base_power = base.networkPowerW;
+    std::printf("\n(b) Power breakdown (%% of baseline total):\n");
+    std::printf("%-12s %10s %10s %12s %10s %10s\n", "layout", "links",
+                "xbar", "arb+logic", "buffers", "total");
+    for (const Run &r : runs) {
+        if (r.kind != LayoutKind::Baseline &&
+            !isBufferLinkLayout(r.kind))
+            continue; // the paper plots baseline + the three +BL
+        std::printf("%-12s %10.1f %10.1f %12.1f %10.1f %10.1f\n",
+                    layoutName(r.kind).c_str(),
+                    100.0 * r.res.power.links / base_power,
+                    100.0 * r.res.power.crossbar / base_power,
+                    100.0 * r.res.power.arbiters / base_power,
+                    100.0 * r.res.power.buffers / base_power,
+                    100.0 * r.res.networkPowerW / base_power);
+    }
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 9: the nearest-neighbor anomaly. With NN traffic all
+ * communication is between adjacent routers, so the small routers'
+ * reduced buffers/links hurt: HeteroNoC saturates earlier than the
+ * baseline, average latency increases and the power win shrinks;
+ * Center+BL beats Diagonal+BL under NN (big routers in the center aid
+ * central neighbor pairs).
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Figure 9",
+                "nearest-neighbor traffic: the HeteroNoC anomaly");
+    runSyntheticComparison(TrafficPattern::NearestNeighbor,
+                           {0.0125, 0.025, 0.0375, 0.05, 0.0625, 0.075,
+                            0.0875, 0.1, 0.1125});
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10: heterogeneity helps an edge-symmetric torus far less than
+ * a mesh. For each application workload we report the Diagonal+BL
+ * latency reduction over the homogeneous baseline, on the mesh and on
+ * an 8x8 torus (same router placements, wrap links, dateline VCs).
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Figure 10",
+                "mesh vs torus: latency reduction per application "
+                "(Diagonal+BL vs baseline)");
+
+    NetworkConfig mesh_base = makeLayoutConfig(LayoutKind::Baseline);
+    NetworkConfig mesh_het = makeLayoutConfig(LayoutKind::DiagonalBL);
+    NetworkConfig torus_base = mesh_base;
+    torus_base.topology = TopologyType::Torus;
+    torus_base.name = "torus-baseline";
+    NetworkConfig torus_het = mesh_het;
+    torus_het.topology = TopologyType::Torus;
+    torus_het.name = "torus-diagonal-bl";
+
+    CmpConfig cmp;
+    std::printf("%-12s %14s %14s\n", "workload", "mesh red. %",
+                "torus red. %");
+    RunningStat mesh_red;
+    RunningStat torus_red;
+    for (const WorkloadProfile &w : allWorkloads()) {
+        if (w.name == "libquantum")
+            continue; // case-study-II-only workload
+        auto mb = runCmpExperiment(mesh_base, cmp, w);
+        auto mh = runCmpExperiment(mesh_het, cmp, w);
+        auto tb = runCmpExperiment(torus_base, cmp, w);
+        auto th = runCmpExperiment(torus_het, cmp, w);
+        double mr = pctReduction(mb.avgLatencyNs, mh.avgLatencyNs);
+        double tr = pctReduction(tb.avgLatencyNs, th.avgLatencyNs);
+        mesh_red.add(mr);
+        torus_red.add(tr);
+        std::printf("%-12s %14.1f %14.1f\n", w.name.c_str(), mr, tr);
+    }
+    std::printf("%-12s %14.1f %14.1f\n", "average", mesh_red.mean(),
+                torus_red.mean());
+    if (mesh_red.mean() > 0.0) {
+        std::printf("\ntorus benefit is %.0f%% smaller than mesh "
+                    "benefit (paper: ~44%% smaller)\n",
+                    pctReduction(mesh_red.mean(), torus_red.mean()));
+    }
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 11: application results — per-workload network latency
+ * reduction (a), latency breakdown (b), power reduction (c) and power
+ * breakdown (d) for the HeteroNoC layouts vs the homogeneous baseline
+ * on the full 64-tile CMP.
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Figure 11",
+                "application latency/power vs baseline (64-tile CMP)");
+
+    const std::vector<LayoutKind> kinds = heteroLayouts();
+    CmpConfig cmp;
+
+    // Breakdown workloads shown in the paper's Fig 11(b)/(d).
+    const std::vector<std::string> breakdown_set = {
+        "SAP", "SPECjbb", "frrt", "vips", "ddup", "sclst"};
+
+    std::printf("\n(a,c) Reductions vs baseline (positive = better):\n");
+    std::printf("%-12s", "workload");
+    for (LayoutKind k : kinds)
+        std::printf(" %11s", layoutName(k).c_str());
+    std::printf("   (latency %% | power %%)\n");
+
+    struct Cell
+    {
+        CmpRunResult res;
+    };
+    std::vector<RunningStat> lat_red(kinds.size());
+    std::vector<RunningStat> pow_red(kinds.size());
+
+    for (const WorkloadProfile &w : allWorkloads()) {
+        if (w.name == "libquantum")
+            continue;
+        CmpRunResult base = runCmpExperiment(
+            makeLayoutConfig(LayoutKind::Baseline), cmp, w);
+        std::printf("%-12s", w.name.c_str());
+        std::vector<CmpRunResult> results;
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+            CmpRunResult r =
+                runCmpExperiment(makeLayoutConfig(kinds[i]), cmp, w);
+            results.push_back(r);
+            double lr = pctReduction(base.avgLatencyNs, r.avgLatencyNs);
+            double pr = pctReduction(base.powerW, r.powerW);
+            lat_red[i].add(lr);
+            pow_red[i].add(pr);
+            std::printf(" %5.1f|%5.1f", lr, pr);
+        }
+        std::printf("\n");
+
+        bool breakdown =
+            std::find(breakdown_set.begin(), breakdown_set.end(),
+                      w.name) != breakdown_set.end();
+        if (breakdown) {
+            auto print_bd = [&](const char *name,
+                                const CmpRunResult &r) {
+                std::printf("    %-12s lat: blk %5.1f q %5.1f xfer %5.1f"
+                            "  | pow: lnk %5.1f xbar %5.1f arb %5.1f "
+                            "buf %5.1f (%% of baseline)\n",
+                            name, 100.0 * r.blockingNs / base.avgLatencyNs,
+                            100.0 * r.queuingNs / base.avgLatencyNs,
+                            100.0 * r.transferNs / base.avgLatencyNs,
+                            100.0 * r.power.links / base.powerW,
+                            100.0 * r.power.crossbar / base.powerW,
+                            100.0 * r.power.arbiters / base.powerW,
+                            100.0 * r.power.buffers / base.powerW);
+            };
+            print_bd("Baseline", base);
+            for (std::size_t i = 0; i < kinds.size(); ++i) {
+                if (kinds[i] == LayoutKind::CenterB ||
+                    kinds[i] == LayoutKind::DiagonalB ||
+                    isBufferLinkLayout(kinds[i]))
+                    print_bd(layoutName(kinds[i]).c_str(), results[i]);
+            }
+        }
+    }
+
+    std::printf("\nAverages across workloads:\n");
+    std::printf("%-12s %14s %14s\n", "layout", "lat red. %",
+                "power red. %");
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        std::printf("%-12s %14.1f %14.1f\n",
+                    layoutName(kinds[i]).c_str(), lat_red[i].mean(),
+                    pow_red[i].mean());
+    }
+    std::printf("(paper: Diagonal+BL 18.5%% latency, 22%% power)\n");
+    return 0;
+}

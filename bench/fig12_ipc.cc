@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 12: IPC improvement over the baseline network for the
+ * commercial (a) and PARSEC (b) workloads across HeteroNoC layouts.
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+namespace
+{
+
+void
+runGroup(const char *title, const std::vector<WorkloadProfile> &group)
+{
+    const std::vector<LayoutKind> kinds = heteroLayouts();
+    CmpConfig cmp;
+
+    std::printf("\n%s — IPC improvement %% over baseline:\n", title);
+    std::printf("%-12s", "workload");
+    for (LayoutKind k : kinds)
+        std::printf(" %11s", layoutName(k).c_str());
+    std::printf("\n");
+
+    std::vector<RunningStat> gains(kinds.size());
+    for (const WorkloadProfile &w : group) {
+        CmpRunResult base = runCmpExperiment(
+            makeLayoutConfig(LayoutKind::Baseline), cmp, w);
+        std::printf("%-12s", w.name.c_str());
+        for (std::size_t i = 0; i < kinds.size(); ++i) {
+            CmpRunResult r =
+                runCmpExperiment(makeLayoutConfig(kinds[i]), cmp, w);
+            double gain = pctOver(base.ipc, r.ipc);
+            gains[i].add(gain);
+            std::printf(" %11.1f", gain);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-12s", "average");
+    for (auto &g : gains)
+        std::printf(" %11.1f", g.mean());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 12", "IPC improvement over the baseline network");
+    runGroup("(a) Commercial applications", commercialWorkloads());
+    runGroup("(b) PARSEC applications", parsecWorkloads());
+    std::printf("\n(paper: Diagonal+BL best, ~12%% commercial / ~10%% "
+                "PARSEC)\n");
+    return 0;
+}

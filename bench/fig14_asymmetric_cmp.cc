@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Figure 14 (case study II): an asymmetric CMP — 4 large out-of-order
+ * cores at the mesh corners running libquantum, 60 small in-order
+ * cores running SPECjbb — under three networks:
+ *   HomoNoC-XY          homogeneous mesh, X-Y routing
+ *   HeteroNoC-XY        Diagonal+BL, X-Y routing
+ *   HeteroNoC-Table+XY  Diagonal+BL, table routing through big routers
+ *                       for large-core traffic (escape VC 0)
+ * Reports weighted and harmonic speedups (Eyerman-Eeckhout style over
+ * the two programs; harmonic uses SPECjbb's slowest thread).
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+namespace
+{
+
+const std::vector<NodeId> LARGE_CORES = {0, 7, 56, 63};
+
+struct Speedups
+{
+    double weighted;
+    double harmonic;
+};
+
+struct ProgramIpc
+{
+    double libq = 0.0;    ///< mean over the 4 large cores
+    double jbbAvg = 0.0;  ///< mean over the 60 small cores
+    double jbbSlow = 0.0; ///< slowest SPECjbb thread
+};
+
+ProgramIpc
+measure(const NetworkConfig &net_cfg, bool run_libq, bool run_jbb)
+{
+    CmpConfig cmp;
+    cmp.asymmetric = true;
+    cmp.largeCoreTiles = LARGE_CORES;
+
+    CmpSystem sys(net_cfg, cmp);
+    for (NodeId n = 0; n < 64; ++n) {
+        bool large = std::find(LARGE_CORES.begin(), LARGE_CORES.end(),
+                               n) != LARGE_CORES.end();
+        if (large && run_libq)
+            sys.assignWorkload(n, workloadByName("libquantum"));
+        else if (!large && run_jbb)
+            sys.assignWorkload(n, workloadByName("SPECjbb"));
+    }
+    sys.warmCaches(static_cast<int>(scaled(40000)));
+    sys.run(scaled(3000));
+    sys.resetStats();
+    sys.run(scaled(15000));
+
+    ProgramIpc out;
+    if (run_libq) {
+        for (NodeId n : LARGE_CORES)
+            out.libq += sys.ipc(n);
+        out.libq /= static_cast<double>(LARGE_CORES.size());
+    }
+    if (run_jbb) {
+        double slow = 1e9;
+        int cnt = 0;
+        for (NodeId n = 0; n < 64; ++n) {
+            if (std::find(LARGE_CORES.begin(), LARGE_CORES.end(), n) !=
+                LARGE_CORES.end())
+                continue;
+            double v = sys.ipc(n);
+            out.jbbAvg += v;
+            slow = std::min(slow, v);
+            ++cnt;
+        }
+        out.jbbAvg /= cnt;
+        out.jbbSlow = slow;
+    }
+    return out;
+}
+
+Speedups
+evaluate(const char *name, const NetworkConfig &net_cfg)
+{
+    ProgramIpc together = measure(net_cfg, true, true);
+    ProgramIpc libq_alone = measure(net_cfg, true, false);
+    ProgramIpc jbb_alone = measure(net_cfg, false, true);
+
+    double su_libq = together.libq / libq_alone.libq;
+    double su_jbb = together.jbbAvg / jbb_alone.jbbAvg;
+    double su_jbb_slow = together.jbbSlow / jbb_alone.jbbSlow;
+
+    Speedups s;
+    s.weighted = su_libq + su_jbb;
+    s.harmonic = 2.0 / (1.0 / su_libq + 1.0 / su_jbb_slow);
+    std::printf("%-22s weighted %6.3f   harmonic %6.3f   "
+                "(libq su %.3f, jbb su %.3f, slowest jbb su %.3f)\n",
+                name, s.weighted, s.harmonic, su_libq, su_jbb,
+                su_jbb_slow);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 14",
+                "asymmetric CMP: 4x libquantum (large cores) + 60x "
+                "SPECjbb (small cores)");
+
+    NetworkConfig homo = makeLayoutConfig(LayoutKind::Baseline);
+    NetworkConfig hetero = makeLayoutConfig(LayoutKind::DiagonalBL);
+    NetworkConfig hetero_table = hetero;
+    hetero_table.name = "Diagonal+BL+Table";
+    hetero_table.routing = RoutingMode::TableXY;
+    hetero_table.tableRoutedNodes = LARGE_CORES;
+
+    Speedups a = evaluate("HomoNoC-XY", homo);
+    Speedups b = evaluate("HeteroNoC-XY", hetero);
+    Speedups c = evaluate("HeteroNoC-Table+XY", hetero_table);
+
+    std::printf("\nweighted speedup vs HomoNoC-XY: HeteroNoC-XY %+.1f%%,"
+                " HeteroNoC-Table+XY %+.1f%% (paper: +6%% / +11%%)\n",
+                pctOver(a.weighted, b.weighted),
+                pctOver(a.weighted, c.weighted));
+    std::printf("harmonic speedup vs HomoNoC-XY: HeteroNoC-XY %+.1f%%,"
+                " HeteroNoC-Table+XY %+.1f%% (paper: +11.5%% for "
+                "Table+XY)\n",
+                pctOver(a.harmonic, b.harmonic),
+                pctOver(a.harmonic, c.harmonic));
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's declared future work (footnote 2): sensitivity of
+ * performance to the ratio of wide to narrow links crossing the
+ * bisection, with bisection bandwidth held at the baseline budget via
+ * the paper's own equation
+ *
+ *     192 * 8 = W * (8 - w) + 2W * w   =>   W = 1536 / (8 + w)
+ *
+ * where w is the number of wide (2W-bit) links per cut. Wide links
+ * occupy the central band (CentralBand mode); the Diagonal big/small
+ * VC placement is held fixed so only the link ratio varies.
+ * w = 4 recovers the paper's 128/256 b design point; w = 8 makes every
+ * link "wide" with 96 b flits.
+ */
+
+#include "bench_util.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Future work (footnote 2)",
+                "wide:narrow link ratio sensitivity at constant "
+                "bisection bandwidth");
+
+    const std::vector<double> rates = {0.01, 0.02, 0.03, 0.04, 0.05,
+                                       0.06, 0.07};
+    SimPointOptions opts;
+    opts.warmupCycles = 6000;
+    opts.measureCycles = 12000;
+    opts.drainCycles = 24000;
+
+    std::printf("\n%-28s %6s %6s %9s %10s %10s\n", "config",
+                "W(b)", "flits", "sat pkt", "lat@0.03", "P@0.03 W");
+
+    // Baseline reference.
+    {
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+        auto curve =
+            sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts);
+        std::printf("%-28s %6d %6d %9.4f %9.1f %10.1f\n",
+                    "Baseline (all 192b)", 192, cfg.dataPacketFlits(),
+                    saturationThroughput(curve), curve[2].avgLatencyNs,
+                    curve[2].networkPowerW);
+    }
+
+    for (int w : {1, 2, 3, 4, 6, 8}) {
+        int narrow = 1536 / (8 + w); // paper's equation
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+        cfg.name = "band-" + std::to_string(w);
+        cfg.flitWidthBits = narrow;
+        cfg.linkWidthMode = LinkWidthMode::CentralBand;
+        cfg.bandWideLinks = w;
+        // Router datapaths follow the flit/band widths.
+        for (int r = 0; r < 64; ++r) {
+            bool big = cfg.routerVcs[static_cast<std::size_t>(r)] > 2;
+            cfg.routerWidthBits[static_cast<std::size_t>(r)] =
+                big ? 2 * narrow : narrow;
+        }
+        auto curve =
+            sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts);
+        char name[64];
+        std::snprintf(name, sizeof(name),
+                      "%d wide + %d narrow per cut", w, 8 - w);
+        std::printf("%-28s %6d %6d %9.4f %9.1f %10.1f\n", name, narrow,
+                    cfg.dataPacketFlits(), saturationThroughput(curve),
+                    curve[2].avgLatencyNs, curve[2].networkPowerW);
+    }
+    std::printf("\n(w = 4 is the paper's 128/256 design point; larger w"
+                " trades flit size\nfor wide-lane coverage at the same "
+                "bisection bandwidth)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator itself: router
+ * step throughput, whole-network cycles/second for the baseline and
+ * Diagonal+BL configurations, and the analytic models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "heteronoc/constraints.hh"
+#include "heteronoc/layout.hh"
+#include "noc/network.hh"
+#include "noc/traffic.hh"
+#include "power/router_power.hh"
+
+namespace
+{
+
+using namespace hnoc;
+
+/** Cycles/second of the full 64-router network under UR load. */
+void
+networkStep(benchmark::State &state, LayoutKind kind)
+{
+    NetworkConfig cfg = makeLayoutConfig(kind);
+    Network net(cfg);
+    TrafficGenerator gen(TrafficPattern::UniformRandom, 64, 8, 7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (NodeId n = 0; n < 64; ++n) {
+            if (gen.shouldInject(n, 0.03, now)) {
+                NodeId dst = gen.pickDest(n);
+                if (dst != INVALID_NODE)
+                    net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+            }
+        }
+        net.step();
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_NetworkStepBaseline(benchmark::State &state)
+{
+    networkStep(state, LayoutKind::Baseline);
+}
+BENCHMARK(BM_NetworkStepBaseline);
+
+void
+BM_NetworkStepDiagonalBL(benchmark::State &state)
+{
+    networkStep(state, LayoutKind::DiagonalBL);
+}
+BENCHMARK(BM_NetworkStepDiagonalBL);
+
+void
+BM_PowerModelCalibration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto model =
+            RouterPowerModel::calibrated(router_types::BIG, 2.07);
+        benchmark::DoNotOptimize(model.powerAtActivity(0.5).total());
+    }
+}
+BENCHMARK(BM_PowerModelCalibration);
+
+void
+BM_ResourceAccounting(benchmark::State &state)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    for (auto _ : state) {
+        auto acc = accountResources(cfg);
+        benchmark::DoNotOptimize(acc.bufferBits);
+    }
+}
+BENCHMARK(BM_ResourceAccounting);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Provisioning sweeps around the paper's fixed design points: buffer
+ * depth (the paper fixes 5 flits/VC), small/big VC splits other than
+ * 2/6, and the frequency/power/area of intermediate VC counts — the
+ * analytic scaffolding a designer would want before committing to a
+ * heterogeneous configuration.
+ */
+
+#include "bench_util.hh"
+#include "power/area_model.hh"
+#include "power/frequency_model.hh"
+#include "power/router_power.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+namespace
+{
+
+void
+bufferDepthSweep()
+{
+    std::printf("\n(a) Buffer-depth sweep, Diagonal+BL, UR @ 0.03 "
+                "(paper fixes depth 5):\n");
+    std::printf("%8s %12s %12s %10s\n", "depth", "latency(ns)",
+                "power(W)", "sat pkt");
+    for (int depth : {3, 4, 5, 6, 8}) {
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+        cfg.bufferDepth = depth;
+        SimPointOptions opts;
+        opts.warmupCycles = 5000;
+        opts.measureCycles = 10000;
+        opts.drainCycles = 20000;
+        auto curve = sweepLoad(cfg, TrafficPattern::UniformRandom,
+                               {0.03, 0.05, 0.065}, opts);
+        std::printf("%8d %12.1f %12.1f %10.4f\n", depth,
+                    curve[0].avgLatencyNs, curve[0].networkPowerW,
+                    saturationThroughput(curve));
+    }
+}
+
+void
+vcSplitSweep()
+{
+    std::printf("\n(b) VC-split sweep (small/big VCs, total conserved "
+                "where possible), Diagonal placement, UR @ 0.04:\n");
+    std::printf("%12s %10s %12s %12s\n", "small/big", "total VCs",
+                "latency(ns)", "power(W)");
+    struct Split
+    {
+        int small;
+        int big;
+    };
+    for (Split s : {Split{2, 6}, Split{3, 3}, Split{1, 9}, Split{2, 4},
+                    Split{3, 6}}) {
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+        for (int r = 0; r < 64; ++r) {
+            bool big = bigRouterMask(LayoutKind::DiagonalBL,
+                                     8)[static_cast<std::size_t>(r)];
+            cfg.routerVcs[static_cast<std::size_t>(r)] =
+                big ? s.big : s.small;
+        }
+        cfg.clockGHz = -1.0; // re-derive from the slowest router
+        SimPointOptions opts;
+        opts.injectionRate = 0.04;
+        opts.warmupCycles = 5000;
+        opts.measureCycles = 10000;
+        opts.drainCycles = 20000;
+        auto res =
+            runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+        int total = 48 * s.small + 16 * s.big;
+        std::printf("%7d/%-4d %10d %12.1f %12.1f\n", s.small, s.big,
+                    total, res.avgLatencyNs, res.networkPowerW);
+    }
+    std::printf("(2/6 conserves the baseline's 192 total VCs/PC)\n");
+}
+
+void
+analyticVcTable()
+{
+    std::printf("\n(c) Analytic router models across VC counts "
+                "(192 b datapath, 5-deep):\n");
+    std::printf("%6s %12s %12s %12s\n", "VCs", "freq(GHz)",
+                "power@50%(W)", "area(mm2)");
+    for (int v : {1, 2, 3, 4, 5, 6, 8}) {
+        RouterPhysParams params{5, v, 5, 192, 192};
+        double f = FrequencyModel::frequencyGHz(v);
+        auto model = RouterPowerModel::calibrated(params, f);
+        std::printf("%6d %12.3f %12.3f %12.3f\n", v, f,
+                    model.powerAtActivity(0.5).total(),
+                    AreaModel::areaMm2(params));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Provisioning sweeps",
+                "buffer depth, VC splits, analytic VC scaling");
+    bufferDepthSweep();
+    vcSplitSweep();
+    analyticVcTable();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 1: power / area / frequency of the three router classes, the
+ * buffer-bit accounting (921,600 -> 614,400 bits, -33 %), the §2
+ * power-budget inequality, the footnote-2 link-width equation, plus
+ * Fig 3's layout maps.
+ */
+
+#include "bench_util.hh"
+#include "heteronoc/constraints.hh"
+#include "power/area_model.hh"
+#include "power/frequency_model.hh"
+#include "power/router_power.hh"
+
+using namespace hnoc;
+using namespace hnoc::bench;
+
+int
+main()
+{
+    printHeader("Table 1", "homogeneous vs heterogeneous router classes");
+
+    struct Row
+    {
+        const char *name;
+        RouterPhysParams params;
+        double paperPowerW, paperAreaMm2, paperFreqGHz;
+    };
+    const Row rows[] = {
+        {"baseline 3VC/5/192b", router_types::BASELINE, 0.67, 0.290, 2.20},
+        {"small    2VC/5/128b", router_types::SMALL, 0.30, 0.235, 2.25},
+        {"big      6VC/5/256b", router_types::BIG, 1.19, 0.425, 2.07},
+    };
+
+    std::printf("%-22s %10s %10s %10s | paper: %6s %8s %6s\n",
+                "router", "power(W)", "area(mm2)", "freq(GHz)", "P", "A",
+                "f");
+    for (const Row &row : rows) {
+        double freq = FrequencyModel::frequencyGHz(row.params);
+        auto model = RouterPowerModel::calibrated(row.params, freq);
+        double power = model.powerAtActivity(0.5).total();
+        double area = AreaModel::areaMm2(row.params);
+        std::printf("%-22s %10.2f %10.3f %10.2f | %10.2f %8.3f %6.2f\n",
+                    row.name, power, area, freq, row.paperPowerW,
+                    row.paperAreaMm2, row.paperFreqGHz);
+    }
+
+    std::printf("\nBuffer accounting (8x8 network):\n");
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    auto het = accountResources(makeLayoutConfig(LayoutKind::DiagonalBL));
+    std::printf("%s\n",
+                formatAccounting(base, "homogeneous (64 baseline routers)")
+                    .c_str());
+    std::printf("%s\n",
+                formatAccounting(het,
+                                 "heterogeneous (48 small + 16 big)")
+                    .c_str());
+    std::printf("buffer-bit reduction: %.1f%% (paper: 33%%)\n",
+                pctReduction(static_cast<double>(base.bufferBits),
+                             static_cast<double>(het.bufferBits)));
+    std::printf("minimum small routers for the power budget: %d "
+                "(paper: 38)\n",
+                minSmallRouters(64));
+    std::printf("narrow-link width from the bisection equation: %d b "
+                "(paper: 128)\n\n",
+                narrowLinkWidth(192, 8, 4, 4));
+
+    std::printf("Figure 3 layouts (B = big router):\n");
+    for (LayoutKind kind : allLayouts()) {
+        std::printf("%s\n%s\n", layoutName(kind).c_str(),
+                    renderLayout(bigRouterMask(kind, 8), 8).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Design-space exploration (paper footnote 4): exhaustively enumerate
+ * big-router placements on a 4x4 mesh, score them analytically by flow
+ * coverage, then simulate the best candidates and a few structured
+ * references (diagonal / center / rows). Shows why the diagonal
+ * placement keeps winning: it maximizes the fraction of X-Y flows that
+ * touch a big router while still covering the hot center.
+ *
+ *   ./examples/design_space_explorer [num_big=8]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "heteronoc/design_space.hh"
+#include "heteronoc/layout.hh"
+
+using namespace hnoc;
+
+int
+main(int argc, char **argv)
+{
+    int num_big = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int radix = 4;
+
+    std::printf("Enumerating C(16,%d) = %.0f placements of %d big "
+                "routers on a 4x4 mesh...\n\n",
+                num_big, binomial(16, num_big), num_big);
+
+    auto top = explorePlacements(radix, num_big, 5);
+    std::printf("Top-5 by analytic flow-coverage score:\n");
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        std::printf("#%zu score %.4f\n%s\n", i + 1, top[i].score,
+                    renderLayout(top[i].bigMask, radix).c_str());
+    }
+
+    // Structured references for comparison.
+    std::vector<PlacementScore> refs;
+    for (LayoutKind kind :
+         {LayoutKind::DiagonalBL, LayoutKind::CenterBL,
+          LayoutKind::Row25BL}) {
+        PlacementScore ps;
+        ps.bigMask = bigRouterMask(kind, radix);
+        ps.score = flowCoverageScore(ps.bigMask, radix);
+        refs.push_back(ps);
+        std::printf("%s score %.4f\n", layoutName(kind).c_str(),
+                    ps.score);
+    }
+
+    std::printf("\nSimulating the top candidates plus references "
+                "(UR @ 0.05 pkt/node/cycle)...\n");
+    simulateTopPlacements(top, radix, 0.05);
+    simulateTopPlacements(refs, radix, 0.05);
+    for (std::size_t i = 0; i < top.size(); ++i)
+        std::printf("top-%zu: score %.4f -> %.1f ns\n", i + 1,
+                    top[i].score, top[i].simLatencyNs);
+    const char *names[] = {"Diagonal", "Center", "Row"};
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        std::printf("%-8s: score %.4f -> %.1f ns\n", names[i],
+                    refs[i].score, refs[i].simLatencyNs);
+    return 0;
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Command-line front end to the simulator — the tool a downstream user
+ * reaches for first.
+ *
+ *   hnoc_cli --layout Diagonal+BL --pattern uniform --rate 0.03
+ *   hnoc_cli --layout Baseline --sweep 0.01:0.07:0.01 --csv out.csv
+ *   hnoc_cli --topology torus --layout Center+BL --pattern transpose
+ *   hnoc_cli --cmp TPC-C --layout Diagonal+BL --mc diamond
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/report.hh"
+#include "heteronoc/layout.hh"
+#include "noc/config_io.hh"
+#include "noc/sim_harness.hh"
+#include "sys/cmp_system.hh"
+#include "sys/workloads.hh"
+
+using namespace hnoc;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "hnoc_cli — HeteroNoC simulator front end\n\n"
+        "network-only mode (default):\n"
+        "  --layout L     Baseline | Center+B | Row2_5+B | Diagonal+B |\n"
+        "                 Center+BL | Row2_5+BL | Diagonal+BL\n"
+        "  --pattern P    uniform | neighbor | transpose | bitcomp | "
+        "selfsim\n"
+        "  --rate R       injection rate, packets/node/cycle\n"
+        "  --sweep A:B:S  sweep rates from A to B step S\n"
+        "  --topology T   mesh | torus\n"
+        "  --routing R    xy | yx\n"
+        "  --radix N      mesh radix (default 8)\n"
+        "  --seed S       RNG seed\n"
+        "  --csv FILE     also write results as CSV\n"
+        "  --config FILE  load a saved network configuration\n"
+        "  --dump-config FILE  save the effective configuration\n\n"
+        "full-system mode:\n"
+        "  --cmp W        run workload W on the 64-tile CMP\n"
+        "                 (SAP SPECjbb TPC-C SJAS frrt fsim vips canl\n"
+        "                  ddup sclst libquantum)\n"
+        "  --mc M         corners | diamond | diagonal\n");
+    std::exit(code);
+}
+
+LayoutKind
+parseLayout(const std::string &s)
+{
+    for (LayoutKind k : allLayouts())
+        if (layoutName(k) == s)
+            return k;
+    fatal("unknown layout '%s' (try --help)", s.c_str());
+}
+
+TrafficPattern
+parsePattern(const std::string &s)
+{
+    if (s == "uniform")
+        return TrafficPattern::UniformRandom;
+    if (s == "neighbor")
+        return TrafficPattern::NearestNeighbor;
+    if (s == "transpose")
+        return TrafficPattern::Transpose;
+    if (s == "bitcomp")
+        return TrafficPattern::BitComplement;
+    if (s == "selfsim")
+        return TrafficPattern::SelfSimilar;
+    fatal("unknown pattern '%s' (try --help)", s.c_str());
+}
+
+McPlacement
+parseMc(const std::string &s)
+{
+    if (s == "corners")
+        return McPlacement::Corners;
+    if (s == "diamond")
+        return McPlacement::Diamond;
+    if (s == "diagonal")
+        return McPlacement::Diagonal;
+    fatal("unknown MC placement '%s'", s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LayoutKind layout = LayoutKind::Baseline;
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    std::vector<double> rates = {0.03};
+    bool torus = false;
+    bool yx = false;
+    int radix = 8;
+    std::uint64_t seed = 1;
+    std::string csv_path;
+    std::string cmp_workload;
+    std::string config_path;
+    std::string dump_config_path;
+    McPlacement mc = McPlacement::Corners;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--layout")
+            layout = parseLayout(next());
+        else if (arg == "--pattern")
+            pattern = parsePattern(next());
+        else if (arg == "--rate")
+            rates = {std::atof(next().c_str())};
+        else if (arg == "--sweep") {
+            double a;
+            double b;
+            double s;
+            if (std::sscanf(next().c_str(), "%lf:%lf:%lf", &a, &b, &s) !=
+                    3 || s <= 0.0)
+                fatal("--sweep wants A:B:S");
+            rates.clear();
+            for (double r = a; r <= b + 1e-12; r += s)
+                rates.push_back(r);
+        } else if (arg == "--topology")
+            torus = next() == "torus";
+        else if (arg == "--routing")
+            yx = next() == "yx";
+        else if (arg == "--radix")
+            radix = std::atoi(next().c_str());
+        else if (arg == "--seed")
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--csv")
+            csv_path = next();
+        else if (arg == "--config")
+            config_path = next();
+        else if (arg == "--dump-config")
+            dump_config_path = next();
+        else if (arg == "--cmp")
+            cmp_workload = next();
+        else if (arg == "--mc")
+            mc = parseMc(next());
+        else
+            usage(1);
+    }
+
+    NetworkConfig cfg = makeLayoutConfig(layout, radix);
+    if (torus)
+        cfg.topology = TopologyType::Torus;
+    if (yx)
+        cfg.routing = RoutingMode::YX;
+    if (!config_path.empty())
+        cfg = loadConfig(config_path); // file overrides the flags
+    if (!dump_config_path.empty() &&
+        !saveConfig(cfg, dump_config_path))
+        fatal("cannot write %s", dump_config_path.c_str());
+
+    if (!cmp_workload.empty()) {
+        CmpConfig cmp;
+        cmp.mcPlacement = mc;
+        cmp.seed = seed;
+        CmpSystem sys(cfg, cmp);
+        sys.assignWorkloadAll(workloadByName(cmp_workload));
+        sys.warmCaches(40000);
+        sys.run(3000);
+        sys.resetStats();
+        sys.run(15000);
+        Table t({"metric", "value"});
+        t.row({"workload", cmp_workload});
+        t.row({"layout", cfg.name});
+        t.row({"MC placement", mcPlacementName(mc)});
+        t.row({"avg IPC", Table::num(sys.avgIpc(), 3)});
+        t.row({"net latency (ns)",
+               Table::num(sys.netLatency().totalNs.mean(), 1)});
+        t.row({"round trip (core cyc)",
+               Table::num(sys.roundTripCoreCycles().mean(), 0)});
+        t.row({"network power (W)",
+               Table::num(sys.networkPower().total(), 1)});
+        std::fputs(t.text().c_str(), stdout);
+        if (!csv_path.empty())
+            t.writeCsv(csv_path);
+        return 0;
+    }
+
+    SimPointOptions opts;
+    opts.seed = seed;
+    Table t({"rate", "accepted", "latency(ns)", "queue(ns)",
+             "block(ns)", "transfer(ns)", "power(W)", "combine",
+             "saturated"});
+    for (double r : rates) {
+        opts.injectionRate = r;
+        SimPointResult res = runOpenLoop(cfg, pattern, opts);
+        t.row({Table::num(r, 4), Table::num(res.acceptedRate, 4),
+               Table::num(res.avgLatencyNs, 1),
+               Table::num(res.avgQueuingNs, 1),
+               Table::num(res.avgBlockingNs, 1),
+               Table::num(res.avgTransferNs, 1),
+               Table::num(res.networkPowerW, 1),
+               Table::num(res.combineRate, 2),
+               res.saturated ? "yes" : "no"});
+    }
+    std::printf("%s (%s, %s)\n", cfg.name.c_str(),
+                trafficPatternName(pattern).c_str(),
+                torus ? "torus" : "mesh");
+    std::fputs(t.text().c_str(), stdout);
+    if (!csv_path.empty())
+        t.writeCsv(csv_path);
+    return 0;
+}

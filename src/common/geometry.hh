@@ -1,0 +1,55 @@
+/**
+ * @file
+ * 2-D mesh coordinate helpers shared by topologies, layouts and routing.
+ */
+
+#ifndef HNOC_COMMON_GEOMETRY_HH
+#define HNOC_COMMON_GEOMETRY_HH
+
+#include <cstdlib>
+
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+/** A (column, row) position on a 2-D grid. Row 0 is the top row. */
+struct Coord
+{
+    int x = 0; ///< column
+    int y = 0; ///< row
+
+    bool operator==(const Coord &other) const = default;
+};
+
+/** @return the row-major router/node id of @p c on a grid @p cols wide. */
+constexpr RouterId
+coordToId(Coord c, int cols)
+{
+    return c.y * cols + c.x;
+}
+
+/** @return the (x, y) coordinate of row-major @p id on a grid @p cols wide. */
+constexpr Coord
+idToCoord(RouterId id, int cols)
+{
+    return Coord{id % cols, id / cols};
+}
+
+/** @return Manhattan distance between two grid points. */
+inline int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/** @return true when @p c lies on either diagonal of an n x n grid. */
+constexpr bool
+onDiagonal(Coord c, int n)
+{
+    return c.x == c.y || c.x + c.y == n - 1;
+}
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_GEOMETRY_HH

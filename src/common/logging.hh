@@ -1,0 +1,43 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal simulator bugs (aborts); fatal() is for user
+ * configuration errors (clean exit); warn()/inform() never stop the run.
+ */
+
+#ifndef HNOC_COMMON_LOGGING_HH
+#define HNOC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hnoc
+{
+
+/** Print an error for an internal invariant violation and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error caused by bad user input/configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a non-fatal warning about questionable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Globally silence warn()/inform() output (used by tests and benches
+ * that sweep thousands of configurations).
+ */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() are suppressed. */
+bool isQuiet();
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_LOGGING_HH

@@ -1,0 +1,120 @@
+#include "common/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("Table: row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::text() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            out.append(widths[c] - cells[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Table::csv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvEscape(cells[c]);
+        }
+        out += '\n';
+    };
+    emit(headers_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    std::string target = path;
+    if (const char *dir = std::getenv("HNOC_CSV_DIR")) {
+        std::string base = path;
+        auto slash = base.find_last_of('/');
+        if (slash != std::string::npos)
+            base = base.substr(slash + 1);
+        target = std::string(dir) + "/" + base;
+    }
+    std::FILE *f = std::fopen(target.c_str(), "w");
+    if (!f) {
+        warn("Table::writeCsv: cannot open %s", target.c_str());
+        return false;
+    }
+    std::string data = csv();
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace hnoc

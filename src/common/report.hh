@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Result-table builder: aligned text for the terminal plus CSV export,
+ * so experiment outputs can be piped straight into plotting scripts.
+ */
+
+#ifndef HNOC_COMMON_REPORT_HH
+#define HNOC_COMMON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace hnoc
+{
+
+/**
+ * A simple column-oriented results table.
+ *
+ * Usage:
+ *   Table t({"layout", "latency(ns)", "power(W)"});
+ *   t.row({"Baseline", Table::num(14.4), Table::num(23.9)});
+ *   std::fputs(t.text().c_str(), stdout);
+ *   t.writeCsv("fig07.csv");
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (must match the header count). */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** @return the table rendered as aligned text. */
+    std::string text() const;
+
+    /** @return the table rendered as CSV. */
+    std::string csv() const;
+
+    /**
+     * Write the CSV form to @p path (or, when the HNOC_CSV_DIR
+     * environment variable is set, into that directory under the same
+     * file name). @return true on success.
+     */
+    bool writeCsv(const std::string &path) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_REPORT_HH

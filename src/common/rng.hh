@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible runs.
+ *
+ * A small xoshiro256** implementation: every simulator component owns its
+ * own Rng seeded from the experiment seed, so results replay exactly.
+ */
+
+#ifndef HNOC_COMMON_RNG_HH
+#define HNOC_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace hnoc
+{
+
+/**
+ * xoshiro256** pseudo-random generator with splitmix64 seeding.
+ *
+ * Deterministic, fast, and good enough statistically for traffic
+ * generation and workload synthesis.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return a uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample a bounded Pareto-like heavy-tail duration (used by the
+     * self-similar traffic source). @param alpha shape, @param min_v
+     * minimum value, @param max_v truncation bound.
+     */
+    double
+    pareto(double alpha, double min_v, double max_v)
+    {
+        double u = uniform();
+        // Invert the truncated-Pareto CDF.
+        double ha = 1.0 - u * (1.0 - std::pow(min_v / max_v, alpha));
+        return min_v / std::pow(ha, 1.0 / alpha);
+    }
+
+    /** Sample a geometric inter-arrival gap with success probability p. */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        std::uint64_t n = 1;
+        while (!chance(p) && n < (1ULL << 20))
+            ++n;
+        return n;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_RNG_HH

@@ -1,0 +1,139 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+void
+RunningStat::reset()
+{
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    std::uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double nn = static_cast<double>(n);
+    double new_mean = mean_ + delta * nb / nn;
+    m2_ = m2_ + other.m2_ + delta * delta * na * nb / nn;
+    mean_ = new_mean;
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        panic("Histogram: invalid range [%f, %f) with %zu buckets",
+              lo, hi, buckets);
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+    idx = std::clamp<std::int64_t>(idx, 0,
+        static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+    sum_ += x;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width_;
+    }
+    return hi_;
+}
+
+std::string
+formatHeatMap(const std::vector<double> &values, int cols,
+              const std::string &title)
+{
+    std::string out = title + "\n";
+    if (values.empty() || cols <= 0)
+        return out + "(empty)\n";
+    int rows = static_cast<int>(values.size()) / cols;
+    char buf[32];
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            std::snprintf(buf, sizeof(buf), "%6.1f",
+                          values[static_cast<std::size_t>(r * cols + c)]);
+            out += buf;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace hnoc

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Light-weight statistics accumulators used across the simulator.
+ */
+
+#ifndef HNOC_COMMON_STATS_HH
+#define HNOC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hnoc
+{
+
+/**
+ * Running scalar statistic: count, mean, variance (Welford), min, max.
+ */
+class RunningStat
+{
+  public:
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Accumulate one sample. */
+    void add(double x);
+
+    /** @return number of accumulated samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** @return population variance (0 when < 2 samples). */
+    double variance() const;
+
+    /** @return population standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi) with out-of-range clamping,
+ * supporting mean and arbitrary percentiles.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the first bucket
+     * @param hi exclusive upper bound of the last bucket
+     * @param buckets number of equal-width buckets (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Accumulate one sample (clamped into the extreme buckets). */
+    void add(double x);
+
+    /** Reset all buckets. */
+    void reset();
+
+    /** @return total number of samples. */
+    std::uint64_t count() const { return total_; }
+
+    /** @return exact running mean of the added samples. */
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+    /** @return approximate q-quantile (q in [0,1]) from bucket centers. */
+    double percentile(double q) const;
+
+    /** @return the raw bucket counts. */
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Utilization counter: busy-event accumulation against elapsed cycles,
+ * with support for capacity > 1 (e.g. a router's total buffer slots).
+ */
+class UtilizationCounter
+{
+  public:
+    /** @param capacity number of units that can be busy per cycle. */
+    explicit UtilizationCounter(double capacity = 1.0)
+        : capacity_(capacity)
+    {}
+
+    /** Record that @p busy_units units were busy this cycle. */
+    void
+    tick(double busy_units)
+    {
+        busy_ += busy_units;
+        cycles_ += 1;
+    }
+
+    /** Record activity over a window without per-cycle calls. */
+    void
+    addWindow(double busy_units, std::uint64_t cycles)
+    {
+        busy_ += busy_units;
+        cycles_ += cycles;
+    }
+
+    /** @return utilization in [0,1] relative to capacity. */
+    double
+    utilization() const
+    {
+        if (cycles_ == 0 || capacity_ <= 0.0)
+            return 0.0;
+        return busy_ / (capacity_ * static_cast<double>(cycles_));
+    }
+
+    /** @return total busy unit-cycles. */
+    double busyUnits() const { return busy_; }
+
+    /** @return observed cycles. */
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** @return configured capacity. */
+    double capacity() const { return capacity_; }
+
+    /** Reset to empty (capacity preserved). */
+    void
+    reset()
+    {
+        busy_ = 0.0;
+        cycles_ = 0;
+    }
+
+  private:
+    double capacity_;
+    double busy_ = 0.0;
+    std::uint64_t cycles_ = 0;
+};
+
+/** Format a 2-D grid of values as an ASCII heat map (for Figs 1-2). */
+std::string formatHeatMap(const std::vector<double> &values, int cols,
+                          const std::string &title);
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_STATS_HH

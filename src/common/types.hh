@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every HeteroNoC module.
+ */
+
+#ifndef HNOC_COMMON_TYPES_HH
+#define HNOC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace hnoc
+{
+
+/** Simulation time, measured in router clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A terminal node (core / cache / memory-controller attach point). */
+using NodeId = std::int32_t;
+
+/** A router in the network (may differ from NodeId under concentration). */
+using RouterId = std::int32_t;
+
+/** Virtual-channel index within an input port. */
+using VcId = std::int32_t;
+
+/** Port index within a router. */
+using PortId = std::int32_t;
+
+/** Unique packet identifier (monotonically assigned at injection). */
+using PacketId = std::uint64_t;
+
+/** A byte-addressable physical memory address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no node / router / port / VC". */
+constexpr NodeId INVALID_NODE = -1;
+constexpr RouterId INVALID_ROUTER = -1;
+constexpr PortId INVALID_PORT = -1;
+constexpr VcId INVALID_VC = -1;
+
+/** Sentinel cycle value meaning "never / unset". */
+constexpr Cycle CYCLE_NEVER = std::numeric_limits<Cycle>::max();
+
+} // namespace hnoc
+
+#endif // HNOC_COMMON_TYPES_HH

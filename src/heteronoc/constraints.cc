@@ -1,0 +1,103 @@
+#include "heteronoc/constraints.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "noc/topology.hh"
+#include "power/area_model.hh"
+#include "power/frequency_model.hh"
+#include "power/router_power.hh"
+
+namespace hnoc
+{
+
+ResourceAccounting
+accountResources(const NetworkConfig &config)
+{
+    auto topo = Topology::create(config);
+    int ports = topo->portsPerRouter();
+
+    ResourceAccounting acc;
+    for (RouterId r = 0; r < topo->numRouters(); ++r) {
+        RouterPhysParams params = config.physParamsOf(r, ports);
+        acc.totalVcs += params.vcsPerPort;
+        acc.bufferSlots += params.bufferSlots();
+        acc.bufferBits += params.bufferBits();
+        acc.totalRouterAreaMm2 += AreaModel::areaMm2(params);
+        auto model = RouterPowerModel::calibrated(
+            params, FrequencyModel::frequencyGHz(params));
+        acc.routerPowerAt50W += model.powerAtActivity(0.5).total();
+
+        if (params.vcsPerPort < router_types::BASELINE.vcsPerPort)
+            ++acc.smallRouters;
+        else if (params.vcsPerPort > router_types::BASELINE.vcsPerPort)
+            ++acc.bigRouters;
+        else
+            ++acc.baselineRouters;
+    }
+
+    for (auto [a, b] : topo->bisectionLinks())
+        acc.bisectionBits += config.channelBits(a, b);
+    return acc;
+}
+
+ConstraintReport
+checkConstraints(const NetworkConfig &hetero, const NetworkConfig &baseline)
+{
+    ResourceAccounting h = accountResources(hetero);
+    ResourceAccounting b = accountResources(baseline);
+
+    ConstraintReport rep;
+    rep.vcConserved = h.totalVcs == b.totalVcs;
+    // "Without changing the original bisection width" (§2): the
+    // heterogeneous network may not use more bisection wiring than the
+    // baseline. Only the Center layouts hit the bound with equality;
+    // Diagonal/Row layouts place fewer wide links on the cut.
+    rep.bisectionConserved = h.bisectionBits <= b.bisectionBits;
+    rep.powerBudgetOk = h.routerPowerAt50W <= b.routerPowerAt50W + 1e-9;
+    rep.areaBudgetOk = h.totalRouterAreaMm2 <= b.totalRouterAreaMm2 + 1e-9;
+    return rep;
+}
+
+int
+minSmallRouters(int total_routers)
+{
+    // 0.67 N^2 >= 0.3 ns + 1.19 (N^2 - ns)  =>  ns >= N^2 * 0.52 / 0.89
+    const double p_base = 0.67;
+    const double p_small = 0.30;
+    const double p_big = 1.19;
+    double ns = total_routers * (p_big - p_base) / (p_big - p_small);
+    return static_cast<int>(std::ceil(ns));
+}
+
+int
+narrowLinkWidth(int homo_width, int homo_links, int narrow_links,
+                int wide_links)
+{
+    // Whomo * n = Whetero * Nnarrow + 2 * Whetero * Nwide
+    int denom = narrow_links + 2 * wide_links;
+    if (denom <= 0)
+        fatal("narrowLinkWidth: no links crossing the bisection");
+    return homo_width * homo_links / denom;
+}
+
+std::string
+formatAccounting(const ResourceAccounting &acc, const std::string &title)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n"
+        "  routers: %d small / %d big / %d baseline\n"
+        "  total VCs/PC: %lld, buffer slots: %lld, buffer bits: %lld\n"
+        "  bisection width (one direction): %lld bits\n"
+        "  router area total: %.2f mm^2\n"
+        "  router power @50%% activity: %.2f W\n",
+        title.c_str(), acc.smallRouters, acc.bigRouters,
+        acc.baselineRouters, acc.totalVcs, acc.bufferSlots, acc.bufferBits,
+        acc.bisectionBits, acc.totalRouterAreaMm2, acc.routerPowerAt50W);
+    return buf;
+}
+
+} // namespace hnoc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Design-constraint checkers for heterogeneous layouts (paper §2):
+ * constant total VC count, constant bisection bandwidth, the router
+ * power-budget inequality, and the Table 1 buffer-bit / area
+ * accounting.
+ */
+
+#ifndef HNOC_HETERONOC_CONSTRAINTS_HH
+#define HNOC_HETERONOC_CONSTRAINTS_HH
+
+#include <string>
+
+#include "noc/network_config.hh"
+
+namespace hnoc
+{
+
+/** Aggregate resource accounting for one network configuration. */
+struct ResourceAccounting
+{
+    long long totalVcs = 0;        ///< sum over routers of VCs/PC
+    long long bufferSlots = 0;     ///< total flit slots
+    long long bufferBits = 0;      ///< total storage bits (Table 1)
+    long long bisectionBits = 0;   ///< one-direction bisection width
+    double totalRouterAreaMm2 = 0; ///< sum of router areas (§3.5)
+    double routerPowerAt50W = 0;   ///< sum of analytic 50 %-activity power
+    int smallRouters = 0;
+    int bigRouters = 0;
+    int baselineRouters = 0;
+};
+
+/** Compute the accounting for @p config. */
+ResourceAccounting accountResources(const NetworkConfig &config);
+
+/** Verdict of the §2 constraint checks against a reference config. */
+struct ConstraintReport
+{
+    bool vcConserved = false;        ///< same total VC count
+    bool bisectionConserved = false; ///< same bisection bandwidth
+    bool powerBudgetOk = false;      ///< hetero 50 % power <= baseline
+    bool areaBudgetOk = false;       ///< hetero router area <= baseline
+
+    bool
+    allOk() const
+    {
+        return vcConserved && bisectionConserved && powerBudgetOk &&
+               areaBudgetOk;
+    }
+};
+
+/** Check @p hetero against @p baseline per the paper's §2 rules. */
+ConstraintReport checkConstraints(const NetworkConfig &hetero,
+                                  const NetworkConfig &baseline);
+
+/**
+ * Minimum small-router count so that the heterogeneous network's
+ * router power does not exceed the homogeneous one (the inequality
+ * 0.67 N^2 >= 0.3 ns + 1.19 (N^2 - ns) of §2).
+ * @param total_routers N^2
+ */
+int minSmallRouters(int total_routers);
+
+/**
+ * Solve the §2 link-width equation for the narrow-link width:
+ * Whomo * n = Whetero * Nnarrow + 2 Whetero * Nwide.
+ */
+int narrowLinkWidth(int homo_width, int homo_links, int narrow_links,
+                    int wide_links);
+
+/** Human-readable accounting dump (used by the Table 1 bench). */
+std::string formatAccounting(const ResourceAccounting &acc,
+                             const std::string &title);
+
+} // namespace hnoc
+
+#endif // HNOC_HETERONOC_CONSTRAINTS_HH

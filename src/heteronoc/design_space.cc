@@ -1,0 +1,196 @@
+#include "heteronoc/design_space.hh"
+
+#include <algorithm>
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+#include "heteronoc/layout.hh"
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+
+double
+binomial(int n, int k)
+{
+    if (k < 0 || k > n)
+        return 0.0;
+    k = std::min(k, n - k);
+    double r = 1.0;
+    for (int i = 1; i <= k; ++i)
+        r = r * (n - k + i) / i;
+    return r;
+}
+
+namespace
+{
+
+/**
+ * Per-router traversal weight under uniform traffic with X-Y routing:
+ * how many (src, dst) flows pass through each router. Precomputed once
+ * per radix.
+ */
+std::vector<double>
+traversalWeights(int radix)
+{
+    int n = radix * radix;
+    std::vector<double> w(static_cast<std::size_t>(n), 0.0);
+    for (int s = 0; s < n; ++s) {
+        Coord cs = idToCoord(s, radix);
+        for (int d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            Coord cd = idToCoord(d, radix);
+            // X first, then Y.
+            int x = cs.x;
+            int y = cs.y;
+            w[static_cast<std::size_t>(coordToId({x, y}, radix))] += 1.0;
+            while (x != cd.x) {
+                x += cd.x > x ? 1 : -1;
+                w[static_cast<std::size_t>(coordToId({x, y}, radix))] +=
+                    1.0;
+            }
+            while (y != cd.y) {
+                y += cd.y > y ? 1 : -1;
+                w[static_cast<std::size_t>(coordToId({x, y}, radix))] +=
+                    1.0;
+            }
+        }
+    }
+    double total = 0.0;
+    for (double v : w)
+        total += v;
+    for (double &v : w)
+        v /= total;
+    return w;
+}
+
+} // namespace
+
+double
+flowCoverageScore(const std::vector<bool> &big_mask, int radix)
+{
+    // Two components, both rewarded by the paper's analysis (§5.1):
+    //  (a) traversal coverage: traffic-weighted fraction of router
+    //      visits that land on big routers (favors hot, central spots);
+    //  (b) flow reach: fraction of (src,dst) flows whose X-Y path
+    //      touches at least one big router (favors spreading).
+    static thread_local std::vector<double> weights;
+    static thread_local int weights_radix = -1;
+    if (weights_radix != radix) {
+        weights = traversalWeights(radix);
+        weights_radix = radix;
+    }
+
+    double coverage = 0.0;
+    for (std::size_t r = 0; r < big_mask.size(); ++r)
+        if (big_mask[r])
+            coverage += weights[r];
+
+    int n = radix * radix;
+    int reached = 0;
+    int flows = 0;
+    for (int s = 0; s < n; ++s) {
+        Coord cs = idToCoord(s, radix);
+        for (int d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            ++flows;
+            Coord cd = idToCoord(d, radix);
+            int x = cs.x;
+            int y = cs.y;
+            bool hit = big_mask[static_cast<std::size_t>(
+                coordToId({x, y}, radix))];
+            while (!hit && x != cd.x) {
+                x += cd.x > x ? 1 : -1;
+                hit = big_mask[static_cast<std::size_t>(
+                    coordToId({x, y}, radix))];
+            }
+            while (!hit && y != cd.y) {
+                y += cd.y > y ? 1 : -1;
+                hit = big_mask[static_cast<std::size_t>(
+                    coordToId({x, y}, radix))];
+            }
+            if (hit)
+                ++reached;
+        }
+    }
+    double reach = flows ? static_cast<double>(reached) / flows : 0.0;
+    return 0.5 * coverage + 0.5 * reach;
+}
+
+std::vector<PlacementScore>
+explorePlacements(int radix, int num_big, int top_k)
+{
+    int n = radix * radix;
+    if (num_big <= 0 || num_big >= n)
+        fatal("explorePlacements: num_big %d out of range", num_big);
+    if (binomial(n, num_big) > 2e7)
+        fatal("explorePlacements: C(%d,%d) too large to enumerate "
+              "(the paper enumerates on 4x4 only)", n, num_big);
+
+    std::vector<PlacementScore> best;
+    std::vector<int> pick(static_cast<std::size_t>(num_big));
+    for (int i = 0; i < num_big; ++i)
+        pick[static_cast<std::size_t>(i)] = i;
+
+    std::vector<bool> mask(static_cast<std::size_t>(n), false);
+    auto evaluate = [&] {
+        std::fill(mask.begin(), mask.end(), false);
+        for (int idx : pick)
+            mask[static_cast<std::size_t>(idx)] = true;
+        double score = flowCoverageScore(mask, radix);
+        if (static_cast<int>(best.size()) < top_k ||
+            score > best.back().score) {
+            PlacementScore ps;
+            ps.bigMask = mask;
+            ps.score = score;
+            best.insert(std::upper_bound(
+                            best.begin(), best.end(), ps,
+                            [](const PlacementScore &a,
+                               const PlacementScore &b) {
+                                return a.score > b.score;
+                            }),
+                        std::move(ps));
+            if (static_cast<int>(best.size()) > top_k)
+                best.pop_back();
+        }
+    };
+
+    // Standard lexicographic combination enumeration.
+    while (true) {
+        evaluate();
+        int i = num_big - 1;
+        while (i >= 0 &&
+               pick[static_cast<std::size_t>(i)] == n - num_big + i)
+            --i;
+        if (i < 0)
+            break;
+        ++pick[static_cast<std::size_t>(i)];
+        for (int j = i + 1; j < num_big; ++j)
+            pick[static_cast<std::size_t>(j)] =
+                pick[static_cast<std::size_t>(j - 1)] + 1;
+    }
+    return best;
+}
+
+void
+simulateTopPlacements(std::vector<PlacementScore> &placements, int radix,
+                      double rate, std::uint64_t seed)
+{
+    for (PlacementScore &ps : placements) {
+        NetworkConfig cfg =
+            makeHeteroConfig(ps.bigMask, true, radix, "dse-candidate");
+        SimPointOptions opts;
+        opts.injectionRate = rate;
+        opts.warmupCycles = 3000;
+        opts.measureCycles = 8000;
+        opts.drainCycles = 16000;
+        opts.seed = seed;
+        SimPointResult res =
+            runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+        ps.simLatencyNs = res.avgLatencyNs;
+    }
+}
+
+} // namespace hnoc

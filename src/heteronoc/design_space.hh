@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Design-space exploration of big-router placements (paper footnote 4):
+ * exhaustive enumeration on a 4x4 mesh (1820 / 8008 / 12870 placements
+ * for 4 / 6 / 8 big routers), scored analytically by how many X-Y flows
+ * traverse big routers, with optional cycle-accurate evaluation of the
+ * top candidates.
+ */
+
+#ifndef HNOC_HETERONOC_DESIGN_SPACE_HH
+#define HNOC_HETERONOC_DESIGN_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/network_config.hh"
+
+namespace hnoc
+{
+
+/** One scored placement. */
+struct PlacementScore
+{
+    std::vector<bool> bigMask;
+    double score = 0.0;      ///< analytic flow-coverage score
+    double simLatencyNs = 0; ///< filled by simulateTopPlacements
+};
+
+/**
+ * Analytic score of a placement: the average, over all (src, dst)
+ * pairs, of the fraction of X-Y path routers that are big, weighted by
+ * how often each router position is traversed under uniform traffic
+ * (central routers carry more flows, Fig 1). Higher is better.
+ */
+double flowCoverageScore(const std::vector<bool> &big_mask, int radix);
+
+/**
+ * Enumerate every placement of @p num_big big routers on a
+ * radix x radix mesh and return the @p top_k best by analytic score.
+ * The number of enumerated placements is C(radix^2, num_big) —
+ * tractable for radix 4 as in the paper.
+ */
+std::vector<PlacementScore> explorePlacements(int radix, int num_big,
+                                              int top_k);
+
+/** @return C(n, k) as a double (the paper quotes C(64,48) = 4.89e14). */
+double binomial(int n, int k);
+
+/**
+ * Run short uniform-random simulations of the given placements (+BL
+ * semantics) and fill PlacementScore::simLatencyNs.
+ * @param rate injection rate in packets/node/cycle
+ */
+void simulateTopPlacements(std::vector<PlacementScore> &placements,
+                           int radix, double rate,
+                           std::uint64_t seed = 1);
+
+} // namespace hnoc
+
+#endif // HNOC_HETERONOC_DESIGN_SPACE_HH

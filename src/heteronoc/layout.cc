@@ -1,0 +1,188 @@
+#include "heteronoc/layout.hh"
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+#include "power/router_params.hh"
+
+namespace hnoc
+{
+
+std::vector<LayoutKind>
+allLayouts()
+{
+    return {LayoutKind::Baseline, LayoutKind::CenterB, LayoutKind::Row25B,
+            LayoutKind::DiagonalB, LayoutKind::CenterBL,
+            LayoutKind::Row25BL, LayoutKind::DiagonalBL};
+}
+
+std::vector<LayoutKind>
+heteroLayouts()
+{
+    return {LayoutKind::CenterB, LayoutKind::Row25B, LayoutKind::DiagonalB,
+            LayoutKind::CenterBL, LayoutKind::Row25BL,
+            LayoutKind::DiagonalBL};
+}
+
+std::vector<LayoutKind>
+blLayouts()
+{
+    return {LayoutKind::CenterBL, LayoutKind::Row25BL,
+            LayoutKind::DiagonalBL};
+}
+
+std::string
+layoutName(LayoutKind kind)
+{
+    switch (kind) {
+      case LayoutKind::Baseline:
+        return "Baseline";
+      case LayoutKind::CenterB:
+        return "Center+B";
+      case LayoutKind::Row25B:
+        return "Row2_5+B";
+      case LayoutKind::DiagonalB:
+        return "Diagonal+B";
+      case LayoutKind::CenterBL:
+        return "Center+BL";
+      case LayoutKind::Row25BL:
+        return "Row2_5+BL";
+      case LayoutKind::DiagonalBL:
+        return "Diagonal+BL";
+    }
+    return "unknown";
+}
+
+bool
+isBufferLinkLayout(LayoutKind kind)
+{
+    return kind == LayoutKind::CenterBL || kind == LayoutKind::Row25BL ||
+           kind == LayoutKind::DiagonalBL;
+}
+
+std::vector<bool>
+bigRouterMask(LayoutKind kind, int radix)
+{
+    std::vector<bool> mask(
+        static_cast<std::size_t>(radix * radix), false);
+    auto set = [&](int x, int y) {
+        mask[static_cast<std::size_t>(coordToId({x, y}, radix))] = true;
+    };
+
+    switch (kind) {
+      case LayoutKind::Baseline:
+        break;
+      case LayoutKind::CenterB:
+      case LayoutKind::CenterBL: {
+        // Central block holding 2*radix big routers (4x4 for radix 8).
+        int lo = radix / 2 - radix / 4;
+        int hi = radix / 2 + radix / 4 - 1;
+        for (int y = lo; y <= hi; ++y)
+            for (int x = lo; x <= hi; ++x)
+                set(x, y);
+        break;
+      }
+      case LayoutKind::Row25B:
+      case LayoutKind::Row25BL: {
+        // Rows 2 and 5 (0-indexed): every row is within two hops of a
+        // big-router row on an 8x8 mesh.
+        int r1 = radix / 4;
+        int r2 = radix - 1 - radix / 4;
+        for (int x = 0; x < radix; ++x) {
+            set(x, r1);
+            set(x, r2);
+        }
+        break;
+      }
+      case LayoutKind::DiagonalB:
+      case LayoutKind::DiagonalBL:
+        for (int i = 0; i < radix; ++i) {
+            set(i, i);
+            set(radix - 1 - i, i);
+        }
+        break;
+    }
+    return mask;
+}
+
+NetworkConfig
+makeLayoutConfig(LayoutKind kind, int radix)
+{
+    if (kind == LayoutKind::Baseline) {
+        NetworkConfig cfg;
+        cfg.name = layoutName(kind);
+        cfg.radixX = radix;
+        cfg.radixY = radix;
+        cfg.defaultVcs = router_types::BASELINE.vcsPerPort;
+        cfg.defaultWidthBits = router_types::BASELINE.datapathBits;
+        cfg.flitWidthBits = router_types::BASELINE.datapathBits;
+        cfg.uniformLinkBits = router_types::BASELINE.datapathBits;
+        return cfg;
+    }
+    NetworkConfig cfg = makeHeteroConfig(bigRouterMask(kind, radix),
+                                         isBufferLinkLayout(kind), radix,
+                                         layoutName(kind));
+    return cfg;
+}
+
+NetworkConfig
+makeHeteroConfig(const std::vector<bool> &big_mask, bool redistribute_links,
+                 int radix, const std::string &name)
+{
+    if (static_cast<int>(big_mask.size()) != radix * radix)
+        fatal("makeHeteroConfig: mask size %zu != %d routers",
+              big_mask.size(), radix * radix);
+
+    NetworkConfig cfg;
+    cfg.name = name;
+    cfg.radixX = radix;
+    cfg.radixY = radix;
+    cfg.bufferDepth = 5;
+
+    int n = radix * radix;
+    cfg.routerVcs.resize(static_cast<std::size_t>(n));
+    cfg.routerWidthBits.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        bool big = big_mask[static_cast<std::size_t>(r)];
+        cfg.routerVcs[static_cast<std::size_t>(r)] =
+            big ? router_types::BIG.vcsPerPort
+                : router_types::SMALL.vcsPerPort;
+        if (redistribute_links) {
+            cfg.routerWidthBits[static_cast<std::size_t>(r)] =
+                big ? router_types::BIG.datapathBits
+                    : router_types::SMALL.datapathBits;
+        } else {
+            cfg.routerWidthBits[static_cast<std::size_t>(r)] =
+                router_types::BASELINE.datapathBits;
+        }
+    }
+
+    if (redistribute_links) {
+        // +BL: 128 b flits; channel width = max of endpoint datapaths
+        // (wide 256 b links touch big routers).
+        cfg.flitWidthBits = router_types::SMALL.datapathBits;
+        cfg.linkWidthMode = LinkWidthMode::EndpointMax;
+    } else {
+        // +B: links and flits stay at the baseline 192 b.
+        cfg.flitWidthBits = router_types::BASELINE.datapathBits;
+        cfg.linkWidthMode = LinkWidthMode::Uniform;
+        cfg.uniformLinkBits = router_types::BASELINE.datapathBits;
+    }
+    return cfg;
+}
+
+std::string
+renderLayout(const std::vector<bool> &big_mask, int radix)
+{
+    std::string out;
+    for (int y = 0; y < radix; ++y) {
+        for (int x = 0; x < radix; ++x) {
+            bool big =
+                big_mask[static_cast<std::size_t>(coordToId({x, y}, radix))];
+            out += big ? " B" : " .";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace hnoc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * HeteroNoC layouts (paper §2, Fig 3): build NetworkConfigs for the
+ * baseline and the six published heterogeneous placements, plus
+ * arbitrary custom big-router masks.
+ */
+
+#ifndef HNOC_HETERONOC_LAYOUT_HH
+#define HNOC_HETERONOC_LAYOUT_HH
+
+#include <string>
+#include <vector>
+
+#include "noc/network_config.hh"
+
+namespace hnoc
+{
+
+/** The seven evaluated configurations of Fig 3. */
+enum class LayoutKind
+{
+    Baseline,   ///< homogeneous 3 VC / 192 b
+    CenterB,    ///< big routers in the central 4x4 block, buffers only
+    Row25B,     ///< big routers in rows 2 and 5, buffers only
+    DiagonalB,  ///< big routers on both diagonals, buffers only
+    CenterBL,   ///< central block, buffers + links redistributed
+    Row25BL,    ///< rows 2 and 5, buffers + links
+    DiagonalBL, ///< diagonals, buffers + links (the paper's best)
+};
+
+/** All seven layouts in presentation order. */
+std::vector<LayoutKind> allLayouts();
+
+/** The six heterogeneous layouts. */
+std::vector<LayoutKind> heteroLayouts();
+
+/** The three +BL layouts (used by the power studies). */
+std::vector<LayoutKind> blLayouts();
+
+/** @return the paper's name for @p kind ("Diagonal+BL", ...). */
+std::string layoutName(LayoutKind kind);
+
+/** @return true for the buffer+link (+BL) variants. */
+bool isBufferLinkLayout(LayoutKind kind);
+
+/**
+ * Big-router placement mask for @p kind on an n x n mesh
+ * (true = big). The baseline returns an all-false mask.
+ */
+std::vector<bool> bigRouterMask(LayoutKind kind, int radix);
+
+/**
+ * Build the NetworkConfig for @p kind on an n x n mesh.
+ * Baseline: 3 VCs / 192 b / 2.20 GHz. +B: 2/6 VCs, 192 b links.
+ * +BL: 2/6 VCs, 128/256 b datapaths, endpoint-max link widths,
+ * 128 b flits; clock derived from the big router (2.07 GHz).
+ */
+NetworkConfig makeLayoutConfig(LayoutKind kind, int radix = 8);
+
+/**
+ * Build a heterogeneous config from an arbitrary big-router mask.
+ * @param redistribute_links true for +BL semantics, false for +B
+ */
+NetworkConfig makeHeteroConfig(const std::vector<bool> &big_mask,
+                               bool redistribute_links, int radix,
+                               const std::string &name = "custom");
+
+/** ASCII rendering of a layout (B = big, . = small/baseline). */
+std::string renderLayout(const std::vector<bool> &big_mask, int radix);
+
+} // namespace hnoc
+
+#endif // HNOC_HETERONOC_LAYOUT_HH

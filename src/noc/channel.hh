@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unidirectional flit channel with a reverse credit path.
+ *
+ * A channel has a fixed width in bits; its lane count (width divided by
+ * the network flit width) is the number of flits it can carry per cycle.
+ * Wide 256 b channels in HeteroNoC carry two combined 128 b flits per
+ * cycle (§3.2). Delivery is a simple constant-delay pipe.
+ */
+
+#ifndef HNOC_NOC_CHANNEL_HH
+#define HNOC_NOC_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "noc/flit.hh"
+
+namespace hnoc
+{
+
+/** Constant-latency flit pipe plus reverse credit pipe. */
+class Channel
+{
+  public:
+    /**
+     * @param width_bits physical wire width
+     * @param lanes flits transferable per cycle (width / flit width)
+     * @param flit_delay cycles from send to delivery (includes the
+     *        sender's switch-traversal stage)
+     * @param credit_delay cycles for the reverse credit path
+     */
+    Channel(int id, int width_bits, int lanes, int flit_delay,
+            int credit_delay)
+        : id_(id), widthBits_(width_bits), lanes_(lanes),
+          flitDelay_(flit_delay), creditDelay_(credit_delay)
+    {}
+
+    int id() const { return id_; }
+    int widthBits() const { return widthBits_; }
+    int lanes() const { return lanes_; }
+    int flitDelay() const { return flitDelay_; }
+
+    /** Send a flit; it is delivered at now + flitDelay. */
+    void
+    sendFlit(const Flit &flit, Cycle now)
+    {
+        if (now == lastSendCycle_) {
+            ++sendsThisCycle_;
+            if (sendsThisCycle_ > lanes_)
+                panic("channel %d oversubscribed (%d lanes)", id_, lanes_);
+            if (sendsThisCycle_ == 2)
+                ++pairedCycles_;
+        } else {
+            lastSendCycle_ = now;
+            sendsThisCycle_ = 1;
+            ++busyCycles_;
+        }
+        ++flitsSent_;
+        flitPipe_.emplace_back(now + static_cast<Cycle>(flitDelay_), flit);
+    }
+
+    /** Send a credit for @p vc back to the channel's driver. */
+    void
+    sendCredit(VcId vc, Cycle now)
+    {
+        creditPipe_.emplace_back(now + static_cast<Cycle>(creditDelay_), vc);
+    }
+
+    /** Collect flits arriving at @p now. @return count delivered. */
+    int
+    deliverFlits(Cycle now, std::vector<Flit> &out)
+    {
+        int n = 0;
+        while (!flitPipe_.empty() && flitPipe_.front().first <= now) {
+            out.push_back(flitPipe_.front().second);
+            flitPipe_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    /** Collect credits arriving at @p now. @return count delivered. */
+    int
+    deliverCredits(Cycle now, std::vector<VcId> &out)
+    {
+        int n = 0;
+        while (!creditPipe_.empty() && creditPipe_.front().first <= now) {
+            out.push_back(creditPipe_.front().second);
+            creditPipe_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    bool
+    idle() const
+    {
+        return flitPipe_.empty() && creditPipe_.empty();
+    }
+
+    /** @name Measurement counters (reset via resetStats). */
+    ///@{
+    std::uint64_t flitsSent() const { return flitsSent_; }
+    std::uint64_t busyCycles() const { return busyCycles_; }
+    std::uint64_t pairedCycles() const { return pairedCycles_; }
+
+    void
+    resetStats()
+    {
+        flitsSent_ = 0;
+        busyCycles_ = 0;
+        pairedCycles_ = 0;
+    }
+
+    /** Flit-lane utilization over @p cycles elapsed cycles. */
+    double
+    laneUtilization(std::uint64_t cycles) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(flitsSent_) /
+               (static_cast<double>(lanes_) * static_cast<double>(cycles));
+    }
+    ///@}
+
+  private:
+    int id_;
+    int widthBits_;
+    int lanes_;
+    int flitDelay_;
+    int creditDelay_;
+
+    std::deque<std::pair<Cycle, Flit>> flitPipe_;
+    std::deque<std::pair<Cycle, VcId>> creditPipe_;
+
+    Cycle lastSendCycle_ = CYCLE_NEVER;
+    int sendsThisCycle_ = 0;
+    std::uint64_t flitsSent_ = 0;
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t pairedCycles_ = 0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_CHANNEL_HH

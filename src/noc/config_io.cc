@@ -1,0 +1,257 @@
+#include "noc/config_io.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+const char *
+topologyName(TopologyType t)
+{
+    switch (t) {
+      case TopologyType::Mesh:
+        return "mesh";
+      case TopologyType::Torus:
+        return "torus";
+      case TopologyType::ConcentratedMesh:
+        return "cmesh";
+      case TopologyType::FlattenedButterfly:
+        return "flatfly";
+    }
+    return "mesh";
+}
+
+TopologyType
+topologyFromName(const std::string &s)
+{
+    if (s == "mesh")
+        return TopologyType::Mesh;
+    if (s == "torus")
+        return TopologyType::Torus;
+    if (s == "cmesh")
+        return TopologyType::ConcentratedMesh;
+    if (s == "flatfly")
+        return TopologyType::FlattenedButterfly;
+    fatal("config: unknown topology '%s'", s.c_str());
+}
+
+const char *
+linkModeName(LinkWidthMode m)
+{
+    switch (m) {
+      case LinkWidthMode::Uniform:
+        return "uniform";
+      case LinkWidthMode::EndpointMax:
+        return "endpoint-max";
+      case LinkWidthMode::CentralBand:
+        return "central-band";
+    }
+    return "uniform";
+}
+
+LinkWidthMode
+linkModeFromName(const std::string &s)
+{
+    if (s == "uniform")
+        return LinkWidthMode::Uniform;
+    if (s == "endpoint-max")
+        return LinkWidthMode::EndpointMax;
+    if (s == "central-band")
+        return LinkWidthMode::CentralBand;
+    fatal("config: unknown link mode '%s'", s.c_str());
+}
+
+const char *
+routingName(RoutingMode m)
+{
+    switch (m) {
+      case RoutingMode::XY:
+        return "xy";
+      case RoutingMode::YX:
+        return "yx";
+      case RoutingMode::O1Turn:
+        return "o1turn";
+      case RoutingMode::TableXY:
+        return "table-xy";
+    }
+    return "xy";
+}
+
+RoutingMode
+routingFromName(const std::string &s)
+{
+    if (s == "xy")
+        return RoutingMode::XY;
+    if (s == "yx")
+        return RoutingMode::YX;
+    if (s == "o1turn")
+        return RoutingMode::O1Turn;
+    if (s == "table-xy")
+        return RoutingMode::TableXY;
+    fatal("config: unknown routing mode '%s'", s.c_str());
+}
+
+template <typename T>
+std::string
+joinInts(const std::vector<T> &v)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(v[i]);
+    }
+    return out;
+}
+
+std::vector<int>
+splitInts(const std::string &s)
+{
+    std::vector<int> out;
+    std::stringstream in(s);
+    std::string item;
+    while (std::getline(in, item, ','))
+        if (!item.empty())
+            out.push_back(std::stoi(item));
+    return out;
+}
+
+} // namespace
+
+std::string
+configToString(const NetworkConfig &c)
+{
+    std::ostringstream out;
+    out << "name=" << c.name << '\n';
+    out << "topology=" << topologyName(c.topology) << '\n';
+    out << "radix_x=" << c.radixX << '\n';
+    out << "radix_y=" << c.radixY << '\n';
+    out << "concentration=" << c.concentration << '\n';
+    out << "flit_bits=" << c.flitWidthBits << '\n';
+    out << "data_packet_bits=" << c.dataPacketBits << '\n';
+    out << "buffer_depth=" << c.bufferDepth << '\n';
+    out << "default_vcs=" << c.defaultVcs << '\n';
+    out << "default_width_bits=" << c.defaultWidthBits << '\n';
+    if (!c.routerVcs.empty())
+        out << "router_vcs=" << joinInts(c.routerVcs) << '\n';
+    if (!c.routerWidthBits.empty())
+        out << "router_width_bits=" << joinInts(c.routerWidthBits)
+            << '\n';
+    out << "link_mode=" << linkModeName(c.linkWidthMode) << '\n';
+    out << "uniform_link_bits=" << c.uniformLinkBits << '\n';
+    out << "band_wide_links=" << c.bandWideLinks << '\n';
+    out << "routing=" << routingName(c.routing) << '\n';
+    if (!c.tableRoutedNodes.empty())
+        out << "table_nodes=" << joinInts(c.tableRoutedNodes) << '\n';
+    out << "escape_threshold=" << c.escapeThreshold << '\n';
+    out << "intra_packet_pairing=" << (c.intraPacketPairing ? 1 : 0)
+        << '\n';
+    out << "sa_policy="
+        << (c.saPolicy == SaPolicy::OldestFirst ? "oldest-first"
+                                                : "round-robin")
+        << '\n';
+    out << "pipeline_stages=" << c.pipelineStages << '\n';
+    out << "link_latency=" << c.linkLatency << '\n';
+    out << "clock_ghz=" << c.clockGHz << '\n';
+    return out.str();
+}
+
+NetworkConfig
+configFromString(const std::string &text)
+{
+    NetworkConfig c;
+    std::stringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config: malformed line '%s'", line.c_str());
+        std::string key = line.substr(0, eq);
+        std::string val = line.substr(eq + 1);
+
+        if (key == "name")
+            c.name = val;
+        else if (key == "topology")
+            c.topology = topologyFromName(val);
+        else if (key == "radix_x")
+            c.radixX = std::stoi(val);
+        else if (key == "radix_y")
+            c.radixY = std::stoi(val);
+        else if (key == "concentration")
+            c.concentration = std::stoi(val);
+        else if (key == "flit_bits")
+            c.flitWidthBits = std::stoi(val);
+        else if (key == "data_packet_bits")
+            c.dataPacketBits = std::stoi(val);
+        else if (key == "buffer_depth")
+            c.bufferDepth = std::stoi(val);
+        else if (key == "default_vcs")
+            c.defaultVcs = std::stoi(val);
+        else if (key == "default_width_bits")
+            c.defaultWidthBits = std::stoi(val);
+        else if (key == "router_vcs")
+            c.routerVcs = splitInts(val);
+        else if (key == "router_width_bits")
+            c.routerWidthBits = splitInts(val);
+        else if (key == "link_mode")
+            c.linkWidthMode = linkModeFromName(val);
+        else if (key == "uniform_link_bits")
+            c.uniformLinkBits = std::stoi(val);
+        else if (key == "band_wide_links")
+            c.bandWideLinks = std::stoi(val);
+        else if (key == "routing")
+            c.routing = routingFromName(val);
+        else if (key == "table_nodes") {
+            c.tableRoutedNodes.clear();
+            for (int n : splitInts(val))
+                c.tableRoutedNodes.push_back(n);
+        } else if (key == "escape_threshold")
+            c.escapeThreshold = std::stoi(val);
+        else if (key == "intra_packet_pairing")
+            c.intraPacketPairing = std::stoi(val) != 0;
+        else if (key == "sa_policy")
+            c.saPolicy = val == "oldest-first" ? SaPolicy::OldestFirst
+                                               : SaPolicy::RoundRobin;
+        else if (key == "pipeline_stages")
+            c.pipelineStages = std::stoi(val);
+        else if (key == "link_latency")
+            c.linkLatency = std::stoi(val);
+        else if (key == "clock_ghz")
+            c.clockGHz = std::stod(val);
+        else
+            fatal("config: unknown key '%s'", key.c_str());
+    }
+    return c;
+}
+
+bool
+saveConfig(const NetworkConfig &config, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << configToString(config);
+    return static_cast<bool>(out);
+}
+
+NetworkConfig
+loadConfig(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open %s", path.c_str());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return configFromString(buf.str());
+}
+
+} // namespace hnoc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * NetworkConfig text serialization: a stable key=value format so
+ * experiment configurations can be saved, diffed and replayed
+ * (hnoc_cli --dump-config / --config).
+ */
+
+#ifndef HNOC_NOC_CONFIG_IO_HH
+#define HNOC_NOC_CONFIG_IO_HH
+
+#include <string>
+
+#include "noc/network_config.hh"
+
+namespace hnoc
+{
+
+/** Serialize @p config to the key=value text format. */
+std::string configToString(const NetworkConfig &config);
+
+/**
+ * Parse a configuration previously produced by configToString.
+ * Unknown keys are fatal (catches typos and version skew).
+ */
+NetworkConfig configFromString(const std::string &text);
+
+/** Write @p config to @p path. @return true on success. */
+bool saveConfig(const NetworkConfig &config, const std::string &path);
+
+/** Load a configuration from @p path; fatal on I/O or parse errors. */
+NetworkConfig loadConfig(const std::string &path);
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_CONFIG_IO_HH

@@ -1,0 +1,414 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "power/frequency_model.hh"
+
+namespace hnoc
+{
+
+Network::Network(const NetworkConfig &config)
+    : config_(config), topo_(Topology::create(config)),
+      routing_(RoutingAlgorithm::create(config_, *topo_))
+{
+    if (!config_.routerVcs.empty() &&
+        static_cast<int>(config_.routerVcs.size()) != topo_->numRouters())
+        fatal("routerVcs size %zu != router count %d",
+              config_.routerVcs.size(), topo_->numRouters());
+    if (!config_.routerWidthBits.empty() &&
+        static_cast<int>(config_.routerWidthBits.size()) !=
+            topo_->numRouters())
+        fatal("routerWidthBits size %zu != router count %d",
+              config_.routerWidthBits.size(), topo_->numRouters());
+
+    if (config_.clockGHz > 0.0) {
+        clockGHz_ = config_.clockGHz;
+    } else {
+        // Worst-case rule of §3.4: the slowest router sets the clock.
+        int max_vcs = config_.defaultVcs;
+        for (RouterId r = 0; r < topo_->numRouters(); ++r)
+            max_vcs = std::max(max_vcs, config_.vcsOf(r));
+        clockGHz_ = FrequencyModel::networkFrequencyGHz(max_vcs);
+    }
+
+    build();
+}
+
+Network::~Network() = default;
+
+Channel *
+Network::makeChannel(int width_bits, int flit_delay, int credit_delay)
+{
+    int lanes = std::max(1, width_bits / config_.flitWidthBits);
+    channels_.push_back(std::make_unique<Channel>(
+        static_cast<int>(channels_.size()), width_bits, lanes, flit_delay,
+        credit_delay));
+    Channel *c = channels_.back().get();
+    if (lanes > 1)
+        wideChannels_.push_back(c);
+    return c;
+}
+
+void
+Network::build()
+{
+    int n_routers = topo_->numRouters();
+    int ports = topo_->portsPerRouter();
+    int inter_delay = (config_.pipelineStages - 1) + config_.linkLatency;
+
+    routers_.reserve(static_cast<std::size_t>(n_routers));
+    for (RouterId r = 0; r < n_routers; ++r) {
+        routers_.push_back(std::make_unique<Router>(
+            r, ports, config_.vcsOf(r), config_.bufferDepth, *routing_,
+            config_.escapeThreshold, config_.intraPacketPairing,
+            config_.saPolicy));
+    }
+
+    // Inter-router channels: one per directed (router, dir-port) pair.
+    for (RouterId r = 0; r < n_routers; ++r) {
+        for (PortId p = 0; p < topo_->numDirPorts(); ++p) {
+            const PortPeer &peer = topo_->peer(r, p);
+            if (peer.router == INVALID_ROUTER)
+                continue;
+            Channel *ch =
+                makeChannel(config_.channelBits(r, peer.router),
+                            inter_delay, config_.linkLatency);
+            routers_[static_cast<std::size_t>(r)]->connectOutput(
+                p, ch, config_.vcsOf(peer.router), config_.bufferDepth);
+            routers_[static_cast<std::size_t>(peer.router)]->connectInput(
+                peer.port, ch);
+
+            ChannelEnds e;
+            e.chan = ch;
+            e.sinkIsRouter = true;
+            e.sinkRouter = peer.router;
+            e.sinkPort = peer.port;
+            e.driverIsRouter = true;
+            e.driverRouter = r;
+            e.driverPort = p;
+            ends_.push_back(e);
+        }
+    }
+
+    // Local channels: injection (NI -> router) and ejection.
+    int n_nodes = topo_->numNodes();
+    nis_.reserve(static_cast<std::size_t>(n_nodes));
+    for (NodeId n = 0; n < n_nodes; ++n) {
+        RouterId r = topo_->routerOfNode(n);
+        PortId lp = topo_->localPortOfNode(n);
+        Router &router = *routers_[static_cast<std::size_t>(r)];
+        nis_.push_back(std::make_unique<NetworkInterface>(n, this));
+        NetworkInterface &ni = *nis_.back();
+
+        int local_bits = config_.localChannelBits(r);
+
+        Channel *inj =
+            makeChannel(local_bits, config_.linkLatency,
+                        config_.linkLatency);
+        router.connectInput(lp, inj);
+        ni.connectInjection(inj, config_.vcsOf(r), config_.bufferDepth,
+                            &router.activity(),
+                            config_.intraPacketPairing);
+        ChannelEnds ei;
+        ei.chan = inj;
+        ei.sinkIsRouter = true;
+        ei.sinkRouter = r;
+        ei.sinkPort = lp;
+        ei.driverIsRouter = false;
+        ei.driverNode = n;
+        ends_.push_back(ei);
+
+        Channel *ej = makeChannel(local_bits, inter_delay,
+                                  config_.linkLatency);
+        router.connectOutput(lp, ej, config_.vcsOf(r),
+                             config_.bufferDepth);
+        ni.connectEjection(ej);
+        ChannelEnds ee;
+        ee.chan = ej;
+        ee.sinkIsRouter = false;
+        ee.sinkNode = n;
+        ee.driverIsRouter = true;
+        ee.driverRouter = r;
+        ee.driverPort = lp;
+        ends_.push_back(ee);
+    }
+}
+
+Packet *
+Network::allocPacket()
+{
+    if (!freeList_.empty()) {
+        Packet *p = freeList_.back();
+        freeList_.pop_back();
+        return p;
+    }
+    packetArena_.push_back(std::make_unique<Packet>());
+    return packetArena_.back().get();
+}
+
+void
+Network::freePacket(Packet *pkt)
+{
+    freeList_.push_back(pkt);
+}
+
+Packet *
+Network::enqueuePacket(NodeId src, NodeId dst, int num_flits,
+                       std::uint64_t tag, void *context)
+{
+    if (src < 0 || src >= topo_->numNodes() || dst < 0 ||
+        dst >= topo_->numNodes())
+        panic("enqueuePacket: invalid endpoints %d -> %d", src, dst);
+    if (src == dst)
+        panic("enqueuePacket: src == dst (%d)", src);
+    Packet *pkt = allocPacket();
+    *pkt = Packet{};
+    pkt->id = nextPacketId_++;
+    pkt->src = src;
+    pkt->dst = dst;
+    pkt->numFlits = num_flits;
+    pkt->createdAt = cycle_;
+    pkt->tag = tag;
+    pkt->context = context;
+    if (config_.routing == RoutingMode::TableXY) {
+        const auto &table =
+            static_cast<const TableXYRouting &>(*routing_);
+        pkt->tableRouted = table.isTableNode(src) || table.isTableNode(dst);
+    } else if (config_.routing == RoutingMode::O1Turn) {
+        // Alternate dimension orders deterministically by packet id.
+        pkt->yxRouted = (pkt->id & 1) != 0;
+    }
+    nis_[static_cast<std::size_t>(src)]->enqueue(pkt);
+    ++packetsInjected_;
+    ++livePackets_;
+    if (observer_)
+        observer_->onPacketCreated(*pkt, cycle_);
+    return pkt;
+}
+
+void
+Network::setObserver(NetworkObserver *observer)
+{
+    observer_ = observer;
+    for (auto &r : routers_)
+        r->setObserver(observer);
+}
+
+void
+Network::step()
+{
+    Cycle now = cycle_;
+
+    if (client_)
+        client_->preCycle(*this, now);
+
+    // Phase A: channel delivery (flits, then credits).
+    for (ChannelEnds &e : ends_) {
+        if (e.chan->idle())
+            continue;
+        scratchFlits_.clear();
+        if (e.chan->deliverFlits(now, scratchFlits_)) {
+            if (e.sinkIsRouter) {
+                Router &r = *routers_[static_cast<std::size_t>(e.sinkRouter)];
+                for (const Flit &f : scratchFlits_)
+                    r.receiveFlit(e.sinkPort, f, now);
+            } else {
+                NetworkInterface &ni =
+                    *nis_[static_cast<std::size_t>(e.sinkNode)];
+                for (const Flit &f : scratchFlits_) {
+                    ++flitsDelivered_;
+                    Packet *done = ni.receiveFlit(f, now);
+                    if (done) {
+                        ++packetsDelivered_;
+                        --livePackets_;
+                        lastDelivery_ = now;
+                        if (observer_)
+                            observer_->onPacketDelivered(*done, now);
+                        if (client_)
+                            client_->onPacketDelivered(*this, *done, now);
+                        freePacket(done);
+                    }
+                }
+            }
+        }
+        scratchCredits_.clear();
+        if (e.chan->deliverCredits(now, scratchCredits_)) {
+            if (e.driverIsRouter) {
+                Router &r =
+                    *routers_[static_cast<std::size_t>(e.driverRouter)];
+                for (VcId vc : scratchCredits_)
+                    r.receiveCredit(e.driverPort, vc);
+            } else {
+                NetworkInterface &ni =
+                    *nis_[static_cast<std::size_t>(e.driverNode)];
+                for (VcId vc : scratchCredits_)
+                    ni.receiveCredit(vc);
+            }
+        }
+    }
+
+    // Phase B: router pipelines.
+    for (auto &r : routers_)
+        r->step(now);
+
+    // Phase C: NI injection.
+    for (auto &ni : nis_)
+        ni->stepInject(now);
+
+    ++cycle_;
+}
+
+Cycle
+Network::minTransferCycles(NodeId src, NodeId dst, int num_flits) const
+{
+    auto path = routing_->path(src, dst);
+    auto hops = static_cast<Cycle>(path.size());
+    Cycle head = static_cast<Cycle>(config_.linkLatency) +
+                 hops * static_cast<Cycle>(config_.pipelineStages +
+                                           config_.linkLatency);
+
+    // Serialization lower bound: the narrowest channel on the path
+    // limits how fast the tail can follow the head. With intra-packet
+    // pairing, wide (multi-lane) channels move two flits per cycle.
+    int min_lanes =
+        std::max(1, config_.localChannelBits(path.front()) /
+                        config_.flitWidthBits);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        int lanes = std::max(
+            1, config_.channelBits(path[i], path[i + 1]) /
+                   config_.flitWidthBits);
+        min_lanes = std::min(min_lanes, lanes);
+    }
+    min_lanes = std::min(
+        min_lanes, std::max(1, config_.localChannelBits(path.back()) /
+                                   config_.flitWidthBits));
+    if (!config_.intraPacketPairing)
+        min_lanes = 1;
+
+    auto serialization = static_cast<Cycle>(
+        (num_flits - 1 + min_lanes - 1) / min_lanes);
+    return head + serialization;
+}
+
+void
+Network::resetMeasurement()
+{
+    measureStart_ = cycle_;
+    for (auto &r : routers_) {
+        r->activity() = RouterActivity{};
+        r->resetOccupancy();
+    }
+    for (auto &c : channels_)
+        c->resetStats();
+}
+
+std::vector<double>
+Network::bufferUtilizationPercent() const
+{
+    std::vector<double> util;
+    util.reserve(routers_.size());
+    double cycles = static_cast<double>(measuredCycles());
+    for (const auto &r : routers_) {
+        double cap = static_cast<double>(r->bufferCapacity());
+        util.push_back(cycles > 0.0
+                           ? 100.0 * r->occupancySum() / (cap * cycles)
+                           : 0.0);
+    }
+    return util;
+}
+
+std::vector<double>
+Network::linkUtilizationPercent() const
+{
+    // Average lane utilization of each router's outgoing directional
+    // channels.
+    std::vector<double> util(routers_.size(), 0.0);
+    std::vector<int> count(routers_.size(), 0);
+    Cycle cycles = measuredCycles();
+    for (const ChannelEnds &e : ends_) {
+        if (!e.driverIsRouter || !e.sinkIsRouter)
+            continue; // only inter-router links, as in Fig 1(b)
+        util[static_cast<std::size_t>(e.driverRouter)] +=
+            100.0 * e.chan->laneUtilization(cycles);
+        ++count[static_cast<std::size_t>(e.driverRouter)];
+    }
+    for (std::size_t i = 0; i < util.size(); ++i)
+        if (count[i] > 0)
+            util[i] /= count[i];
+    return util;
+}
+
+PowerBreakdown
+Network::powerReport() const
+{
+    PowerBreakdown total;
+    int ports = topo_->portsPerRouter();
+    for (RouterId r = 0; r < topo_->numRouters(); ++r) {
+        auto model = RouterPowerModel::calibrated(
+            config_.physParamsOf(r, ports), clockGHz_);
+        total += model.power(
+            routers_[static_cast<std::size_t>(r)]->activity());
+    }
+    return total;
+}
+
+double
+Network::combineRate() const
+{
+    std::uint64_t busy = 0;
+    std::uint64_t paired = 0;
+    for (const Channel *c : wideChannels_) {
+        busy += c->busyCycles();
+        paired += c->pairedCycles();
+    }
+    return busy ? static_cast<double>(paired) / static_cast<double>(busy)
+                : 0.0;
+}
+
+std::size_t
+Network::totalSourceQueueDepth() const
+{
+    std::size_t n = 0;
+    for (const auto &ni : nis_)
+        n += ni->sourceQueueDepth();
+    return n;
+}
+
+std::string
+Network::dumpState() const
+{
+    char buf[64];
+    std::string out = "network state @ cycle ";
+    std::snprintf(buf, sizeof(buf), "%llu\n",
+                  static_cast<unsigned long long>(cycle_));
+    out += buf;
+    out += "buffer occupancy (flits) per router:\n";
+    int cols = topo_->gridCols();
+    for (int r = 0; r < topo_->numRouters(); ++r) {
+        std::snprintf(buf, sizeof(buf), "%4d",
+                      routers_[static_cast<std::size_t>(r)]
+                          ->bufferOccupancy());
+        out += buf;
+        if ((r + 1) % cols == 0)
+            out += '\n';
+    }
+    bool any_queue = false;
+    for (const auto &ni : nis_) {
+        if (ni->sourceQueueDepth() > 0) {
+            if (!any_queue) {
+                out += "non-empty source queues:\n";
+                any_queue = true;
+            }
+            std::snprintf(buf, sizeof(buf), "  node %d: %zu\n",
+                          ni->node(), ni->sourceQueueDepth());
+            out += buf;
+        }
+    }
+    std::snprintf(buf, sizeof(buf), "in flight: %zu packets\n",
+                  livePackets_);
+    out += buf;
+    return out;
+}
+
+} // namespace hnoc

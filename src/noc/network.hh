@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The Network: owns routers, channels, NIs, packet storage, routing,
+ * and the per-cycle simulation loop. Clients (traffic harnesses, the
+ * CMP system) inject packets and receive delivery callbacks.
+ */
+
+#ifndef HNOC_NOC_NETWORK_HH
+#define HNOC_NOC_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/flit.hh"
+#include "noc/network_config.hh"
+#include "noc/network_interface.hh"
+#include "noc/observer.hh"
+#include "noc/router.hh"
+#include "noc/routing.hh"
+#include "noc/topology.hh"
+#include "power/router_power.hh"
+
+namespace hnoc
+{
+
+class Network;
+
+/** Callback interface for packet producers/consumers. */
+class NetworkClient
+{
+  public:
+    virtual ~NetworkClient() = default;
+
+    /** Called at the start of every cycle; inject via enqueuePacket. */
+    virtual void
+    preCycle(Network &net, Cycle now)
+    {
+        (void)net;
+        (void)now;
+    }
+
+    /**
+     * Called when a packet's tail reaches its destination NI. The
+     * packet is recycled after this returns; copy what you need.
+     */
+    virtual void
+    onPacketDelivered(Network &net, Packet &pkt, Cycle now)
+    {
+        (void)net;
+        (void)pkt;
+        (void)now;
+    }
+};
+
+/** A complete network instance. */
+class Network
+{
+  public:
+    explicit Network(const NetworkConfig &config);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Install the packet producer/consumer. */
+    void setClient(NetworkClient *client) { client_ = client; }
+
+    /** Install a flit-event observer on every router (nullptr clears). */
+    void setObserver(NetworkObserver *observer);
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /** Advance @p cycles cycles. */
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle i = 0; i < cycles; ++i)
+            step();
+    }
+
+    /** @return the current cycle. */
+    Cycle now() const { return cycle_; }
+
+    /**
+     * Create a packet and place it in @p src's source queue.
+     * @param num_flits packet length in flits
+     * @param tag / @p context opaque client data carried to delivery
+     * @return the live packet (owned by the network)
+     */
+    Packet *enqueuePacket(NodeId src, NodeId dst, int num_flits,
+                          std::uint64_t tag = 0, void *context = nullptr);
+
+    /** @name Introspection */
+    ///@{
+    const NetworkConfig &config() const { return config_; }
+    const Topology &topology() const { return *topo_; }
+    const RoutingAlgorithm &routing() const { return *routing_; }
+
+    /** Network clock (worst-case router frequency, §3.4). */
+    double clockGHz() const { return clockGHz_; }
+    double nsPerCycle() const { return 1.0 / clockGHz_; }
+
+    /** Flits per data (cache-line) packet for this configuration. */
+    int dataPacketFlits() const { return config_.dataPacketFlits(); }
+
+    /**
+     * Contention-free packet latency in cycles from source-queue head
+     * to tail ejection: head pipeline latency plus serialization.
+     */
+    Cycle minTransferCycles(NodeId src, NodeId dst, int num_flits) const;
+    ///@}
+
+    /** @name Measurement window */
+    ///@{
+    /** Zero all activity/utilization/channel counters. */
+    void resetMeasurement();
+
+    /** Cycles elapsed since the last resetMeasurement(). */
+    Cycle measuredCycles() const { return cycle_ - measureStart_; }
+
+    /** Per-router average buffer utilization, percent (Fig 1a/2). */
+    std::vector<double> bufferUtilizationPercent() const;
+
+    /** Per-router mean outgoing-link utilization, percent (Fig 1b). */
+    std::vector<double> linkUtilizationPercent() const;
+
+    /** Aggregate network power over the measurement window. */
+    PowerBreakdown powerReport() const;
+
+    /** Fraction of busy wide-channel cycles that carried two flits. */
+    double combineRate() const;
+
+    std::uint64_t packetsInjected() const { return packetsInjected_; }
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+    Cycle lastDeliveryCycle() const { return lastDelivery_; }
+
+    /** @return live (created, not yet delivered) packets. */
+    std::size_t packetsInFlight() const { return livePackets_; }
+
+    /** Sum of all source-queue depths (for queue-health checks). */
+    std::size_t totalSourceQueueDepth() const;
+
+    /**
+     * Human-readable snapshot of buffer occupancy (a grid) and
+     * non-empty source queues — the first thing to print when
+     * debugging a stall.
+     */
+    std::string dumpState() const;
+    ///@}
+
+  private:
+    /** Wiring record: who consumes a channel's flits and credits. */
+    struct ChannelEnds
+    {
+        Channel *chan = nullptr;
+        bool sinkIsRouter = false;
+        RouterId sinkRouter = INVALID_ROUTER;
+        PortId sinkPort = INVALID_PORT;
+        NodeId sinkNode = INVALID_NODE;
+        bool driverIsRouter = false;
+        RouterId driverRouter = INVALID_ROUTER;
+        PortId driverPort = INVALID_PORT;
+        NodeId driverNode = INVALID_NODE;
+    };
+
+    void build();
+    Channel *makeChannel(int width_bits, int flit_delay, int credit_delay);
+    Packet *allocPacket();
+    void freePacket(Packet *pkt);
+
+    NetworkConfig config_;
+    std::unique_ptr<Topology> topo_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    double clockGHz_ = 2.2;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<ChannelEnds> ends_;
+    std::vector<Channel *> wideChannels_;
+
+    NetworkClient *client_ = nullptr;
+    NetworkObserver *observer_ = nullptr;
+
+    Cycle cycle_ = 0;
+    Cycle measureStart_ = 0;
+    Cycle lastDelivery_ = 0;
+
+    std::uint64_t packetsInjected_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t flitsDelivered_ = 0;
+    std::size_t livePackets_ = 0;
+    PacketId nextPacketId_ = 1;
+
+    std::vector<std::unique_ptr<Packet>> packetArena_;
+    std::vector<Packet *> freeList_;
+
+    // Scratch buffers reused every cycle.
+    std::vector<Flit> scratchFlits_;
+    std::vector<VcId> scratchCredits_;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_NETWORK_HH

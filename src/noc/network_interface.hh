@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Network interface (NI): the attach point of a terminal node.
+ *
+ * Injection side: an unbounded source queue (the client regulates
+ * admission), per-VC credit tracking against the router's local input
+ * port, and one packet stream per VC (wormhole: flits of a packet stay
+ * in order on one VC). Ejection side: an always-consuming sink that
+ * immediately returns credits (the "consumption assumption").
+ */
+
+#ifndef HNOC_NOC_NETWORK_INTERFACE_HH
+#define HNOC_NOC_NETWORK_INTERFACE_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/flit.hh"
+#include "power/router_power.hh"
+
+namespace hnoc
+{
+
+class Network;
+
+/** Terminal-node adapter between a client and its router. */
+class NetworkInterface
+{
+  public:
+    NetworkInterface(NodeId node, Network *net) : node_(node), net_(net) {}
+
+    /** Wire the injection channel toward the router's local port.
+     *  @param intra_pairing allow two same-packet flits per cycle on
+     *  wide local channels (mirrors the in-network §3.2 pairing). */
+    void
+    connectInjection(Channel *chan, int router_vcs, int buffer_depth,
+                     RouterActivity *link_activity, bool intra_pairing)
+    {
+        inj_ = chan;
+        credits_.assign(static_cast<std::size_t>(router_vcs), buffer_depth);
+        streams_.assign(static_cast<std::size_t>(router_vcs), Stream{});
+        linkActivity_ = link_activity;
+        intraPairing_ = intra_pairing;
+    }
+
+    /** Wire the ejection channel from the router's local port. */
+    void connectEjection(Channel *chan) { ej_ = chan; }
+
+    /** Queue a packet for injection. */
+    void
+    enqueue(Packet *pkt)
+    {
+        sourceQueue_.push_back(pkt);
+    }
+
+    /** Send up to lane-limit flits this cycle. */
+    void stepInject(Cycle now);
+
+    /** A credit returned by the router's local input port. */
+    void
+    receiveCredit(VcId vc)
+    {
+        ++credits_[static_cast<std::size_t>(vc)];
+    }
+
+    /** A flit delivered for ejection. Returns the completed packet
+     *  (tail arrived) or nullptr. */
+    Packet *receiveFlit(const Flit &flit, Cycle now);
+
+    std::size_t sourceQueueDepth() const { return sourceQueue_.size(); }
+
+    NodeId node() const { return node_; }
+
+  private:
+    /** An in-progress packet transmission bound to one VC. */
+    struct Stream
+    {
+        Packet *pkt = nullptr;
+        int nextSeq = 0;
+    };
+
+    NodeId node_;
+    Network *net_;
+    Channel *inj_ = nullptr;
+    Channel *ej_ = nullptr;
+    std::vector<int> credits_;
+    std::vector<Stream> streams_;
+    std::deque<Packet *> sourceQueue_;
+    unsigned rrVc_ = 0;
+    RouterActivity *linkActivity_ = nullptr;
+    bool intraPairing_ = true;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_NETWORK_INTERFACE_HH

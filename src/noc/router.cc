@@ -1,0 +1,292 @@
+#include "noc/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+Router::Router(RouterId id, int num_ports, int vcs, int buffer_depth,
+               const RoutingAlgorithm &routing, int escape_threshold,
+               bool intra_packet_pairing, SaPolicy sa_policy)
+    : id_(id), vcs_(vcs), bufferDepth_(buffer_depth), routing_(routing),
+      escapeThreshold_(escape_threshold),
+      intraPacketPairing_(intra_packet_pairing), saPolicy_(sa_policy),
+      inputs_(static_cast<std::size_t>(num_ports)),
+      outputs_(static_cast<std::size_t>(num_ports))
+{
+    for (auto &ip : inputs_)
+        ip.vcs.resize(static_cast<std::size_t>(vcs));
+}
+
+void
+Router::connectInput(PortId p, Channel *chan)
+{
+    inputs_[static_cast<std::size_t>(p)].chan = chan;
+}
+
+void
+Router::connectOutput(PortId p, Channel *chan, int down_vcs, int down_depth)
+{
+    OutputPort &op = outputs_[static_cast<std::size_t>(p)];
+    op.chan = chan;
+    op.lanes = chan->lanes();
+    op.vcs.assign(static_cast<std::size_t>(down_vcs), OutVcState{});
+    for (auto &v : op.vcs)
+        v.credits = down_depth;
+}
+
+void
+Router::receiveFlit(PortId p, Flit flit, Cycle now)
+{
+    InputPort &ip = inputs_[static_cast<std::size_t>(p)];
+    if (flit.vc < 0 || flit.vc >= vcs_)
+        panic("router %d port %d: flit on invalid VC %d", id_, p, flit.vc);
+    InputVc &ivc = ip.vcs[static_cast<std::size_t>(flit.vc)];
+    if (static_cast<int>(ivc.fifo.size()) >= bufferDepth_)
+        panic("router %d port %d vc %d: buffer overflow (credit bug)",
+              id_, p, flit.vc);
+    flit.arrivedAt = now;
+    ivc.fifo.push_back(flit);
+    ++activity_.bufferWrites;
+    if (observer_)
+        observer_->onFlitArrive(id_, p, flit, now);
+}
+
+void
+Router::receiveCredit(PortId p, VcId vc)
+{
+    OutputPort &op = outputs_[static_cast<std::size_t>(p)];
+    OutVcState &ov = op.vcs[static_cast<std::size_t>(vc)];
+    if (ov.credits >= bufferDepth_ * 4) // generous sanity bound
+        panic("router %d port %d vc %d: credit overflow", id_, p, vc);
+    ++ov.credits;
+}
+
+void
+Router::step(Cycle now)
+{
+    routeCompute(now);
+    vcAllocate(now);
+    switchAllocate(now);
+
+    // Occupancy sample for the Fig 1/2 heat maps.
+    occupancySum_ += bufferOccupancy();
+    ++activity_.cycles;
+}
+
+void
+Router::routeCompute(Cycle now)
+{
+    for (auto &ip : inputs_) {
+        for (auto &ivc : ip.vcs) {
+            if (ivc.active || ivc.fifo.empty())
+                continue;
+            const Flit &head = ivc.fifo.front();
+            if (head.arrivedAt >= now)
+                continue; // written this cycle; eligible next cycle
+            if (!head.isHead())
+                panic("router %d: non-head flit at idle VC (pkt %llu)",
+                      id_, static_cast<unsigned long long>(
+                               head.pkt ? head.pkt->id : 0));
+            ivc.pkt = head.pkt;
+            ivc.active = true;
+            ivc.outPort = routing_.outputPort(id_, *ivc.pkt);
+            ivc.outVc = INVALID_VC;
+            const OutputPort &op =
+                outputs_[static_cast<std::size_t>(ivc.outPort)];
+            routing_.vcBounds(id_, ivc.outPort, *ivc.pkt,
+                              static_cast<int>(op.vcs.size()),
+                              ivc.vcLo, ivc.vcHi);
+            ivc.headSince = now;
+            ++ivc.pkt->hops;
+        }
+    }
+}
+
+void
+Router::maybeEscape(InputVc &ivc, Cycle now)
+{
+    if (!routing_.hasEscape(*ivc.pkt))
+        return;
+    if (now - ivc.headSince <= static_cast<Cycle>(escapeThreshold_))
+        return;
+    // Fall back to the X-Y escape layer for the rest of the journey.
+    ivc.pkt->escaped = true;
+    ivc.outPort = routing_.outputPort(id_, *ivc.pkt);
+    const OutputPort &op = outputs_[static_cast<std::size_t>(ivc.outPort)];
+    routing_.vcBounds(id_, ivc.outPort, *ivc.pkt,
+                      static_cast<int>(op.vcs.size()), ivc.vcLo, ivc.vcHi);
+    ivc.headSince = now;
+}
+
+void
+Router::vcAllocate(Cycle now)
+{
+    // Separable, output-side allocator: walk input VCs round-robin and
+    // hand each requester the first free admissible downstream VC.
+    int num_ports = numPorts();
+    int total = num_ports * vcs_;
+    for (int k = 0; k < total; ++k) {
+        int idx = (static_cast<int>(vaRrPtr_) + k) % total;
+        InputVc &ivc = inputs_[static_cast<std::size_t>(idx / vcs_)]
+                           .vcs[static_cast<std::size_t>(idx % vcs_)];
+        if (!ivc.active || ivc.outVc != INVALID_VC)
+            continue;
+        if (ivc.fifo.empty() || ivc.fifo.front().arrivedAt >= now)
+            continue;
+        maybeEscape(ivc, now);
+        OutputPort &op = outputs_[static_cast<std::size_t>(ivc.outPort)];
+        for (VcId v = ivc.vcLo; v <= ivc.vcHi; ++v) {
+            OutVcState &ov = op.vcs[static_cast<std::size_t>(v)];
+            if (!ov.allocated) {
+                ov.allocated = true;
+                ivc.outVc = v;
+                ivc.headSince = now;
+                ++activity_.arbOps;
+                break;
+            }
+        }
+    }
+    vaRrPtr_ = (vaRrPtr_ + 1) % static_cast<unsigned>(total);
+}
+
+void
+Router::switchAllocate(Cycle now)
+{
+    int num_ports = numPorts();
+    int total = num_ports * vcs_;
+
+    // Per-input-port grant bookkeeping: at most two reads per input
+    // port per cycle (the DSET split of §3.2), and when two, both must
+    // feed the same output port (one v:1 arbiter per input, Fig 6).
+    std::vector<int> port_grants(static_cast<std::size_t>(num_ports), 0);
+    std::vector<PortId> port_out(static_cast<std::size_t>(num_ports),
+                                 INVALID_PORT);
+
+    for (PortId o = 0; o < num_ports; ++o) {
+        OutputPort &op = outputs_[static_cast<std::size_t>(o)];
+        if (!op.chan)
+            continue;
+        int capacity = op.lanes > 1 ? 2 : 1;
+        int granted = 0;
+
+        // Candidate visiting order: rotating priority, or oldest
+        // waiting head first (SaPolicy::OldestFirst).
+        scratchOrder_.clear();
+        for (int k = 0; k < total; ++k)
+            scratchOrder_.push_back(
+                (static_cast<int>(op.rrPtr) + k) % total);
+        if (saPolicy_ == SaPolicy::OldestFirst) {
+            std::stable_sort(
+                scratchOrder_.begin(), scratchOrder_.end(),
+                [&](int a, int b) {
+                    const InputVc &va =
+                        inputs_[static_cast<std::size_t>(a / vcs_)]
+                            .vcs[static_cast<std::size_t>(a % vcs_)];
+                    const InputVc &vb =
+                        inputs_[static_cast<std::size_t>(b / vcs_)]
+                            .vcs[static_cast<std::size_t>(b % vcs_)];
+                    return va.headSince < vb.headSince;
+                });
+        }
+
+        for (int k = 0; k < total && granted < capacity; ++k) {
+            int idx = scratchOrder_[static_cast<std::size_t>(k)];
+            PortId in_port = idx / vcs_;
+            InputVc &ivc =
+                inputs_[static_cast<std::size_t>(in_port)]
+                    .vcs[static_cast<std::size_t>(idx % vcs_)];
+            if (!ivc.active || ivc.outPort != o ||
+                ivc.outVc == INVALID_VC)
+                continue;
+            if (ivc.fifo.empty() || ivc.fifo.front().arrivedAt >= now)
+                continue;
+            OutVcState &ov = op.vcs[static_cast<std::size_t>(ivc.outVc)];
+            if (ov.credits <= 0)
+                continue;
+            int &pg = port_grants[static_cast<std::size_t>(in_port)];
+            if (pg >= 2)
+                continue;
+            if (pg == 1 &&
+                port_out[static_cast<std::size_t>(in_port)] != o)
+                continue;
+
+            // Grant: pop the flit and push it into the output channel.
+            auto send_one = [&] {
+                Flit flit = ivc.fifo.front();
+                ivc.fifo.pop_front();
+                --ov.credits;
+                flit.vc = ivc.outVc;
+                op.chan->sendFlit(flit, now);
+                if (observer_)
+                    observer_->onFlitDepart(id_, o, flit, now);
+
+                ++pg;
+                port_out[static_cast<std::size_t>(in_port)] = o;
+                ++granted;
+                ++activity_.bufferReads;
+                ++activity_.xbarTraversals;
+                ++activity_.arbOps;
+                // Charge the active (flit) bits, not the full wire
+                // width: an unpaired flit on a wide link toggles only
+                // its own half.
+                activity_.linkBitTraversals +=
+                    op.chan->widthBits() / op.chan->lanes();
+
+                InputPort &ip = inputs_[static_cast<std::size_t>(in_port)];
+                if (ip.chan)
+                    ip.chan->sendCredit(static_cast<VcId>(idx % vcs_),
+                                        now);
+
+                if (flit.isTail()) {
+                    ov.allocated = false;
+                    ivc.active = false;
+                    ivc.outPort = INVALID_PORT;
+                    ivc.outVc = INVALID_VC;
+                    ivc.pkt = nullptr;
+                    return true; // packet finished at this hop
+                }
+                if (!ivc.fifo.empty())
+                    ivc.headSince = now;
+                return false;
+            };
+
+            bool finished = send_one();
+
+            // Intra-packet pairing on wide outputs (§3.2): send the
+            // next flit of the same packet over the other 128 b half,
+            // consuming a second credit in the same downstream VC.
+            if (intraPacketPairing_ && !finished && granted < capacity &&
+                pg < 2 && ov.credits > 0 && !ivc.fifo.empty() &&
+                ivc.fifo.front().arrivedAt < now &&
+                ivc.fifo.front().pkt == ivc.pkt) {
+                send_one();
+            }
+        }
+        op.rrPtr = (op.rrPtr + granted + 1) % static_cast<unsigned>(total);
+    }
+}
+
+int
+Router::bufferOccupancy() const
+{
+    int n = 0;
+    for (const auto &ip : inputs_)
+        for (const auto &ivc : ip.vcs)
+            n += static_cast<int>(ivc.fifo.size());
+    return n;
+}
+
+bool
+Router::hasBufferedFlits() const
+{
+    for (const auto &ip : inputs_)
+        for (const auto &ivc : ip.vcs)
+            if (!ivc.fifo.empty())
+                return true;
+    return false;
+}
+
+} // namespace hnoc

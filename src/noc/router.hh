@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The wormhole-switched virtual-channel router (paper §3, §4).
+ *
+ * Two-stage pipeline: buffer write / route compute in stage 1; VC
+ * allocation and switch allocation (two sub-stage separable allocator,
+ * Fig 6) in stage 2, with switch traversal folded into the channel
+ * delay. Heterogeneity: per-router VC counts and datapath widths, and
+ * wide output channels that accept two combined flits per cycle from
+ * two different VCs (same or different input ports — Fig 4 cases (c),
+ * (d); §3.3 cases (a), (b)).
+ */
+
+#ifndef HNOC_NOC_ROUTER_HH
+#define HNOC_NOC_ROUTER_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/flit.hh"
+#include "noc/network_config.hh"
+#include "noc/observer.hh"
+#include "noc/routing.hh"
+#include "power/router_power.hh"
+
+namespace hnoc
+{
+
+/** One router instance. Wiring is performed by Network. */
+class Router
+{
+  public:
+    Router(RouterId id, int num_ports, int vcs, int buffer_depth,
+           const RoutingAlgorithm &routing, int escape_threshold,
+           bool intra_packet_pairing,
+           SaPolicy sa_policy = SaPolicy::RoundRobin);
+
+    RouterId id() const { return id_; }
+    int numPorts() const { return static_cast<int>(inputs_.size()); }
+    int vcsPerPort() const { return vcs_; }
+    int bufferDepth() const { return bufferDepth_; }
+
+    /** Attach the channel whose flits arrive at input port @p p. */
+    void connectInput(PortId p, Channel *chan);
+
+    /**
+     * Attach the channel driven by output port @p p.
+     * @param down_vcs VC count at the downstream input port
+     * @param down_depth buffer depth per downstream VC (credits)
+     */
+    void connectOutput(PortId p, Channel *chan, int down_vcs,
+                       int down_depth);
+
+    /** Buffer-write: a flit delivered by the input channel at @p p. */
+    void receiveFlit(PortId p, Flit flit, Cycle now);
+
+    /** A credit returned for output port @p p, VC @p vc. */
+    void receiveCredit(PortId p, VcId vc);
+
+    /** Run RC / VA / SA / ST for this cycle. */
+    void step(Cycle now);
+
+    /** @name Statistics */
+    ///@{
+    RouterActivity &activity() { return activity_; }
+    const RouterActivity &activity() const { return activity_; }
+
+    /** @return flits currently buffered (for occupancy stats). */
+    int bufferOccupancy() const;
+
+    /** @return total buffer slots. */
+    int
+    bufferCapacity() const
+    {
+        return numPorts() * vcs_ * bufferDepth_;
+    }
+
+    /** Accumulated occupancy-cycles for buffer-utilization heat maps. */
+    double occupancySum() const { return occupancySum_; }
+    void resetOccupancy() { occupancySum_ = 0.0; }
+    ///@}
+
+    /** @return true if any input VC holds a flit (watchdog helper). */
+    bool hasBufferedFlits() const;
+
+    /** Install a flit-event observer (nullptr to clear). */
+    void setObserver(NetworkObserver *observer) { observer_ = observer; }
+
+  private:
+    struct InputVc
+    {
+        std::deque<Flit> fifo;
+        bool active = false;       ///< owns a route (head seen, not drained)
+        PortId outPort = INVALID_PORT;
+        VcId outVc = INVALID_VC;   ///< INVALID until VA succeeds
+        VcId vcLo = 0;             ///< admissible downstream VC range
+        VcId vcHi = 0;
+        Cycle headSince = 0;       ///< when the current head became ready
+        Packet *pkt = nullptr;
+    };
+
+    struct InputPort
+    {
+        Channel *chan = nullptr; ///< upstream channel (credits go here)
+        std::vector<InputVc> vcs;
+    };
+
+    struct OutVcState
+    {
+        bool allocated = false;
+        int credits = 0;
+    };
+
+    struct OutputPort
+    {
+        Channel *chan = nullptr;
+        std::vector<OutVcState> vcs; ///< sized to the downstream VC count
+        int lanes = 1;
+        unsigned rrPtr = 0; ///< round-robin pointer over (inPort, vc)
+    };
+
+    void routeCompute(Cycle now);
+    void vcAllocate(Cycle now);
+    void switchAllocate(Cycle now);
+
+    /** Handle the table-routing escape timeout for a stalled head. */
+    void maybeEscape(InputVc &ivc, Cycle now);
+
+    RouterId id_;
+    int vcs_;
+    int bufferDepth_;
+    const RoutingAlgorithm &routing_;
+    int escapeThreshold_;
+    bool intraPacketPairing_;
+    SaPolicy saPolicy_;
+
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    unsigned vaRrPtr_ = 0;
+
+    RouterActivity activity_;
+    double occupancySum_ = 0.0;
+    NetworkObserver *observer_ = nullptr;
+    std::vector<int> scratchOrder_; ///< per-cycle SA visiting order
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_ROUTER_HH

@@ -1,0 +1,267 @@
+#include "noc/sim_harness.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+/** Open-loop Bernoulli injector with measurement-window tracking. */
+class OpenLoopClient : public NetworkClient
+{
+  public:
+    OpenLoopClient(TrafficPattern pattern, const NetworkConfig &config,
+                   const SimPointOptions &opts)
+        : opts_(opts),
+          gen_(pattern, config.numNodes(),
+               nodeGridCols(config), opts.seed),
+          rng_(opts.seed ^ 0xabcdef12345ULL)
+    {}
+
+    static int
+    nodeGridCols(const NetworkConfig &config)
+    {
+        // Spatial patterns operate on the node grid: for concentrated
+        // topologies the 64 nodes still form an 8x8 logical grid.
+        int nodes = config.numNodes();
+        int cols = 1;
+        while (cols * cols < nodes)
+            ++cols;
+        return cols;
+    }
+
+    void
+    preCycle(Network &net, Cycle now) override
+    {
+        if (!injecting_)
+            return;
+        int nodes = net.topology().numNodes();
+        int data_flits = net.dataPacketFlits();
+        for (NodeId n = 0; n < nodes; ++n) {
+            if (!gen_.shouldInject(n, opts_.injectionRate, now))
+                continue;
+            NodeId dst = gen_.pickDest(n);
+            if (dst == INVALID_NODE)
+                continue;
+            int flits = data_flits;
+            if (opts_.controlFraction > 0.0 &&
+                rng_.chance(opts_.controlFraction))
+                flits = 1;
+            bool tracked = measuring_;
+            Packet *pkt = net.enqueuePacket(n, dst, flits,
+                                            tracked ? 1 : 0);
+            (void)pkt;
+            if (tracked)
+                ++trackedCreated_;
+        }
+    }
+
+    void
+    onPacketDelivered(Network &net, Packet &pkt, Cycle now) override
+    {
+        (void)now;
+        if (measuring_ || drainPhase_) {
+            if (now >= windowStart_ && now < windowEnd_)
+                ++deliveredInWindow_;
+        }
+        if (pkt.tag != 1)
+            return;
+        ++trackedDelivered_;
+        double ns_per_cycle = net.nsPerCycle();
+        auto total = static_cast<double>(pkt.ejectedAt - pkt.createdAt);
+        auto queuing = static_cast<double>(pkt.queuingLatency());
+        auto transfer = static_cast<double>(
+            net.minTransferCycles(pkt.src, pkt.dst, pkt.numFlits));
+        double blocking = std::max(0.0, total - queuing - transfer);
+
+        latencyCycles_.add(total);
+        latencyNs_.add(total * ns_per_cycle);
+        queuingNs_.add(queuing * ns_per_cycle);
+        transferNs_.add(transfer * ns_per_cycle);
+        blockingNs_.add(blocking * ns_per_cycle);
+        latencyHist_.add(total * ns_per_cycle);
+
+        auto hops = static_cast<std::size_t>(pkt.hops);
+        if (hops >= byHops_.size())
+            byHops_.resize(hops + 1);
+        byHops_[hops].add(total * ns_per_cycle);
+    }
+
+    void
+    beginMeasurement(Cycle now, Cycle window)
+    {
+        measuring_ = true;
+        windowStart_ = now;
+        windowEnd_ = now + window;
+    }
+
+    void
+    endMeasurement()
+    {
+        measuring_ = false;
+        drainPhase_ = true;
+    }
+
+    void stopInjecting() { injecting_ = false; }
+
+    bool
+    allTrackedDelivered() const
+    {
+        return trackedDelivered_ >= trackedCreated_;
+    }
+
+    const SimPointOptions opts_;
+    TrafficGenerator gen_;
+    Rng rng_;
+
+    bool injecting_ = true;
+    bool measuring_ = false;
+    bool drainPhase_ = false;
+    Cycle windowStart_ = 0;
+    Cycle windowEnd_ = 0;
+
+    std::uint64_t trackedCreated_ = 0;
+    std::uint64_t trackedDelivered_ = 0;
+    std::uint64_t deliveredInWindow_ = 0;
+
+    RunningStat latencyCycles_;
+    RunningStat latencyNs_;
+    RunningStat queuingNs_;
+    RunningStat transferNs_;
+    RunningStat blockingNs_;
+    Histogram latencyHist_{0.0, 2000.0, 4000};
+    std::vector<RunningStat> byHops_;
+};
+
+} // namespace
+
+double
+simScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("HNOC_SIM_SCALE");
+        if (!env)
+            return 1.0;
+        double v = std::atof(env);
+        return v > 0.0 ? v : 1.0;
+    }();
+    return scale;
+}
+
+SimPointResult
+runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
+            const SimPointOptions &opts_in)
+{
+    SimPointOptions opts = opts_in;
+    opts.warmupCycles = static_cast<Cycle>(
+        static_cast<double>(opts.warmupCycles) * simScale());
+    opts.measureCycles = static_cast<Cycle>(
+        static_cast<double>(opts.measureCycles) * simScale());
+    opts.drainCycles = static_cast<Cycle>(
+        static_cast<double>(opts.drainCycles) * simScale());
+
+    Network net(config);
+    OpenLoopClient client(pattern, config, opts);
+    net.setClient(&client);
+
+    net.run(opts.warmupCycles);
+
+    net.resetMeasurement();
+    client.beginMeasurement(net.now(), opts.measureCycles);
+    net.run(opts.measureCycles);
+    Cycle window = net.measuredCycles();
+
+    // Snapshot window-scoped measurements before draining.
+    SimPointResult res;
+    res.offeredRate = opts.injectionRate;
+    res.power = net.powerReport();
+    res.networkPowerW = res.power.total();
+    res.combineRate = net.combineRate();
+    res.bufferUtilPct = net.bufferUtilizationPercent();
+    res.linkUtilPct = net.linkUtilizationPercent();
+
+    client.endMeasurement();
+
+    // Drain: keep traffic flowing so tracked packets finish under the
+    // same load, up to the drain cap.
+    Cycle drained = 0;
+    while (!client.allTrackedDelivered() && drained < opts.drainCycles) {
+        net.step();
+        ++drained;
+    }
+    res.saturated = !client.allTrackedDelivered();
+
+    int nodes = config.numNodes();
+    res.acceptedRate =
+        static_cast<double>(client.deliveredInWindow_) /
+        (static_cast<double>(nodes) * static_cast<double>(window));
+    res.avgLatencyCycles = client.latencyCycles_.mean();
+    res.avgLatencyNs = client.latencyNs_.mean();
+    res.avgQueuingNs = client.queuingNs_.mean();
+    res.avgBlockingNs = client.blockingNs_.mean();
+    res.avgTransferNs = client.transferNs_.mean();
+    res.p95LatencyNs = client.latencyHist_.percentile(0.95);
+    res.trackedCreated = client.trackedCreated_;
+    res.trackedDelivered = client.trackedDelivered_;
+    res.latencyByHopsNs.reserve(client.byHops_.size());
+    for (const RunningStat &s : client.byHops_)
+        res.latencyByHopsNs.push_back(s.mean());
+    return res;
+}
+
+std::vector<SimPointResult>
+sweepLoad(const NetworkConfig &config, TrafficPattern pattern,
+          const std::vector<double> &rates, SimPointOptions opts)
+{
+    std::vector<SimPointResult> curve;
+    curve.reserve(rates.size());
+    for (double r : rates) {
+        opts.injectionRate = r;
+        curve.push_back(runOpenLoop(config, pattern, opts));
+    }
+    return curve;
+}
+
+double
+zeroLoadLatencyNs(const NetworkConfig &config, TrafficPattern pattern,
+                  std::uint64_t seed)
+{
+    SimPointOptions opts;
+    opts.injectionRate = 0.001;
+    opts.seed = seed;
+    SimPointResult res = runOpenLoop(config, pattern, opts);
+    return res.avgLatencyNs;
+}
+
+double
+saturationThroughput(const std::vector<SimPointResult> &curve)
+{
+    double best = 0.0;
+    for (const auto &p : curve)
+        best = std::max(best, p.acceptedRate);
+    return best;
+}
+
+double
+preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve)
+{
+    RunningStat s;
+    for (const auto &p : curve) {
+        if (p.saturated)
+            continue;
+        if (p.offeredRate > 0.0 &&
+            p.acceptedRate < 0.95 * p.offeredRate)
+            continue;
+        s.add(p.avgLatencyNs);
+    }
+    return s.count() ? s.mean()
+                     : (curve.empty() ? 0.0 : curve.front().avgLatencyNs);
+}
+
+} // namespace hnoc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Open-loop simulation harness: warm up, measure over a fixed window,
+ * drain; reports latency (with the paper's queuing/blocking/transfer
+ * breakdown), accepted throughput, power, utilization maps and the
+ * flit-combining rate. Drives every network-only experiment
+ * (Figs 1, 2, 7, 8, 9 and the network side of Fig 10).
+ */
+
+#ifndef HNOC_NOC_SIM_HARNESS_HH
+#define HNOC_NOC_SIM_HARNESS_HH
+
+#include <vector>
+
+#include "noc/network.hh"
+#include "noc/traffic.hh"
+#include "power/router_power.hh"
+
+namespace hnoc
+{
+
+/** Knobs for one open-loop simulation point. */
+struct SimPointOptions
+{
+    double injectionRate = 0.01; ///< packets/node/cycle offered
+    Cycle warmupCycles = 10000;
+    Cycle measureCycles = 30000;
+    Cycle drainCycles = 60000; ///< post-measurement drain cap
+    std::uint64_t seed = 1;
+    /** Fraction of packets that are single-flit control packets;
+     *  the rest are full data packets (1024 b). */
+    double controlFraction = 0.0;
+};
+
+/** Results of one open-loop simulation point. */
+struct SimPointResult
+{
+    double offeredRate = 0.0;  ///< packets/node/cycle
+    double acceptedRate = 0.0; ///< packets/node/cycle in the window
+
+    double avgLatencyCycles = 0.0; ///< created -> ejected
+    double avgLatencyNs = 0.0;
+    double avgQueuingNs = 0.0;  ///< source-queue wait
+    double avgBlockingNs = 0.0; ///< in-network contention
+    double avgTransferNs = 0.0; ///< contention-free component
+    double p95LatencyNs = 0.0;
+
+    double networkPowerW = 0.0;
+    PowerBreakdown power;
+
+    double combineRate = 0.0; ///< wide-channel pairing rate
+    bool saturated = false;   ///< tracked packets still undelivered
+
+    std::vector<double> bufferUtilPct; ///< per router
+    std::vector<double> linkUtilPct;   ///< per router
+
+    std::uint64_t trackedDelivered = 0;
+    std::uint64_t trackedCreated = 0;
+
+    /** Mean packet latency (ns) binned by hop count (router
+     *  traversals); empty bins are 0. Index = hops. */
+    std::vector<double> latencyByHopsNs;
+};
+
+/** Run a single open-loop point. */
+SimPointResult runOpenLoop(const NetworkConfig &config,
+                           TrafficPattern pattern,
+                           const SimPointOptions &opts);
+
+/** Run a load sweep over @p rates (shared warmup/measure options). */
+std::vector<SimPointResult>
+sweepLoad(const NetworkConfig &config, TrafficPattern pattern,
+          const std::vector<double> &rates, SimPointOptions opts);
+
+/** Average packet latency (ns) at a near-zero load. */
+double zeroLoadLatencyNs(const NetworkConfig &config,
+                         TrafficPattern pattern, std::uint64_t seed = 1);
+
+/**
+ * Saturation throughput from a sweep: the highest accepted rate
+ * observed (accepted flattens once the network saturates).
+ */
+double saturationThroughput(const std::vector<SimPointResult> &curve);
+
+/**
+ * Average latency (ns) over the pre-saturation region of a sweep
+ * (points whose accepted rate tracks the offered rate within 5 %);
+ * the paper's "average latency reduction" compares these.
+ */
+double preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve);
+
+/** Scale factor for simulation lengths from HNOC_SIM_SCALE (default 1). */
+double simScale();
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_SIM_HARNESS_HH

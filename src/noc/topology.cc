@@ -1,0 +1,145 @@
+#include "noc/topology.hh"
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+using namespace mesh_ports;
+
+/** 2-D mesh or torus, optionally concentrated (CMesh). */
+class GridTopology : public Topology
+{
+  public:
+    GridTopology(int cols, int rows, int concentration, bool wrap)
+        : Topology(cols * rows, 4, concentration, cols)
+    {
+        for (int y = 0; y < rows; ++y) {
+            for (int x = 0; x < cols; ++x) {
+                RouterId r = coordToId({x, y}, cols);
+                // North (towards y-1)
+                if (y > 0)
+                    setPeer(r, NORTH, {coordToId({x, y - 1}, cols), SOUTH});
+                else if (wrap && rows > 1)
+                    setPeer(r, NORTH,
+                            {coordToId({x, rows - 1}, cols), SOUTH,
+                             false, true});
+                // East (towards x+1)
+                if (x < cols - 1)
+                    setPeer(r, EAST, {coordToId({x + 1, y}, cols), WEST});
+                else if (wrap && cols > 1)
+                    setPeer(r, EAST,
+                            {coordToId({0, y}, cols), WEST, true, false});
+                // South (towards y+1)
+                if (y < rows - 1)
+                    setPeer(r, SOUTH, {coordToId({x, y + 1}, cols), NORTH});
+                else if (wrap && rows > 1)
+                    setPeer(r, SOUTH,
+                            {coordToId({x, 0}, cols), NORTH, false, true});
+                // West (towards x-1)
+                if (x > 0)
+                    setPeer(r, WEST, {coordToId({x - 1, y}, cols), EAST});
+                else if (wrap && cols > 1)
+                    setPeer(r, WEST,
+                            {coordToId({cols - 1, y}, cols), EAST,
+                             true, false});
+            }
+        }
+    }
+};
+
+/**
+ * Flattened butterfly: full connectivity within each row and column
+ * of the router grid (Kim et al. [15]). Port layout: row ports
+ * 0..cols-2, column ports cols-1..cols+rows-3, locals after.
+ */
+class FlatFlyTopology : public Topology
+{
+  public:
+    FlatFlyTopology(int cols, int rows, int concentration)
+        : Topology(cols * rows, cols - 1 + rows - 1, concentration, cols)
+    {
+        for (int y = 0; y < rows; ++y) {
+            for (int x = 0; x < cols; ++x) {
+                RouterId r = coordToId({x, y}, cols);
+                for (int x2 = 0; x2 < cols; ++x2) {
+                    if (x2 == x)
+                        continue;
+                    setPeer(r, rowPort(x, x2, cols),
+                            {coordToId({x2, y}, cols),
+                             rowPort(x2, x, cols)});
+                }
+                for (int y2 = 0; y2 < rows; ++y2) {
+                    if (y2 == y)
+                        continue;
+                    setPeer(r, colPort(y, y2, cols, rows),
+                            {coordToId({x, y2}, cols),
+                             colPort(y2, y, cols, rows)});
+                }
+            }
+        }
+    }
+
+    /** Row port at a router in column @p from, towards column @p to. */
+    static PortId
+    rowPort(int from, int to, int /*cols*/)
+    {
+        return to < from ? to : to - 1;
+    }
+
+    /** Column port at a router in row @p from, towards row @p to. */
+    static PortId
+    colPort(int from, int to, int cols, int /*rows*/)
+    {
+        return (cols - 1) + (to < from ? to : to - 1);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Topology>
+Topology::create(const NetworkConfig &config)
+{
+    switch (config.topology) {
+      case TopologyType::Mesh:
+        return std::make_unique<GridTopology>(
+            config.radixX, config.radixY, config.concentration, false);
+      case TopologyType::Torus:
+        return std::make_unique<GridTopology>(
+            config.radixX, config.radixY, config.concentration, true);
+      case TopologyType::ConcentratedMesh:
+        if (config.concentration < 2)
+            warn("ConcentratedMesh with concentration %d",
+                 config.concentration);
+        return std::make_unique<GridTopology>(
+            config.radixX, config.radixY, config.concentration, false);
+      case TopologyType::FlattenedButterfly:
+        return std::make_unique<FlatFlyTopology>(
+            config.radixX, config.radixY, config.concentration);
+    }
+    panic("Topology::create: unknown topology type");
+}
+
+std::vector<std::pair<RouterId, RouterId>>
+Topology::bisectionLinks() const
+{
+    std::vector<std::pair<RouterId, RouterId>> links;
+    int half = cols_ / 2;
+    for (RouterId r = 0; r < numRouters_; ++r) {
+        for (PortId p = 0; p < dirPorts_; ++p) {
+            const PortPeer &q = peer(r, p);
+            if (q.router == INVALID_ROUTER || q.router < r)
+                continue; // unconnected or already counted
+            bool left_a = routerCoord(r).x < half;
+            bool left_b = routerCoord(q.router).x < half;
+            if (left_a != left_b)
+                links.emplace_back(r, q.router);
+        }
+    }
+    return links;
+}
+
+} // namespace hnoc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Topology abstractions: who connects to whom, and through which ports.
+ *
+ * Port numbering convention: directional (router-to-router) ports come
+ * first, local (router-to-NI) ports after. For the 2-D mesh/torus the
+ * directional ports are N=0, E=1, S=2, W=3 and the local port is 4,
+ * matching the 5x5 router of the paper.
+ */
+
+#ifndef HNOC_NOC_TOPOLOGY_HH
+#define HNOC_NOC_TOPOLOGY_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/types.hh"
+#include "noc/network_config.hh"
+
+namespace hnoc
+{
+
+/** The far end of a directional port. */
+struct PortPeer
+{
+    RouterId router = INVALID_ROUTER; ///< INVALID_ROUTER: unconnected edge
+    PortId port = INVALID_PORT;       ///< input port index at the peer
+    bool wrapX = false;               ///< torus wraparound in X
+    bool wrapY = false;               ///< torus wraparound in Y
+};
+
+/**
+ * Immutable connectivity description of a network.
+ *
+ * Concrete subclasses implement the paper's four topologies. Routing
+ * algorithms consult this for coordinates and port directions.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Factory from a NetworkConfig. */
+    static std::unique_ptr<Topology> create(const NetworkConfig &config);
+
+    int numRouters() const { return numRouters_; }
+    int numNodes() const { return numRouters_ * concentration_; }
+    int numDirPorts() const { return dirPorts_; }
+    int concentration() const { return concentration_; }
+    int portsPerRouter() const { return dirPorts_ + concentration_; }
+
+    /** @return router hosting terminal node @p n. */
+    RouterId
+    routerOfNode(NodeId n) const
+    {
+        return n / concentration_;
+    }
+
+    /** @return the full port index of node @p n at its router. */
+    PortId
+    localPortOfNode(NodeId n) const
+    {
+        return dirPorts_ + (n % concentration_);
+    }
+
+    /** @return terminal node attached to (router, local port), or -1. */
+    NodeId
+    nodeAt(RouterId r, PortId local_port) const
+    {
+        return r * concentration_ + (local_port - dirPorts_);
+    }
+
+    /** @return grid coordinate of router @p r. */
+    Coord
+    routerCoord(RouterId r) const
+    {
+        return idToCoord(r, cols_);
+    }
+
+    /** @return router id at grid coordinate @p c. */
+    RouterId
+    routerAt(Coord c) const
+    {
+        return coordToId(c, cols_);
+    }
+
+    int gridCols() const { return cols_; }
+    int gridRows() const { return numRouters_ / cols_; }
+
+    /** @return the peer of directional port @p p at router @p r. */
+    const PortPeer &
+    peer(RouterId r, PortId p) const
+    {
+        return peers_[static_cast<std::size_t>(r * dirPorts_ + p)];
+    }
+
+    /**
+     * Undirected router pairs whose links cross the vertical bisection
+     * cut, used by the bandwidth-conservation checker (§2).
+     */
+    std::vector<std::pair<RouterId, RouterId>> bisectionLinks() const;
+
+  protected:
+    Topology(int num_routers, int dir_ports, int concentration, int cols)
+        : numRouters_(num_routers), dirPorts_(dir_ports),
+          concentration_(concentration), cols_(cols),
+          peers_(static_cast<std::size_t>(num_routers * dir_ports))
+    {}
+
+    void
+    setPeer(RouterId r, PortId p, PortPeer peer)
+    {
+        peers_[static_cast<std::size_t>(r * dirPorts_ + p)] = peer;
+    }
+
+  private:
+    int numRouters_;
+    int dirPorts_;
+    int concentration_;
+    int cols_;
+    std::vector<PortPeer> peers_;
+};
+
+/** Mesh/torus port directions. */
+namespace mesh_ports
+{
+constexpr PortId NORTH = 0;
+constexpr PortId EAST = 1;
+constexpr PortId SOUTH = 2;
+constexpr PortId WEST = 3;
+constexpr PortId LOCAL = 4; ///< first local port (concentration 1)
+} // namespace mesh_ports
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_TOPOLOGY_HH

@@ -1,0 +1,123 @@
+#include "noc/traffic.hh"
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+// Bounded-Pareto on/off burst parameters (self-similar traffic).
+constexpr double ON_ALPHA = 1.9;
+constexpr double ON_MIN = 10.0;
+constexpr double ON_MAX = 4000.0;
+constexpr double OFF_ALPHA = 1.25;
+constexpr double OFF_MIN = 20.0;
+constexpr double OFF_MAX = 8000.0;
+
+/** Mean of a bounded Pareto(alpha, lo, hi). */
+double
+boundedParetoMean(double alpha, double lo, double hi)
+{
+    double la = std::pow(lo, alpha);
+    double ha = std::pow(hi, alpha);
+    return la / (1.0 - la / ha) * alpha / (alpha - 1.0) *
+           (1.0 / std::pow(lo, alpha - 1.0) -
+            1.0 / std::pow(hi, alpha - 1.0));
+}
+
+} // namespace
+
+std::string
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::UniformRandom:
+        return "uniform-random";
+      case TrafficPattern::NearestNeighbor:
+        return "nearest-neighbor";
+      case TrafficPattern::Transpose:
+        return "transpose";
+      case TrafficPattern::BitComplement:
+        return "bit-complement";
+      case TrafficPattern::SelfSimilar:
+        return "self-similar";
+    }
+    return "unknown";
+}
+
+TrafficGenerator::TrafficGenerator(TrafficPattern pattern, int num_nodes,
+                                   int grid_cols, std::uint64_t seed)
+    : pattern_(pattern), numNodes_(num_nodes), gridCols_(grid_cols),
+      rng_(seed)
+{
+    if (pattern_ == TrafficPattern::SelfSimilar) {
+        burst_.resize(static_cast<std::size_t>(num_nodes));
+        double mean_on = boundedParetoMean(ON_ALPHA, ON_MIN, ON_MAX);
+        double mean_off = boundedParetoMean(OFF_ALPHA, OFF_MIN, OFF_MAX);
+        onRateScale_ = (mean_on + mean_off) / mean_on;
+    }
+}
+
+NodeId
+TrafficGenerator::pickDest(NodeId src)
+{
+    switch (pattern_) {
+      case TrafficPattern::UniformRandom:
+      case TrafficPattern::SelfSimilar: {
+        auto dst = static_cast<NodeId>(
+            rng_.below(static_cast<std::uint64_t>(numNodes_ - 1)));
+        if (dst >= src)
+            ++dst;
+        return dst;
+      }
+      case TrafficPattern::NearestNeighbor: {
+        Coord c = idToCoord(src, gridCols_);
+        int rows = numNodes_ / gridCols_;
+        NodeId candidates[4];
+        int n = 0;
+        if (c.y > 0)
+            candidates[n++] = coordToId({c.x, c.y - 1}, gridCols_);
+        if (c.y < rows - 1)
+            candidates[n++] = coordToId({c.x, c.y + 1}, gridCols_);
+        if (c.x > 0)
+            candidates[n++] = coordToId({c.x - 1, c.y}, gridCols_);
+        if (c.x < gridCols_ - 1)
+            candidates[n++] = coordToId({c.x + 1, c.y}, gridCols_);
+        return candidates[rng_.below(static_cast<std::uint64_t>(n))];
+      }
+      case TrafficPattern::Transpose: {
+        Coord c = idToCoord(src, gridCols_);
+        NodeId dst = coordToId({c.y, c.x}, gridCols_);
+        return dst == src ? INVALID_NODE : dst;
+      }
+      case TrafficPattern::BitComplement: {
+        NodeId dst = (numNodes_ - 1) - src;
+        return dst == src ? INVALID_NODE : dst;
+      }
+    }
+    panic("pickDest: unknown pattern");
+}
+
+bool
+TrafficGenerator::shouldInject(NodeId src, double rate, Cycle now)
+{
+    if (pattern_ != TrafficPattern::SelfSimilar)
+        return rng_.uniform() < rate;
+
+    BurstState &b = burst_[static_cast<std::size_t>(src)];
+    if (now >= b.phaseEnd) {
+        b.on = !b.on;
+        double dur = b.on ? rng_.pareto(ON_ALPHA, ON_MIN, ON_MAX)
+                          : rng_.pareto(OFF_ALPHA, OFF_MIN, OFF_MAX);
+        b.phaseEnd = now + static_cast<Cycle>(dur);
+    }
+    if (!b.on)
+        return false;
+    // Scale the on-rate so the long-run average matches `rate`.
+    return rng_.uniform() < std::min(1.0, rate * onRateScale_);
+}
+
+} // namespace hnoc

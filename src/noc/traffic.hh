@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic traffic patterns (paper §4): uniform random, nearest
+ * neighbor, transpose, bit-complement, and self-similar (bounded
+ * Pareto on/off modulation of uniform-random destinations).
+ */
+
+#ifndef HNOC_NOC_TRAFFIC_HH
+#define HNOC_NOC_TRAFFIC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+/** Synthetic destination/timing patterns. */
+enum class TrafficPattern
+{
+    UniformRandom,
+    NearestNeighbor,
+    Transpose,
+    BitComplement,
+    SelfSimilar,
+};
+
+/** @return human-readable pattern name. */
+std::string trafficPatternName(TrafficPattern p);
+
+/**
+ * Per-network traffic generator: destination selection plus, for the
+ * self-similar pattern, per-node bounded-Pareto on/off burst timing.
+ */
+class TrafficGenerator
+{
+  public:
+    /**
+     * @param pattern the synthetic pattern
+     * @param num_nodes terminal count (must be a square grid for the
+     *        spatial patterns; a power of two for bit-complement)
+     * @param grid_cols width of the node grid for spatial patterns
+     * @param seed deterministic seed
+     */
+    TrafficGenerator(TrafficPattern pattern, int num_nodes, int grid_cols,
+                     std::uint64_t seed);
+
+    /**
+     * @return destination for a packet from @p src, or INVALID_NODE if
+     * this node does not inject under the pattern (e.g. transpose
+     * diagonal).
+     */
+    NodeId pickDest(NodeId src);
+
+    /**
+     * @return true when node @p src should attempt injection this
+     * cycle at average rate @p rate (packets/node/cycle). Encapsulates
+     * the Bernoulli process and, for self-similar, the on/off bursts.
+     */
+    bool shouldInject(NodeId src, double rate, Cycle now);
+
+  private:
+    struct BurstState
+    {
+        bool on = false;
+        Cycle phaseEnd = 0;
+    };
+
+    TrafficPattern pattern_;
+    int numNodes_;
+    int gridCols_;
+    Rng rng_;
+    std::vector<BurstState> burst_;
+    double onRateScale_ = 1.0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_TRAFFIC_HH

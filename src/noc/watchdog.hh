@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Forward-progress watchdog: detects deadlock/livelock by checking
+ * that a network with packets in flight keeps delivering. Used by
+ * long-running harnesses and the property tests.
+ */
+
+#ifndef HNOC_NOC_WATCHDOG_HH
+#define HNOC_NOC_WATCHDOG_HH
+
+#include "common/logging.hh"
+#include "noc/network.hh"
+
+namespace hnoc
+{
+
+/**
+ * Call check() periodically; it trips when the network has held
+ * packets in flight for more than `window` cycles with no delivery.
+ */
+class ProgressWatchdog
+{
+  public:
+    /**
+     * @param window cycles without any delivery (while packets are in
+     *        flight) before the watchdog trips
+     * @param fatal_on_trip panic() on trip instead of returning false
+     */
+    explicit ProgressWatchdog(Cycle window = 50000,
+                              bool fatal_on_trip = false)
+        : window_(window), fatalOnTrip_(fatal_on_trip)
+    {}
+
+    /**
+     * @return true while the network is making progress; false (or
+     * panic) once no packet has been delivered for the whole window
+     * despite packets being in flight.
+     */
+    bool
+    check(const Network &net)
+    {
+        if (net.packetsInFlight() == 0) {
+            lastProgress_ = net.now();
+            lastDelivered_ = net.packetsDelivered();
+            return true;
+        }
+        if (net.packetsDelivered() != lastDelivered_) {
+            lastProgress_ = net.now();
+            lastDelivered_ = net.packetsDelivered();
+            return true;
+        }
+        if (net.now() - lastProgress_ <= window_)
+            return true;
+        if (fatalOnTrip_)
+            panic("watchdog: no delivery for %llu cycles with %zu "
+                  "packets in flight",
+                  static_cast<unsigned long long>(net.now() -
+                                                  lastProgress_),
+                  net.packetsInFlight());
+        return false;
+    }
+
+    /** Reset the progress window (e.g. after reconfiguration). */
+    void
+    reset(const Network &net)
+    {
+        lastProgress_ = net.now();
+        lastDelivered_ = net.packetsDelivered();
+    }
+
+  private:
+    Cycle window_;
+    bool fatalOnTrip_;
+    Cycle lastProgress_ = 0;
+    std::uint64_t lastDelivered_ = 0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_WATCHDOG_HH

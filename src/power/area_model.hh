@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Router area model (paper §3.5, Table 1).
+ *
+ * Area is decomposed into a fixed control/logic overhead, a buffer term
+ * proportional to total storage bits, and a crossbar term proportional
+ * to the square of the datapath width. The three coefficients are fitted
+ * exactly to the paper's synthesized areas: baseline 0.290 mm^2, small
+ * 0.235 mm^2, big 0.425 mm^2 (65 nm).
+ */
+
+#ifndef HNOC_POWER_AREA_MODEL_HH
+#define HNOC_POWER_AREA_MODEL_HH
+
+#include "power/router_params.hh"
+
+namespace hnoc
+{
+
+/** Component-level router area model (mm^2, 65 nm). */
+class AreaModel
+{
+  public:
+    /** @return total router area in mm^2. */
+    static double areaMm2(const RouterPhysParams &params);
+
+    /** @return buffer-array contribution in mm^2. */
+    static double bufferAreaMm2(const RouterPhysParams &params);
+
+    /** @return crossbar contribution in mm^2. */
+    static double crossbarAreaMm2(const RouterPhysParams &params);
+
+    /** @return fixed control/allocator/logic overhead in mm^2. */
+    static double fixedAreaMm2();
+};
+
+} // namespace hnoc
+
+#endif // HNOC_POWER_AREA_MODEL_HH

@@ -1,0 +1,53 @@
+#include "power/frequency_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+// Anchor points from Table 1: (VCs, frequency GHz).
+constexpr double ANCHOR_VCS[3] = {2.0, 3.0, 6.0};
+constexpr double ANCHOR_FREQ[3] = {2.25, 2.20, 2.07};
+
+} // namespace
+
+double
+FrequencyModel::frequencyGHz(int vcs)
+{
+    if (vcs < 1)
+        fatal("FrequencyModel: need at least 1 VC, got %d", vcs);
+
+    // Interpolate cycle time (1/f) quadratically in x = log2(vcs)
+    // through the three published anchors (Lagrange form).
+    double x = std::log2(static_cast<double>(vcs));
+    double xs[3];
+    double ts[3];
+    for (int i = 0; i < 3; ++i) {
+        xs[i] = std::log2(ANCHOR_VCS[i]);
+        ts[i] = 1.0 / ANCHOR_FREQ[i];
+    }
+    double t = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        double term = ts[i];
+        for (int j = 0; j < 3; ++j) {
+            if (j == i)
+                continue;
+            term *= (x - xs[j]) / (xs[i] - xs[j]);
+        }
+        t += term;
+    }
+    return 1.0 / t;
+}
+
+double
+FrequencyModel::networkFrequencyGHz(int max_vcs_in_network)
+{
+    return frequencyGHz(max_vcs_in_network);
+}
+
+} // namespace hnoc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Router operating-frequency model (paper §3.4).
+ *
+ * The virtual-channel allocation (VA) stage dominates the router cycle
+ * time, and its delay grows with the number of VCs being arbitrated.
+ * The paper reports 2.20 GHz for the 3-VC baseline, +2 % (2.25 GHz) for
+ * the 2-VC small router and -6 % (2.07 GHz) for the 6-VC big router.
+ *
+ * We model cycle time as a quadratic in log2(VCs) passing exactly
+ * through the three published anchor points, which lets callers query
+ * sensible frequencies for other VC counts during design-space
+ * exploration.
+ */
+
+#ifndef HNOC_POWER_FREQUENCY_MODEL_HH
+#define HNOC_POWER_FREQUENCY_MODEL_HH
+
+#include "power/router_params.hh"
+
+namespace hnoc
+{
+
+/** VA-stage-dominated router frequency model. */
+class FrequencyModel
+{
+  public:
+    /** @return operating frequency in GHz for a router with @p vcs VCs. */
+    static double frequencyGHz(int vcs);
+
+    /** @return operating frequency in GHz for @p params. */
+    static double
+    frequencyGHz(const RouterPhysParams &params)
+    {
+        return frequencyGHz(params.vcsPerPort);
+    }
+
+    /**
+     * Worst-case network frequency: the minimum over all router VC
+     * provisioning present in a network (paper §3.4 runs the whole
+     * heterogeneous network at the big router's frequency).
+     */
+    static double networkFrequencyGHz(int max_vcs_in_network);
+};
+
+} // namespace hnoc
+
+#endif // HNOC_POWER_FREQUENCY_MODEL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical provisioning of one router: the knobs the paper redistributes.
+ */
+
+#ifndef HNOC_POWER_ROUTER_PARAMS_HH
+#define HNOC_POWER_ROUTER_PARAMS_HH
+
+namespace hnoc
+{
+
+/**
+ * Physical parameters of a single router, as used by the power, area and
+ * frequency models. These correspond to the rows of the paper's Table 1.
+ */
+struct RouterPhysParams
+{
+    int ports = 5;           ///< physical channels incl. local port
+    int vcsPerPort = 3;      ///< virtual channels per physical channel
+    int bufferDepthFlits = 5;///< flits per VC FIFO
+    int datapathBits = 192;  ///< crossbar / link width (bits)
+    /** Buffer word width: the network flit width. Big HeteroNoC
+     *  routers keep 128 b FIFOs despite the 256 b crossbar (§3.2). */
+    int bufferWidthBits = 192;
+
+    /** @return total buffer storage in bits (Table 1 accounting). */
+    long long
+    bufferBits() const
+    {
+        return static_cast<long long>(ports) * vcsPerPort *
+               bufferDepthFlits * bufferWidthBits;
+    }
+
+    /** @return total buffer slots (flits). */
+    int
+    bufferSlots() const
+    {
+        return ports * vcsPerPort * bufferDepthFlits;
+    }
+
+    bool operator==(const RouterPhysParams &other) const = default;
+};
+
+/** The three router types of the paper (Table 1). */
+namespace router_types
+{
+
+/** Homogeneous baseline: 3 VCs / 5-deep / 192 b. */
+constexpr RouterPhysParams BASELINE{5, 3, 5, 192, 192};
+
+/** HeteroNoC small router: 2 VCs / 5-deep / 128 b. */
+constexpr RouterPhysParams SMALL{5, 2, 5, 128, 128};
+
+/** HeteroNoC big router: 6 VCs / 5-deep / 256 b crossbar, 128 b FIFOs. */
+constexpr RouterPhysParams BIG{5, 6, 5, 256, 128};
+
+} // namespace router_types
+
+} // namespace hnoc
+
+#endif // HNOC_POWER_ROUTER_PARAMS_HH

@@ -1,0 +1,138 @@
+#include "sys/cache.hh"
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+CacheArray::CacheArray(std::uint64_t size_bytes, int ways, int block_bytes)
+    : ways_(ways), blockBytes_(block_bytes)
+{
+    if (ways <= 0 || block_bytes <= 0 || size_bytes == 0)
+        fatal("CacheArray: invalid geometry");
+    std::uint64_t lines = size_bytes / static_cast<std::uint64_t>(block_bytes);
+    numSets_ = static_cast<std::size_t>(lines / static_cast<std::uint64_t>(ways));
+    if (numSets_ == 0)
+        numSets_ = 1;
+    lines_.resize(numSets_ * static_cast<std::size_t>(ways_));
+}
+
+std::size_t
+CacheArray::setIndex(Addr addr) const
+{
+    // Full avalanche mix (fmix64) so per-core private regions — which
+    // differ only above bit 32 in the synthetic address map — spread
+    // over all sets instead of aliasing onto the same few.
+    Addr h = addr / static_cast<Addr>(blockBytes_);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % numSets_);
+}
+
+CacheState
+CacheArray::lookup(Addr addr) const
+{
+    Addr tag = blockAddr(addr);
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        const Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state != CacheState::Invalid && line.tag == tag)
+            return line.state;
+    }
+    return CacheState::Invalid;
+}
+
+void
+CacheArray::setState(Addr addr, CacheState state)
+{
+    Addr tag = blockAddr(addr);
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state != CacheState::Invalid && line.tag == tag) {
+            line.state = state;
+            line.lastUse = ++useClock_;
+            return;
+        }
+    }
+    panic("CacheArray::setState: line %llx not resident",
+          static_cast<unsigned long long>(tag));
+}
+
+bool
+CacheArray::insert(Addr addr, CacheState state, Addr &victim_addr,
+                   CacheState &victim_state)
+{
+    Addr tag = blockAddr(addr);
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+
+    // Already resident: just update.
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state != CacheState::Invalid && line.tag == tag) {
+            line.state = state;
+            line.lastUse = ++useClock_;
+            return false;
+        }
+    }
+
+    // Free way?
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state == CacheState::Invalid) {
+            line.tag = tag;
+            line.state = state;
+            line.lastUse = ++useClock_;
+            return false;
+        }
+    }
+
+    // Evict LRU.
+    int victim = 0;
+    for (int w = 1; w < ways_; ++w) {
+        if (lines_[base + static_cast<std::size_t>(w)].lastUse <
+            lines_[base + static_cast<std::size_t>(victim)].lastUse)
+            victim = w;
+    }
+    Line &line = lines_[base + static_cast<std::size_t>(victim)];
+    victim_addr = line.tag;
+    victim_state = line.state;
+    line.tag = tag;
+    line.state = state;
+    line.lastUse = ++useClock_;
+    ++evictions;
+    return true;
+}
+
+void
+CacheArray::invalidate(Addr addr)
+{
+    Addr tag = blockAddr(addr);
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state != CacheState::Invalid && line.tag == tag) {
+            line.state = CacheState::Invalid;
+            return;
+        }
+    }
+}
+
+void
+CacheArray::touch(Addr addr)
+{
+    Addr tag = blockAddr(addr);
+    std::size_t base = setIndex(addr) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<std::size_t>(w)];
+        if (line.state != CacheState::Invalid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            return;
+        }
+    }
+}
+
+} // namespace hnoc

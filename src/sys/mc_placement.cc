@@ -1,0 +1,63 @@
+#include "sys/mc_placement.hh"
+
+#include "common/geometry.hh"
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+std::vector<NodeId>
+mcTiles(McPlacement placement, int radix)
+{
+    std::vector<NodeId> tiles;
+    switch (placement) {
+      case McPlacement::Corners:
+        tiles = {0, radix - 1, radix * (radix - 1), radix * radix - 1};
+        break;
+      case McPlacement::Diamond:
+        // Rotated square: row y hosts controllers at columns
+        // (radix/2 - 1 - y) mod radix and (radix/2 + y) mod radix,
+        // giving two per row and two per column.
+        for (int y = 0; y < radix; ++y) {
+            int x1 = ((radix / 2 - 1 - y) % radix + radix) % radix;
+            int x2 = (radix / 2 + y) % radix;
+            tiles.push_back(coordToId({x1, y}, radix));
+            if (x2 != x1)
+                tiles.push_back(coordToId({x2, y}, radix));
+        }
+        break;
+      case McPlacement::Diagonal:
+        for (int i = 0; i < radix; ++i) {
+            tiles.push_back(coordToId({i, i}, radix));
+            if (radix - 1 - i != i)
+                tiles.push_back(coordToId({radix - 1 - i, i}, radix));
+        }
+        break;
+    }
+    return tiles;
+}
+
+std::string
+mcPlacementName(McPlacement placement)
+{
+    switch (placement) {
+      case McPlacement::Corners:
+        return "corners";
+      case McPlacement::Diamond:
+        return "diamond";
+      case McPlacement::Diagonal:
+        return "diagonal";
+    }
+    return "unknown";
+}
+
+NodeId
+mcForBlock(Addr block_addr, int block_bytes, const std::vector<NodeId> &mcs)
+{
+    if (mcs.empty())
+        fatal("mcForBlock: no memory controllers configured");
+    Addr sel = block_addr / static_cast<Addr>(block_bytes);
+    return mcs[static_cast<std::size_t>(sel % mcs.size())];
+}
+
+} // namespace hnoc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Memory-controller placements (Table 2(a) and case study I / Fig 13):
+ * four controllers at the mesh corners (baseline), or sixteen in the
+ * diamond / diagonal arrangements of Abts et al. [2].
+ */
+
+#ifndef HNOC_SYS_MC_PLACEMENT_HH
+#define HNOC_SYS_MC_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+/** Supported memory-controller arrangements. */
+enum class McPlacement
+{
+    Corners,  ///< 4 MCs at the mesh corners (Table 2 baseline)
+    Diamond,  ///< 16 MCs in a rotated-square ring (Abts et al.)
+    Diagonal, ///< 16 MCs on both diagonals (co-located with big routers)
+};
+
+/** @return the tiles hosting memory controllers for @p placement. */
+std::vector<NodeId> mcTiles(McPlacement placement, int radix);
+
+/** @return human-readable placement name. */
+std::string mcPlacementName(McPlacement placement);
+
+/**
+ * Map a block address to its destination controller: the low-order
+ * address bits above the cache line select the MC (§6).
+ */
+NodeId mcForBlock(Addr block_addr, int block_bytes,
+                  const std::vector<NodeId> &mcs);
+
+} // namespace hnoc
+
+#endif // HNOC_SYS_MC_PLACEMENT_HH

@@ -1,0 +1,119 @@
+#include "sys/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+const std::vector<WorkloadProfile> &
+allWorkloads()
+{
+    // Parameter values are synthetic stand-ins chosen to span the
+    // qualitative space of Table 2's applications: commercial server
+    // workloads (large footprints, heavy sharing), PARSEC apps and
+    // kernels (varied intensity/locality), and the streaming,
+    // latency-sensitive libquantum used in case study II.
+    static const std::vector<WorkloadProfile> workloads = {
+        // name     mem   read  hotF  hotB privBlk shrF  shrBlk strm shrWr
+        {"SAP",     0.32, 0.68, 0.90, 176,  3072,  0.040,  8192, 0.35, 0.25},
+        {"SPECjbb", 0.30, 0.70, 0.91, 160,  2048,  0.045,  8192, 0.30, 0.30},
+        {"TPC-C",   0.35, 0.65, 0.89, 192,  3072,  0.050, 10240, 0.25, 0.30},
+        {"SJAS",    0.28, 0.72, 0.90, 168,  2048,  0.040,  8192, 0.30, 0.25},
+        {"frrt",    0.24, 0.75, 0.93, 144,  1536,  0.020,  6144, 0.55, 0.15},
+        {"fsim",    0.22, 0.72, 0.94, 144,  1536,  0.020,  4096, 0.60, 0.15},
+        {"vips",    0.26, 0.70, 0.94, 128,  1024,  0.015,  4096, 0.70, 0.10},
+        {"canl",    0.30, 0.66, 0.88, 192,  3072,  0.035,  8192, 0.15, 0.25},
+        {"ddup",    0.28, 0.60, 0.91, 160,  2048,  0.035,  8192, 0.40, 0.35},
+        {"sclst",   0.26, 0.72, 0.92, 152,  1536,  0.035,  6144, 0.45, 0.20},
+        {"libquantum",
+                    0.40, 0.80, 0.80, 224,  6144,  0.010,  2048, 0.90, 0.10},
+    };
+    return workloads;
+}
+
+std::vector<WorkloadProfile>
+commercialWorkloads()
+{
+    const auto &all = allWorkloads();
+    return {all[0], all[1], all[2], all[3]};
+}
+
+std::vector<WorkloadProfile>
+parsecWorkloads()
+{
+    const auto &all = allWorkloads();
+    return {all[4], all[5], all[6], all[7], all[8], all[9]};
+}
+
+const WorkloadProfile &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+TraceGenerator::TraceGenerator(const WorkloadProfile &profile, int core,
+                               std::uint64_t seed, int block_bytes)
+    : profile_(profile), core_(core), blockBytes_(block_bytes),
+      rng_(seed ^ (static_cast<std::uint64_t>(core) * 0x9e3779b9ULL)),
+      privateBase_(static_cast<Addr>(core + 1) << 32)
+{}
+
+Addr
+TraceGenerator::pickAddress(bool &is_write)
+{
+    bool shared = rng_.chance(profile_.sharedFrac);
+    std::uint64_t block;
+    if (shared) {
+        block = rng_.below(static_cast<std::uint64_t>(
+            profile_.sharedBlocks));
+        is_write = rng_.chance(profile_.sharedWriteFrac);
+        return (static_cast<Addr>(1) << 56) +
+               block * static_cast<Addr>(blockBytes_);
+    }
+
+    // Most private accesses hit a small hot reuse set (temporal
+    // locality); the rest stream or wander over the full working set.
+    if (rng_.chance(profile_.hotFrac)) {
+        block = rng_.below(static_cast<std::uint64_t>(
+            profile_.hotBlocks));
+        is_write = !rng_.chance(profile_.readFrac);
+        return privateBase_ + block * static_cast<Addr>(blockBytes_);
+    }
+
+    // Cold accesses mix sequential streaming with random reuse.
+    if (streaming_ && streamLeft_ > 0) {
+        --streamLeft_;
+        streamBlock_ = (streamBlock_ + 1) %
+                       static_cast<std::uint64_t>(profile_.privateBlocks);
+    } else if (rng_.chance(profile_.streamProb)) {
+        streaming_ = true;
+        streamLeft_ = static_cast<int>(rng_.range(8, 64));
+        streamBlock_ = rng_.below(
+            static_cast<std::uint64_t>(profile_.privateBlocks));
+    } else {
+        streaming_ = false;
+        streamBlock_ = rng_.below(
+            static_cast<std::uint64_t>(profile_.privateBlocks));
+    }
+    is_write = !rng_.chance(profile_.readFrac);
+    return privateBase_ +
+           streamBlock_ * static_cast<Addr>(blockBytes_);
+}
+
+TraceRecord
+TraceGenerator::next()
+{
+    TraceRecord rec;
+    // Geometric run of non-memory instructions with mean 1/memRatio - 1.
+    double p = profile_.memRatio;
+    rec.nonMemInstrs = static_cast<int>(rng_.geometric(p)) - 1;
+    bool is_write = false;
+    rec.addr = pickAddress(is_write);
+    rec.isWrite = is_write;
+    return rec;
+}
+
+} // namespace hnoc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic workload models standing in for the paper's Simics traces
+ * (Table 2(b)/(c)): four commercial workloads, six PARSEC benchmarks
+ * and libquantum. Each profile parameterizes a deterministic memory
+ * trace generator (memory intensity, read fraction, working-set sizes,
+ * sharing, spatial locality) that exercises the same L1-miss ->
+ * directory -> data-response code paths the real traces would.
+ */
+
+#ifndef HNOC_SYS_WORKLOADS_HH
+#define HNOC_SYS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+/** Parameter set describing one application's memory behaviour. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Memory operations per instruction (loads+stores). */
+    double memRatio = 0.25;
+    /** Fraction of memory operations that are loads. */
+    double readFrac = 0.7;
+    /** Fraction of private accesses hitting the hot (L1-resident)
+     *  reuse set — the temporal-locality knob that sets the L1 miss
+     *  rate. */
+    double hotFrac = 0.85;
+    /** Hot-set size in blocks (should fit the 256-line L1). */
+    int hotBlocks = 160;
+    /** Per-core private working set, in cache blocks. */
+    int privateBlocks = 4096;
+    /** Fraction of accesses that target the shared region. */
+    double sharedFrac = 0.15;
+    /** Shared-region size, in cache blocks. */
+    int sharedBlocks = 8192;
+    /** Probability the next access continues a sequential stream. */
+    double streamProb = 0.5;
+    /** Fraction of shared accesses that are read-modify-write
+     *  (drives invalidation traffic). */
+    double sharedWriteFrac = 0.2;
+};
+
+/** @return the 10 evaluation workloads of Table 2 plus libquantum. */
+const std::vector<WorkloadProfile> &allWorkloads();
+
+/** @return the four commercial workloads (SAP, SPECjbb, TPC-C, SJAS). */
+std::vector<WorkloadProfile> commercialWorkloads();
+
+/** @return the six PARSEC benchmarks. */
+std::vector<WorkloadProfile> parsecWorkloads();
+
+/** @return a profile by name; fatal() if unknown. */
+const WorkloadProfile &workloadByName(const std::string &name);
+
+/** One trace record: a run of non-memory work ending in a memory op. */
+struct TraceRecord
+{
+    int nonMemInstrs = 0; ///< instructions before the memory op
+    bool isWrite = false;
+    Addr addr = 0; ///< byte address (block-aligned by the generator)
+};
+
+/**
+ * Deterministic per-core synthetic trace source.
+ *
+ * Address map: each core owns a private region at (core+1) << 32;
+ * the shared region lives at 1 << 56. Addresses are block-aligned.
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const WorkloadProfile &profile, int core,
+                   std::uint64_t seed, int block_bytes = 128);
+
+    /** Produce the next record. Never exhausts. */
+    TraceRecord next();
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    Addr pickAddress(bool &is_write);
+
+    WorkloadProfile profile_;
+    int core_;
+    int blockBytes_;
+    Rng rng_;
+    Addr privateBase_;
+    std::uint64_t streamBlock_ = 0;
+    bool streaming_ = false;
+    int streamLeft_ = 0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_SYS_WORKLOADS_HH

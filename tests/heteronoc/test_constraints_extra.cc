@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Additional constraint/accounting tests: +B bit-neutrality, the §2
+ * helper edge cases, and formatted accounting output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heteronoc/constraints.hh"
+#include "heteronoc/layout.hh"
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(ConstraintsExtra, BufferOnlyLayoutsKeepBaselineBits)
+{
+    // +B redistributes VCs without touching widths: total buffer bits
+    // stay at the homogeneous 921,600 (which is why §5.1 finds no
+    // power win for buffer-only redistribution).
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    for (LayoutKind kind : {LayoutKind::CenterB, LayoutKind::Row25B,
+                            LayoutKind::DiagonalB}) {
+        auto acc = accountResources(makeLayoutConfig(kind));
+        EXPECT_EQ(acc.bufferBits, base.bufferBits) << layoutName(kind);
+        EXPECT_EQ(acc.bisectionBits, base.bisectionBits)
+            << layoutName(kind);
+    }
+}
+
+TEST(ConstraintsExtra, BufferOnlyPowerNearBaseline)
+{
+    // Fig 7(c)'s omission rationale: +B network power stays within a
+    // few percent of the baseline at equal load.
+    SimPointOptions opts;
+    opts.injectionRate = 0.03;
+    opts.warmupCycles = 2000;
+    opts.measureCycles = 5000;
+    opts.drainCycles = 10000;
+    auto base = runOpenLoop(makeLayoutConfig(LayoutKind::Baseline),
+                            TrafficPattern::UniformRandom, opts);
+    auto b_only = runOpenLoop(makeLayoutConfig(LayoutKind::DiagonalB),
+                              TrafficPattern::UniformRandom, opts);
+    EXPECT_NEAR(b_only.networkPowerW, base.networkPowerW,
+                0.12 * base.networkPowerW);
+}
+
+TEST(ConstraintsExtra, NarrowLinkWidthEdgeCases)
+{
+    // All-wide cut: W = 1536 / 16 = 96.
+    EXPECT_EQ(narrowLinkWidth(192, 8, 0, 8), 96);
+    // All-narrow cut degenerates to the baseline width.
+    EXPECT_EQ(narrowLinkWidth(192, 8, 8, 0), 192);
+    EXPECT_DEATH((void)narrowLinkWidth(192, 8, 0, 0), "no links");
+}
+
+TEST(ConstraintsExtra, MinSmallRoutersScales)
+{
+    // 4x4: 16 * 0.52/0.89 = 9.35 -> 10.
+    EXPECT_EQ(minSmallRouters(16), 10);
+    // 16x16: 256 * 0.584... -> 150.
+    EXPECT_EQ(minSmallRouters(256), 150);
+}
+
+TEST(ConstraintsExtra, FormatAccountingContainsKeyNumbers)
+{
+    auto acc = accountResources(makeLayoutConfig(LayoutKind::DiagonalBL));
+    std::string s = formatAccounting(acc, "t");
+    EXPECT_NE(s.find("614400"), std::string::npos);
+    EXPECT_NE(s.find("48 small / 16 big"), std::string::npos);
+}
+
+TEST(ConstraintsExtra, CustomMaskViolatingPowerBudgetDetected)
+{
+    // 32 big routers blow the §2 power budget (needs >= 38 small).
+    std::vector<bool> mask(64, false);
+    for (int i = 0; i < 32; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    NetworkConfig cfg = makeHeteroConfig(mask, true, 8, "too-many-big");
+    auto rep =
+        checkConstraints(cfg, makeLayoutConfig(LayoutKind::Baseline));
+    EXPECT_FALSE(rep.powerBudgetOk);
+    EXPECT_FALSE(rep.vcConserved); // 32*2+32*6 = 256 != 192
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Design-space exploration tests (paper footnote 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "heteronoc/design_space.hh"
+#include "heteronoc/layout.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(DesignSpace, BinomialMatchesPaperCounts)
+{
+    // Footnote 4: 1820, 8008 and 12870 placements on a 4x4 mesh, and
+    // C(64,48) = 4.89e14 on an 8x8.
+    EXPECT_DOUBLE_EQ(binomial(16, 4), 1820.0);
+    EXPECT_DOUBLE_EQ(binomial(16, 6), 8008.0);
+    EXPECT_DOUBLE_EQ(binomial(16, 8), 12870.0);
+    EXPECT_NEAR(binomial(64, 48), 4.89e14, 0.01e14);
+}
+
+TEST(DesignSpace, ScoreRewardsCoverage)
+{
+    int radix = 4;
+    // All big routers crammed into one corner must score worse than
+    // the diagonal spread.
+    std::vector<bool> corner(16, false);
+    corner[0] = corner[1] = corner[4] = corner[5] = true;
+    corner[2] = corner[8] = corner[6] = corner[9] = true;
+
+    std::vector<bool> diagonal =
+        bigRouterMask(LayoutKind::DiagonalBL, radix);
+    EXPECT_GT(flowCoverageScore(diagonal, radix),
+              flowCoverageScore(corner, radix));
+}
+
+TEST(DesignSpace, ExploreFindsAtLeastDiagonalQuality)
+{
+    auto top = explorePlacements(4, 8, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_GE(top[0].score, top[1].score);
+    EXPECT_GE(top[1].score, top[2].score);
+    double diag_score =
+        flowCoverageScore(bigRouterMask(LayoutKind::DiagonalBL, 4), 4);
+    EXPECT_GE(top[0].score + 1e-12, diag_score)
+        << "the exhaustive best cannot be worse than the diagonal";
+    // Every returned mask has exactly 8 big routers.
+    for (const auto &ps : top) {
+        int n = 0;
+        for (bool b : ps.bigMask)
+            n += b ? 1 : 0;
+        EXPECT_EQ(n, 8);
+    }
+}
+
+TEST(DesignSpace, RejectsHugeEnumerations)
+{
+    EXPECT_DEATH(
+        {
+            auto r = explorePlacements(8, 16, 1);
+            (void)r;
+        },
+        "too large");
+}
+
+TEST(DesignSpace, SimulateFillsLatency)
+{
+    auto top = explorePlacements(4, 6, 2);
+    simulateTopPlacements(top, 4, 0.04);
+    for (const auto &ps : top)
+        EXPECT_GT(ps.simLatencyNs, 0.0);
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Layout and constraint tests: the six HeteroNoC layouts satisfy the
+ * paper's §2 invariants and the Table 1 accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heteronoc/constraints.hh"
+#include "heteronoc/layout.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(Layout, MaskCountsAre2N)
+{
+    for (LayoutKind kind : heteroLayouts()) {
+        auto mask = bigRouterMask(kind, 8);
+        int count = 0;
+        for (bool b : mask)
+            count += b ? 1 : 0;
+        EXPECT_EQ(count, 16) << layoutName(kind);
+    }
+}
+
+TEST(Layout, BaselineMaskEmpty)
+{
+    auto mask = bigRouterMask(LayoutKind::Baseline, 8);
+    for (bool b : mask)
+        EXPECT_FALSE(b);
+}
+
+TEST(Layout, DiagonalMaskOnDiagonals)
+{
+    auto mask = bigRouterMask(LayoutKind::DiagonalBL, 8);
+    for (int y = 0; y < 8; ++y) {
+        for (int x = 0; x < 8; ++x) {
+            bool expect = (x == y) || (x + y == 7);
+            EXPECT_EQ(mask[static_cast<std::size_t>(y * 8 + x)], expect)
+                << "(" << x << "," << y << ")";
+        }
+    }
+}
+
+TEST(Layout, BlConfigUses128bFlits)
+{
+    for (LayoutKind kind : blLayouts()) {
+        NetworkConfig cfg = makeLayoutConfig(kind);
+        EXPECT_EQ(cfg.flitWidthBits, 128) << layoutName(kind);
+        EXPECT_EQ(cfg.dataPacketFlits(), 8) << layoutName(kind);
+        EXPECT_EQ(cfg.linkWidthMode, LinkWidthMode::EndpointMax);
+    }
+}
+
+TEST(Layout, BConfigKeeps192bFlits)
+{
+    for (LayoutKind kind : {LayoutKind::CenterB, LayoutKind::Row25B,
+                            LayoutKind::DiagonalB}) {
+        NetworkConfig cfg = makeLayoutConfig(kind);
+        EXPECT_EQ(cfg.flitWidthBits, 192) << layoutName(kind);
+        EXPECT_EQ(cfg.dataPacketFlits(), 6) << layoutName(kind);
+        EXPECT_EQ(cfg.linkWidthMode, LinkWidthMode::Uniform);
+    }
+}
+
+TEST(Constraints, Table1BufferBits)
+{
+    // 64 * 3 * 5 * 5 * 192 = 921,600 bits (baseline);
+    // (48*2 + 16*6) * 5 * 5 * 128 = 614,400 bits (+BL, -33 %).
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    EXPECT_EQ(base.bufferBits, 921600);
+    EXPECT_EQ(base.bufferSlots, 4800);
+
+    auto bl = accountResources(makeLayoutConfig(LayoutKind::DiagonalBL));
+    EXPECT_EQ(bl.bufferBits, 614400);
+    EXPECT_EQ(bl.bufferSlots, 4800);
+    EXPECT_EQ(bl.smallRouters, 48);
+    EXPECT_EQ(bl.bigRouters, 16);
+    EXPECT_NEAR(1.0 - static_cast<double>(bl.bufferBits) /
+                          static_cast<double>(base.bufferBits),
+                0.3333, 0.001);
+}
+
+TEST(Constraints, VcCountConservedAcrossAllLayouts)
+{
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    for (LayoutKind kind : heteroLayouts()) {
+        auto acc = accountResources(makeLayoutConfig(kind));
+        EXPECT_EQ(acc.totalVcs, base.totalVcs) << layoutName(kind);
+    }
+}
+
+TEST(Constraints, AllLayoutsSatisfySection2)
+{
+    NetworkConfig base = makeLayoutConfig(LayoutKind::Baseline);
+    for (LayoutKind kind : heteroLayouts()) {
+        auto rep = checkConstraints(makeLayoutConfig(kind), base);
+        EXPECT_TRUE(rep.vcConserved) << layoutName(kind);
+        EXPECT_TRUE(rep.bisectionConserved) << layoutName(kind);
+        EXPECT_TRUE(rep.areaBudgetOk) << layoutName(kind);
+    }
+    // +BL layouts must also clear the power budget.
+    for (LayoutKind kind : blLayouts()) {
+        auto rep = checkConstraints(makeLayoutConfig(kind), base);
+        EXPECT_TRUE(rep.powerBudgetOk) << layoutName(kind);
+    }
+}
+
+TEST(Constraints, CenterBlHitsBisectionBoundExactly)
+{
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    auto center = accountResources(makeLayoutConfig(LayoutKind::CenterBL));
+    // 4 wide (256 b) + 4 narrow (128 b) = 8 * 192 b (footnote 2).
+    EXPECT_EQ(base.bisectionBits, 8 * 192);
+    EXPECT_EQ(center.bisectionBits, 4 * 256 + 4 * 128);
+    EXPECT_EQ(center.bisectionBits, base.bisectionBits);
+}
+
+TEST(Constraints, MinSmallRoutersMatchesPaper)
+{
+    // §2: ns >= 37.4 for an 8x8 network -> at least 38 small routers.
+    EXPECT_EQ(minSmallRouters(64), 38);
+}
+
+TEST(Constraints, LinkWidthEquationMatchesPaper)
+{
+    // 192 * 8 = W * 4 + 2W * 4  =>  W = 128 (footnote 2).
+    EXPECT_EQ(narrowLinkWidth(192, 8, 4, 4), 128);
+}
+
+TEST(Constraints, HeteroRouterAreaBelowBaseline)
+{
+    // §3.5: 18.08 mm^2 vs 18.56 mm^2 (excluding the fixed logic our
+    // area model adds uniformly to both).
+    auto base = accountResources(makeLayoutConfig(LayoutKind::Baseline));
+    auto bl = accountResources(makeLayoutConfig(LayoutKind::DiagonalBL));
+    EXPECT_LT(bl.totalRouterAreaMm2, base.totalRouterAreaMm2);
+}
+
+} // namespace
+} // namespace hnoc

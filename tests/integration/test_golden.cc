@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Golden-value regression tests: a fixed seed must reproduce these
+ * exact aggregate results. Any change to router timing, allocation,
+ * traffic generation or power accounting will shift them — if a change
+ * is intentional, regenerate the constants (the values are printed on
+ * failure) and note the behavioral change in the commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heteronoc/layout.hh"
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+SimPointResult
+goldenRun(LayoutKind kind)
+{
+    SimPointOptions opts;
+    opts.injectionRate = 0.025;
+    opts.warmupCycles = 2000;
+    opts.measureCycles = 5000;
+    opts.drainCycles = 10000;
+    opts.seed = 20260706;
+    return runOpenLoop(makeLayoutConfig(kind),
+                       TrafficPattern::UniformRandom, opts);
+}
+
+TEST(Golden, BaselineUniformRandom)
+{
+    // HNOC_SIM_SCALE changes run lengths; goldens only hold at 1.
+    if (std::getenv("HNOC_SIM_SCALE"))
+        GTEST_SKIP() << "goldens require HNOC_SIM_SCALE unset";
+    SimPointResult r = goldenRun(LayoutKind::Baseline);
+    EXPECT_EQ(r.trackedCreated, 8129u);
+    EXPECT_EQ(r.trackedDelivered, 8129u);
+    EXPECT_NEAR(r.avgLatencyNs, 13.663763, 1e-4);
+    EXPECT_NEAR(r.networkPowerW, 21.284006, 1e-4);
+}
+
+TEST(Golden, DiagonalBlUniformRandom)
+{
+    if (std::getenv("HNOC_SIM_SCALE"))
+        GTEST_SKIP() << "goldens require HNOC_SIM_SCALE unset";
+    SimPointResult r = goldenRun(LayoutKind::DiagonalBL);
+    EXPECT_EQ(r.trackedCreated, 8129u);
+    EXPECT_EQ(r.trackedDelivered, 8129u);
+    EXPECT_NEAR(r.avgLatencyNs, 17.244992, 1e-4);
+    EXPECT_NEAR(r.networkPowerW, 15.897139, 1e-4);
+}
+
+} // namespace
+} // namespace hnoc

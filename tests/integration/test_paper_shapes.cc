@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Integration tests pinning the paper-level result *shapes* this
+ * reproduction commits to (see EXPERIMENTS.md for the full account,
+ * including the documented deviations):
+ *
+ *  - Fig 1: mesh utilization is center-heavy under UR + X-Y.
+ *  - Table 1 / Fig 7c/8b: +BL layouts cut network power; buffers and
+ *    crossbar shrink the most; Diagonal+BL saves the most power.
+ *  - Fig 9: nearest-neighbor traffic is the anomaly — HeteroNoC
+ *    saturates earlier than baseline.
+ *  - Fig 13: attaching memory controllers to big routers
+ *    (Diagonal_heteroNoC) beats the diamond placement on a
+ *    homogeneous network for round-trip latency.
+ *  - Fig 14: table routing through big routers speeds up large-core
+ *    traffic without starving the rest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+#include "heteronoc/layout.hh"
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+SimPointOptions
+fastOpts(double rate)
+{
+    SimPointOptions opts;
+    opts.injectionRate = rate;
+    opts.warmupCycles = 3000;
+    opts.measureCycles = 8000;
+    opts.drainCycles = 16000;
+    return opts;
+}
+
+TEST(PaperShapes, Fig1CenterHeavyUtilization)
+{
+    auto res = runOpenLoop(makeLayoutConfig(LayoutKind::Baseline),
+                           TrafficPattern::UniformRandom,
+                           fastOpts(0.055));
+    double center = (res.bufferUtilPct[27] + res.bufferUtilPct[28] +
+                     res.bufferUtilPct[35] + res.bufferUtilPct[36]) / 4;
+    double corner = (res.bufferUtilPct[0] + res.bufferUtilPct[7] +
+                     res.bufferUtilPct[56] + res.bufferUtilPct[63]) / 4;
+    EXPECT_GT(center, 1.5 * corner);
+}
+
+TEST(PaperShapes, BlLayoutsCutPowerAtEqualLoad)
+{
+    auto base = runOpenLoop(makeLayoutConfig(LayoutKind::Baseline),
+                            TrafficPattern::UniformRandom,
+                            fastOpts(0.03));
+    for (LayoutKind kind : blLayouts()) {
+        auto res = runOpenLoop(makeLayoutConfig(kind),
+                               TrafficPattern::UniformRandom,
+                               fastOpts(0.03));
+        EXPECT_LT(res.networkPowerW, base.networkPowerW)
+            << layoutName(kind);
+        // Buffers must be the biggest absolute saving (Fig 8b).
+        double buf_save = base.power.buffers - res.power.buffers;
+        EXPECT_GT(buf_save, base.power.arbiters - res.power.arbiters)
+            << layoutName(kind);
+    }
+}
+
+TEST(PaperShapes, DiagonalBlSavesMostPower)
+{
+    double best = 1e18;
+    LayoutKind best_kind = LayoutKind::Baseline;
+    for (LayoutKind kind : blLayouts()) {
+        auto res = runOpenLoop(makeLayoutConfig(kind),
+                               TrafficPattern::UniformRandom,
+                               fastOpts(0.05));
+        if (res.networkPowerW < best) {
+            best = res.networkPowerW;
+            best_kind = kind;
+        }
+    }
+    EXPECT_EQ(best_kind, LayoutKind::DiagonalBL);
+}
+
+TEST(PaperShapes, Fig9NearestNeighborAnomaly)
+{
+    // At a high NN load the baseline still flows while +BL saturates
+    // (or at minimum suffers much higher latency).
+    auto base = runOpenLoop(makeLayoutConfig(LayoutKind::Baseline),
+                            TrafficPattern::NearestNeighbor,
+                            fastOpts(0.11));
+    auto het = runOpenLoop(makeLayoutConfig(LayoutKind::DiagonalBL),
+                           TrafficPattern::NearestNeighbor,
+                           fastOpts(0.11));
+    EXPECT_GT(het.avgLatencyNs, base.avgLatencyNs);
+}
+
+TEST(PaperShapes, Fig13McOnBigRoutersBeatsDiamondOnSameNetwork)
+{
+    // The conservation-safe half of the Fig 13 claim: *given* the
+    // HeteroNoC, attaching the controllers to the big routers
+    // (diagonal placement) beats placing them on small routers
+    // (diamond placement) — the big routers' 6 VCs and 2-lane local
+    // channels absorb the MC hot-spot traffic.
+    auto diamond_het = hnoc::bench::runClosedLoopMem(
+        makeLayoutConfig(LayoutKind::DiagonalBL),
+        mcTiles(McPlacement::Diamond, 8), 3);
+    auto diagonal_het = hnoc::bench::runClosedLoopMem(
+        makeLayoutConfig(LayoutKind::DiagonalBL),
+        mcTiles(McPlacement::Diagonal, 8), 3);
+    EXPECT_LT(diagonal_het.mean(), diamond_het.mean() * 1.02);
+}
+
+TEST(PaperShapes, Fig14TableRoutingSpeedsLargeCoreTraffic)
+{
+    // Measure corner-to-anywhere packet latency with and without
+    // table routing on the Diagonal+BL network under background load.
+    struct CornerLatency : NetworkClient
+    {
+        RunningStat cornerNs;
+        void
+        onPacketDelivered(Network &net, Packet &pkt, Cycle) override
+        {
+            if (pkt.tag == 7)
+                cornerNs.add(static_cast<double>(pkt.networkLatency()) *
+                             net.nsPerCycle());
+        }
+    };
+
+    auto run = [](bool table) {
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+        if (table) {
+            cfg.routing = RoutingMode::TableXY;
+            cfg.tableRoutedNodes = {0, 7, 56, 63};
+        }
+        Network net(cfg);
+        CornerLatency client;
+        net.setClient(&client);
+        Rng rng(31);
+        for (Cycle t = 0; t < 12000; ++t) {
+            for (NodeId n = 0; n < 64; ++n) {
+                if (rng.uniform() < 0.025) {
+                    auto dst = static_cast<NodeId>(rng.below(63));
+                    if (dst >= n)
+                        ++dst;
+                    net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+                }
+            }
+            if (t % 5 == 0) {
+                for (NodeId c : {0, 7, 56, 63}) {
+                    auto dst = static_cast<NodeId>(
+                        rng.below(64));
+                    if (dst != c)
+                        net.enqueuePacket(c, dst,
+                                          cfg.dataPacketFlits(), 7);
+                }
+            }
+            net.step();
+        }
+        return client.cornerNs.mean();
+    };
+
+    double xy = run(false);
+    double table = run(true);
+    // Table routing must not pessimize the large-core flows; the
+    // paper reports an improvement.
+    EXPECT_LT(table, xy * 1.05);
+    EXPECT_GT(xy, 0.0);
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Config serialization round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "heteronoc/layout.hh"
+#include "noc/config_io.hh"
+#include "noc/network.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+void
+expectConfigsEqual(const NetworkConfig &a, const NetworkConfig &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.topology, b.topology);
+    EXPECT_EQ(a.radixX, b.radixX);
+    EXPECT_EQ(a.radixY, b.radixY);
+    EXPECT_EQ(a.concentration, b.concentration);
+    EXPECT_EQ(a.flitWidthBits, b.flitWidthBits);
+    EXPECT_EQ(a.dataPacketBits, b.dataPacketBits);
+    EXPECT_EQ(a.bufferDepth, b.bufferDepth);
+    EXPECT_EQ(a.defaultVcs, b.defaultVcs);
+    EXPECT_EQ(a.defaultWidthBits, b.defaultWidthBits);
+    EXPECT_EQ(a.routerVcs, b.routerVcs);
+    EXPECT_EQ(a.routerWidthBits, b.routerWidthBits);
+    EXPECT_EQ(a.linkWidthMode, b.linkWidthMode);
+    EXPECT_EQ(a.uniformLinkBits, b.uniformLinkBits);
+    EXPECT_EQ(a.bandWideLinks, b.bandWideLinks);
+    EXPECT_EQ(a.routing, b.routing);
+    EXPECT_EQ(a.tableRoutedNodes, b.tableRoutedNodes);
+    EXPECT_EQ(a.escapeThreshold, b.escapeThreshold);
+    EXPECT_EQ(a.intraPacketPairing, b.intraPacketPairing);
+    EXPECT_EQ(a.saPolicy, b.saPolicy);
+    EXPECT_EQ(a.pipelineStages, b.pipelineStages);
+    EXPECT_EQ(a.linkLatency, b.linkLatency);
+    EXPECT_DOUBLE_EQ(a.clockGHz, b.clockGHz);
+}
+
+TEST(ConfigIo, RoundTripBaseline)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    expectConfigsEqual(cfg, configFromString(configToString(cfg)));
+}
+
+TEST(ConfigIo, RoundTripHeterogeneous)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    cfg.routing = RoutingMode::TableXY;
+    cfg.tableRoutedNodes = {0, 7, 56, 63};
+    cfg.saPolicy = SaPolicy::OldestFirst;
+    cfg.intraPacketPairing = false;
+    expectConfigsEqual(cfg, configFromString(configToString(cfg)));
+}
+
+TEST(ConfigIo, RoundTripExoticModes)
+{
+    NetworkConfig cfg;
+    cfg.name = "band";
+    cfg.topology = TopologyType::Torus;
+    cfg.flitWidthBits = 153;
+    cfg.linkWidthMode = LinkWidthMode::CentralBand;
+    cfg.bandWideLinks = 2;
+    cfg.routing = RoutingMode::O1Turn;
+    cfg.clockGHz = 1.5;
+    expectConfigsEqual(cfg, configFromString(configToString(cfg)));
+}
+
+TEST(ConfigIo, FileRoundTrip)
+{
+    std::string path = "/tmp/hnoc_config_test.cfg";
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::CenterBL);
+    ASSERT_TRUE(saveConfig(cfg, path));
+    expectConfigsEqual(cfg, loadConfig(path));
+    std::remove(path.c_str());
+}
+
+TEST(ConfigIo, CommentsAndBlankLinesIgnored)
+{
+    NetworkConfig cfg =
+        configFromString("# a comment\n\nname=test\nradix_x=4\n");
+    EXPECT_EQ(cfg.name, "test");
+    EXPECT_EQ(cfg.radixX, 4);
+}
+
+TEST(ConfigIo, UnknownKeyFatal)
+{
+    EXPECT_DEATH((void)configFromString("no_such_key=1\n"),
+                 "unknown key");
+}
+
+TEST(ConfigIo, LoadedConfigSimulates)
+{
+    NetworkConfig cfg = configFromString(
+        configToString(makeLayoutConfig(LayoutKind::DiagonalBL)));
+    Network net(cfg);
+    net.enqueuePacket(0, 63, cfg.dataPacketFlits());
+    net.run(300);
+    EXPECT_EQ(net.packetsDelivered(), 1u);
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Radix-generality property tests: the simulator and the layout
+ * builders must work for mesh sizes other than 8x8 (4x4 through
+ * 12x12), for both homogeneous and heterogeneous configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "heteronoc/constraints.hh"
+#include "heteronoc/layout.hh"
+#include "noc/network.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+class RadixSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RadixSweep, LayoutsScale)
+{
+    int radix = GetParam();
+    for (LayoutKind kind : {LayoutKind::Baseline, LayoutKind::DiagonalBL,
+                            LayoutKind::CenterBL}) {
+        NetworkConfig cfg = makeLayoutConfig(kind, radix);
+        EXPECT_EQ(cfg.numRouters(), radix * radix);
+        if (kind != LayoutKind::Baseline) {
+            auto rep = checkConstraints(
+                cfg, makeLayoutConfig(LayoutKind::Baseline, radix));
+            // The 2/6 VC split with 2N big routers conserves the VC
+            // total exactly only when 2N = N^2/4, i.e. the paper's
+            // N = 8; other radices need re-derived splits.
+            if (radix == 8) {
+                EXPECT_TRUE(rep.vcConserved) << layoutName(kind);
+            }
+            EXPECT_TRUE(rep.bisectionConserved)
+                << layoutName(kind) << " radix " << radix;
+        }
+    }
+}
+
+TEST_P(RadixSweep, TrafficDrains)
+{
+    int radix = GetParam();
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL, radix);
+    Network net(cfg);
+    Rng rng(static_cast<std::uint64_t>(radix));
+    int nodes = radix * radix;
+    std::uint64_t injected = 0;
+    for (Cycle t = 0; t < 1200; ++t) {
+        for (NodeId n = 0; n < nodes; ++n) {
+            if (rng.uniform() < 0.02) {
+                auto dst = static_cast<NodeId>(
+                    rng.below(static_cast<std::uint64_t>(nodes - 1)));
+                if (dst >= n)
+                    ++dst;
+                net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+                ++injected;
+            }
+        }
+        net.step();
+    }
+    Cycle guard = 60000;
+    while (net.packetsInFlight() > 0 && guard-- > 0)
+        net.step();
+    EXPECT_EQ(net.packetsInFlight(), 0u) << "radix " << radix;
+    EXPECT_EQ(net.packetsDelivered(), injected);
+}
+
+TEST_P(RadixSweep, DiagonalMaskHas2N)
+{
+    int radix = GetParam();
+    auto mask = bigRouterMask(LayoutKind::DiagonalBL, radix);
+    int count = 0;
+    for (bool b : mask)
+        count += b ? 1 : 0;
+    int expected = radix % 2 == 0 ? 2 * radix : 2 * radix - 1;
+    EXPECT_EQ(count, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, RadixSweep,
+                         ::testing::Values(4, 6, 8, 10, 12));
+
+} // namespace
+} // namespace hnoc

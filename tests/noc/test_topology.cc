@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Topology invariants: peer symmetry, degree, node attachment and
+ * bisection enumeration for all four topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/topology.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+NetworkConfig
+configFor(TopologyType type, int rx, int ry, int conc)
+{
+    NetworkConfig cfg;
+    cfg.topology = type;
+    cfg.radixX = rx;
+    cfg.radixY = ry;
+    cfg.concentration = conc;
+    return cfg;
+}
+
+class TopologySymmetry
+    : public ::testing::TestWithParam<NetworkConfig>
+{};
+
+TEST_P(TopologySymmetry, PeersAreMutual)
+{
+    auto topo = Topology::create(GetParam());
+    for (RouterId r = 0; r < topo->numRouters(); ++r) {
+        for (PortId p = 0; p < topo->numDirPorts(); ++p) {
+            const PortPeer &peer = topo->peer(r, p);
+            if (peer.router == INVALID_ROUTER)
+                continue;
+            const PortPeer &back = topo->peer(peer.router, peer.port);
+            EXPECT_EQ(back.router, r)
+                << "router " << r << " port " << p;
+            EXPECT_EQ(back.port, p);
+        }
+    }
+}
+
+TEST_P(TopologySymmetry, NodesMapToLocalPorts)
+{
+    auto topo = Topology::create(GetParam());
+    for (NodeId n = 0; n < topo->numNodes(); ++n) {
+        RouterId r = topo->routerOfNode(n);
+        PortId lp = topo->localPortOfNode(n);
+        EXPECT_GE(lp, topo->numDirPorts());
+        EXPECT_LT(lp, topo->portsPerRouter());
+        EXPECT_EQ(topo->nodeAt(r, lp), n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologySymmetry,
+    ::testing::Values(
+        configFor(TopologyType::Mesh, 8, 8, 1),
+        configFor(TopologyType::Mesh, 4, 4, 1),
+        configFor(TopologyType::Torus, 8, 8, 1),
+        configFor(TopologyType::Torus, 4, 4, 1),
+        configFor(TopologyType::ConcentratedMesh, 4, 4, 4),
+        configFor(TopologyType::FlattenedButterfly, 4, 4, 4)));
+
+TEST(Topology, MeshEdgesUnconnected)
+{
+    auto topo =
+        Topology::create(configFor(TopologyType::Mesh, 8, 8, 1));
+    using namespace mesh_ports;
+    EXPECT_EQ(topo->peer(0, NORTH).router, INVALID_ROUTER);
+    EXPECT_EQ(topo->peer(0, WEST).router, INVALID_ROUTER);
+    EXPECT_EQ(topo->peer(63, SOUTH).router, INVALID_ROUTER);
+    EXPECT_EQ(topo->peer(63, EAST).router, INVALID_ROUTER);
+    EXPECT_EQ(topo->peer(0, EAST).router, 1);
+    EXPECT_EQ(topo->peer(0, SOUTH).router, 8);
+}
+
+TEST(Topology, TorusWrapsMarked)
+{
+    auto topo =
+        Topology::create(configFor(TopologyType::Torus, 8, 8, 1));
+    using namespace mesh_ports;
+    const PortPeer &west_of_0 = topo->peer(0, WEST);
+    EXPECT_EQ(west_of_0.router, 7);
+    EXPECT_TRUE(west_of_0.wrapX);
+    const PortPeer &north_of_0 = topo->peer(0, NORTH);
+    EXPECT_EQ(north_of_0.router, 56);
+    EXPECT_TRUE(north_of_0.wrapY);
+    EXPECT_FALSE(topo->peer(0, EAST).wrapX);
+}
+
+TEST(Topology, FlatFlyFullRowColumnConnectivity)
+{
+    auto topo = Topology::create(
+        configFor(TopologyType::FlattenedButterfly, 4, 4, 4));
+    EXPECT_EQ(topo->numDirPorts(), 6); // 3 row + 3 column
+    EXPECT_EQ(topo->numRouters(), 16);
+    EXPECT_EQ(topo->numNodes(), 64);
+    // Router (0,0) must reach all of row 0 and column 0 in one hop.
+    std::set<RouterId> neighbors;
+    for (PortId p = 0; p < 6; ++p)
+        neighbors.insert(topo->peer(0, p).router);
+    EXPECT_EQ(neighbors,
+              (std::set<RouterId>{1, 2, 3, 4, 8, 12}));
+}
+
+TEST(Topology, MeshBisectionCount)
+{
+    auto topo =
+        Topology::create(configFor(TopologyType::Mesh, 8, 8, 1));
+    EXPECT_EQ(topo->bisectionLinks().size(), 8u);
+}
+
+TEST(Topology, TorusBisectionIncludesWraps)
+{
+    auto topo =
+        Topology::create(configFor(TopologyType::Torus, 8, 8, 1));
+    EXPECT_EQ(topo->bisectionLinks().size(), 16u);
+}
+
+TEST(Topology, FlatFlyBisectionCount)
+{
+    auto topo = Topology::create(
+        configFor(TopologyType::FlattenedButterfly, 4, 4, 4));
+    // 2x2 column pairs crossing the cut per row, 4 rows.
+    EXPECT_EQ(topo->bisectionLinks().size(), 16u);
+}
+
+} // namespace
+} // namespace hnoc

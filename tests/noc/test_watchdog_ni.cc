@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Watchdog and network-interface behaviour tests, plus SA-policy
+ * comparisons.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "heteronoc/layout.hh"
+#include "noc/watchdog.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(Watchdog, QuietNetworkNeverTrips)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    ProgressWatchdog dog(100);
+    for (int i = 0; i < 500; ++i) {
+        net.step();
+        EXPECT_TRUE(dog.check(net));
+    }
+}
+
+TEST(Watchdog, TripsWhenDeliveryStops)
+{
+    // Simulate "stuck" by never stepping the network after injection:
+    // in-flight stays > 0 and now() does not advance past the window
+    // until we step. Step without progress is impossible in a healthy
+    // network, so emulate by injecting into a network we keep stepping
+    // while packets flow, then checking the watchdog math directly.
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    ProgressWatchdog dog(200); // comfortably above the ~52-cycle trip
+    net.enqueuePacket(0, 63, 6);
+    // Healthy run: no trip while the packet is delivered.
+    bool ok = true;
+    for (int i = 0; i < 200; ++i) {
+        net.step();
+        ok = ok && dog.check(net);
+    }
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(net.packetsInFlight(), 0u);
+
+    // Now fabricate a stall: enqueue to a full-speed network but stop
+    // consuming time progress checks against a stale watchdog window.
+    Network net2(makeLayoutConfig(LayoutKind::Baseline));
+    ProgressWatchdog dog2(10);
+    net2.enqueuePacket(0, 63, 6);
+    // Step only the cycle counter far enough without letting the
+    // packet finish: use a tiny window so delivery at ~50 cycles is
+    // "too late".
+    bool tripped = false;
+    for (int i = 0; i < 30 && !tripped; ++i) {
+        net2.step();
+        tripped = !dog2.check(net2);
+    }
+    EXPECT_TRUE(tripped) << "a 10-cycle window must trip before the "
+                            "~50-cycle delivery";
+}
+
+TEST(NetworkInterface, SourceQueueDrainsInOrder)
+{
+    // Two packets from the same node to the same destination must
+    // arrive in creation order (same VC stream or ordered VCs).
+    struct OrderCheck : NetworkClient
+    {
+        std::vector<PacketId> order;
+        void
+        onPacketDelivered(Network &, Packet &pkt, Cycle) override
+        {
+            order.push_back(pkt.id);
+        }
+    } check;
+
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    net.setClient(&check);
+    Packet *a = net.enqueuePacket(0, 63, 6);
+    PacketId first = a->id;
+    net.enqueuePacket(0, 63, 6);
+    net.enqueuePacket(0, 63, 6);
+    net.run(400);
+    ASSERT_EQ(check.order.size(), 3u);
+    EXPECT_EQ(check.order.front(), first);
+}
+
+TEST(NetworkInterface, QueueDepthVisible)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    for (int i = 0; i < 20; ++i)
+        net.enqueuePacket(5, 60, 6);
+    EXPECT_GT(net.totalSourceQueueDepth(), 0u);
+    net.run(2000);
+    EXPECT_EQ(net.totalSourceQueueDepth(), 0u);
+}
+
+TEST(SaPolicy, OldestFirstDeliversEverything)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    cfg.saPolicy = SaPolicy::OldestFirst;
+    Network net(cfg);
+    Rng rng(77);
+    std::uint64_t injected = 0;
+    for (Cycle t = 0; t < 3000; ++t) {
+        for (NodeId n = 0; n < 64; ++n) {
+            if (rng.uniform() < 0.03) {
+                auto dst = static_cast<NodeId>(rng.below(63));
+                if (dst >= n)
+                    ++dst;
+                net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+                ++injected;
+            }
+        }
+        net.step();
+    }
+    Cycle guard = 60000;
+    while (net.packetsInFlight() > 0 && guard-- > 0)
+        net.step();
+    EXPECT_EQ(net.packetsDelivered(), injected);
+}
+
+TEST(SaPolicy, OldestFirstImprovesTailAtSaturation)
+{
+    // Fairness property: under heavy load, age-based arbitration must
+    // not produce a *worse* maximum packet latency than round-robin.
+    auto max_latency = [](SaPolicy policy) {
+        struct MaxLat : NetworkClient
+        {
+            Cycle worst = 0;
+            void
+            onPacketDelivered(Network &, Packet &pkt, Cycle) override
+            {
+                worst = std::max(worst, pkt.networkLatency());
+            }
+        } client;
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+        cfg.saPolicy = policy;
+        Network net(cfg);
+        net.setClient(&client);
+        Rng rng(5);
+        for (Cycle t = 0; t < 6000; ++t) {
+            for (NodeId n = 0; n < 64; ++n) {
+                if (rng.uniform() < 0.06) {
+                    auto dst = static_cast<NodeId>(rng.below(63));
+                    if (dst >= n)
+                        ++dst;
+                    net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+                }
+            }
+            net.step();
+        }
+        return client.worst;
+    };
+    Cycle rr = max_latency(SaPolicy::RoundRobin);
+    Cycle oldest = max_latency(SaPolicy::OldestFirst);
+    EXPECT_LE(oldest, rr + rr / 2) << "age-based SA should not degrade "
+                                      "worst-case latency materially";
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CacheArray unit tests: lookup/insert/invalidate semantics, LRU
+ * replacement, state transitions, set-index mixing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sys/cache.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+constexpr int BLOCK = 128;
+
+TEST(CacheArray, MissThenHit)
+{
+    CacheArray c(4 * 1024, 4, BLOCK);
+    Addr victim;
+    CacheState vstate;
+    EXPECT_EQ(c.lookup(0x1000), CacheState::Invalid);
+    EXPECT_FALSE(c.insert(0x1000, CacheState::Shared, victim, vstate));
+    EXPECT_EQ(c.lookup(0x1000), CacheState::Shared);
+    // Same block, different offset.
+    EXPECT_EQ(c.lookup(0x1000 + 64), CacheState::Shared);
+    // Different block.
+    EXPECT_EQ(c.lookup(0x1000 + BLOCK), CacheState::Invalid);
+}
+
+TEST(CacheArray, StateUpdateInPlace)
+{
+    CacheArray c(4 * 1024, 4, BLOCK);
+    Addr victim;
+    CacheState vstate;
+    c.insert(0x2000, CacheState::Exclusive, victim, vstate);
+    c.setState(0x2000, CacheState::Modified);
+    EXPECT_EQ(c.lookup(0x2000), CacheState::Modified);
+}
+
+TEST(CacheArray, InvalidateRemoves)
+{
+    CacheArray c(4 * 1024, 4, BLOCK);
+    Addr victim;
+    CacheState vstate;
+    c.insert(0x3000, CacheState::Modified, victim, vstate);
+    c.invalidate(0x3000);
+    EXPECT_EQ(c.lookup(0x3000), CacheState::Invalid);
+    c.invalidate(0x3000); // idempotent on absent lines
+}
+
+TEST(CacheArray, LruEvictsColdestWay)
+{
+    // Direct construction of set conflicts is awkward with index
+    // mixing, so fill far beyond capacity and verify eviction
+    // accounting instead.
+    CacheArray c(2 * 1024, 2, BLOCK); // 16 lines
+    Addr victim;
+    CacheState vstate;
+    int evictions = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (c.insert(static_cast<Addr>(i) * BLOCK, CacheState::Shared,
+                     victim, vstate))
+            ++evictions;
+    }
+    EXPECT_GE(evictions, 64 - 16);
+    EXPECT_EQ(c.evictions, static_cast<std::uint64_t>(evictions));
+}
+
+TEST(CacheArray, TouchProtectsFromEviction)
+{
+    // Behavioral LRU check robust to index mixing: a continuously
+    // touched line must survive a stream of conflicting inserts.
+    Addr victim;
+    CacheState vstate;
+    CacheArray lru(4 * 1024, 4, BLOCK);
+    lru.insert(0x100 * BLOCK, CacheState::Shared, victim, vstate);
+    for (int i = 0; i < 200; ++i) {
+        lru.touch(0x100 * BLOCK);
+        lru.insert(static_cast<Addr>(i) * BLOCK, CacheState::Shared,
+                   victim, vstate);
+    }
+    EXPECT_NE(lru.lookup(0x100 * BLOCK), CacheState::Invalid)
+        << "continuously touched line must stay resident";
+}
+
+TEST(CacheArray, HighBitsDontAlias)
+{
+    // Per-core private bases differ only above bit 32; they must not
+    // all collapse into the same sets.
+    CacheArray c(32 * 1024, 4, BLOCK); // 256 lines
+    Addr victim;
+    CacheState vstate;
+    int evictions = 0;
+    for (int core = 0; core < 64; ++core) {
+        Addr base = static_cast<Addr>(core + 1) << 32;
+        for (int b = 0; b < 4; ++b)
+            if (c.insert(base + static_cast<Addr>(b) * BLOCK,
+                         CacheState::Shared, victim, vstate))
+                ++evictions;
+    }
+    // 256 inserts into 256 lines: with good index mixing, few
+    // evictions; with aliasing, ~192.
+    EXPECT_LT(evictions, 120);
+}
+
+TEST(CacheArray, BlockAlignment)
+{
+    CacheArray c(4 * 1024, 4, BLOCK);
+    EXPECT_EQ(c.blockAddr(0x12345), static_cast<Addr>(0x12345) & ~0x7FULL);
+    EXPECT_EQ(c.blockBytes(), BLOCK);
+}
+
+} // namespace
+} // namespace hnoc

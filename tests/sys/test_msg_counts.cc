@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Protocol message-mix tests via CmpSystem::msgCount, plus the
+ * Network::dumpState debug snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heteronoc/layout.hh"
+#include "sys/cmp_system.hh"
+#include "sys/workloads.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(MsgCounts, ProtocolInvariants)
+{
+    CmpSystem sys(makeLayoutConfig(LayoutKind::Baseline), CmpConfig{});
+    sys.assignWorkloadAll(workloadByName("TPC-C"));
+    sys.warmCaches(20000);
+    sys.run(8000);
+
+    auto n = [&](MsgType t) { return sys.msgCount(t); };
+
+    // Requests exist and every request class eventually gets answered.
+    EXPECT_GT(n(MsgType::GetS), 0u);
+    EXPECT_GT(n(MsgType::GetX), 0u);
+
+    // Data grants can't outnumber requests.
+    EXPECT_LE(n(MsgType::DataS) + n(MsgType::DataE) +
+                  n(MsgType::DataM) + n(MsgType::UpgradeAck),
+              n(MsgType::GetS) + n(MsgType::GetX));
+
+    // Invalidation handshake: acks match invs once drained; during a
+    // run acks can lag by in-flight invs only.
+    EXPECT_LE(n(MsgType::InvAck), n(MsgType::Inv));
+    EXPECT_GE(n(MsgType::InvAck) + 512, n(MsgType::Inv));
+
+    // Forwards produce owner responses.
+    EXPECT_LE(n(MsgType::OwnerWb),
+              n(MsgType::FwdGetS) + n(MsgType::FwdGetX) + 512);
+
+    // Writebacks get acknowledged.
+    EXPECT_LE(n(MsgType::WbAck), n(MsgType::PutM));
+
+    // DRAM reads get responses.
+    EXPECT_LE(n(MsgType::MemData), n(MsgType::MemRead));
+}
+
+TEST(MsgCounts, SharedWritesDriveInvalidations)
+{
+    auto invs_for = [](const char *workload) {
+        CmpSystem sys(makeLayoutConfig(LayoutKind::Baseline),
+                      CmpConfig{});
+        sys.assignWorkloadAll(workloadByName(workload));
+        sys.warmCaches(20000);
+        sys.run(6000);
+        return sys.msgCount(MsgType::Inv);
+    };
+    // TPC-C (8 % shared, 30 % shared writes) invalidates far more than
+    // vips (2 % shared, 10 % shared writes).
+    EXPECT_GT(invs_for("TPC-C"), 2 * invs_for("vips"));
+}
+
+TEST(DumpState, ShowsOccupancyAndQueues)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    for (int i = 0; i < 10; ++i)
+        net.enqueuePacket(0, 63, 6);
+    net.run(20);
+    std::string dump = net.dumpState();
+    EXPECT_NE(dump.find("buffer occupancy"), std::string::npos);
+    EXPECT_NE(dump.find("in flight"), std::string::npos);
+    // Queued packets at node 0 show up.
+    EXPECT_NE(dump.find("node 0:"), std::string::npos);
+}
+
+} // namespace
+} // namespace hnoc
