@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_cmesh_hetero.dir/extra_cmesh_hetero.cc.o"
+  "CMakeFiles/extra_cmesh_hetero.dir/extra_cmesh_hetero.cc.o.d"
+  "extra_cmesh_hetero"
+  "extra_cmesh_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_cmesh_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

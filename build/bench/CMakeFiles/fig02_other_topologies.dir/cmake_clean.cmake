@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_other_topologies.dir/fig02_other_topologies.cc.o"
+  "CMakeFiles/fig02_other_topologies.dir/fig02_other_topologies.cc.o.d"
+  "fig02_other_topologies"
+  "fig02_other_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_other_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

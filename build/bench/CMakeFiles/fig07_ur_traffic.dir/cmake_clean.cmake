@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ur_traffic.dir/fig07_ur_traffic.cc.o"
+  "CMakeFiles/fig07_ur_traffic.dir/fig07_ur_traffic.cc.o.d"
+  "fig07_ur_traffic"
+  "fig07_ur_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ur_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_breakdowns.dir/fig08_breakdowns.cc.o"
+  "CMakeFiles/fig08_breakdowns.dir/fig08_breakdowns.cc.o.d"
+  "fig08_breakdowns"
+  "fig08_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_memory_controllers.dir/fig13_memory_controllers.cc.o"
+  "CMakeFiles/fig13_memory_controllers.dir/fig13_memory_controllers.cc.o.d"
+  "fig13_memory_controllers"
+  "fig13_memory_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memory_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_asymmetric_cmp.dir/fig14_asymmetric_cmp.cc.o"
+  "CMakeFiles/fig14_asymmetric_cmp.dir/fig14_asymmetric_cmp.cc.o.d"
+  "fig14_asymmetric_cmp"
+  "fig14_asymmetric_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_asymmetric_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_link_ratio.dir/future_link_ratio.cc.o"
+  "CMakeFiles/future_link_ratio.dir/future_link_ratio.cc.o.d"
+  "future_link_ratio"
+  "future_link_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_link_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for future_link_ratio.
+# This may be replaced when dependencies are built.

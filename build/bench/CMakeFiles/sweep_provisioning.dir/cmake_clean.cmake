@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_provisioning.dir/sweep_provisioning.cc.o"
+  "CMakeFiles/sweep_provisioning.dir/sweep_provisioning.cc.o.d"
+  "sweep_provisioning"
+  "sweep_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_router_comparison.dir/table1_router_comparison.cc.o"
+  "CMakeFiles/table1_router_comparison.dir/table1_router_comparison.cc.o.d"
+  "table1_router_comparison"
+  "table1_router_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_router_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asymmetric_cmp.dir/asymmetric_cmp.cpp.o"
+  "CMakeFiles/asymmetric_cmp.dir/asymmetric_cmp.cpp.o.d"
+  "asymmetric_cmp"
+  "asymmetric_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asymmetric_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_workload_study.dir/cmp_workload_study.cpp.o"
+  "CMakeFiles/cmp_workload_study.dir/cmp_workload_study.cpp.o.d"
+  "cmp_workload_study"
+  "cmp_workload_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_workload_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_trace.dir/flit_trace.cpp.o"
+  "CMakeFiles/flit_trace.dir/flit_trace.cpp.o.d"
+  "flit_trace"
+  "flit_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

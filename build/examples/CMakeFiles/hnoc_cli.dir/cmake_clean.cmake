@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_cli.dir/hnoc_cli.cpp.o"
+  "CMakeFiles/hnoc_cli.dir/hnoc_cli.cpp.o.d"
+  "hnoc_cli"
+  "hnoc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

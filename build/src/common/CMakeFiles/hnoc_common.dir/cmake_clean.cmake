@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_common.dir/logging.cc.o"
+  "CMakeFiles/hnoc_common.dir/logging.cc.o.d"
+  "CMakeFiles/hnoc_common.dir/report.cc.o"
+  "CMakeFiles/hnoc_common.dir/report.cc.o.d"
+  "CMakeFiles/hnoc_common.dir/stats.cc.o"
+  "CMakeFiles/hnoc_common.dir/stats.cc.o.d"
+  "libhnoc_common.a"
+  "libhnoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

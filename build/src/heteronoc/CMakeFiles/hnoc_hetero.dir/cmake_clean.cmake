@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_hetero.dir/constraints.cc.o"
+  "CMakeFiles/hnoc_hetero.dir/constraints.cc.o.d"
+  "CMakeFiles/hnoc_hetero.dir/design_space.cc.o"
+  "CMakeFiles/hnoc_hetero.dir/design_space.cc.o.d"
+  "CMakeFiles/hnoc_hetero.dir/layout.cc.o"
+  "CMakeFiles/hnoc_hetero.dir/layout.cc.o.d"
+  "libhnoc_hetero.a"
+  "libhnoc_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhnoc_hetero.a"
+)

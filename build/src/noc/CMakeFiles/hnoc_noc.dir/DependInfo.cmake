@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/config_io.cc" "src/noc/CMakeFiles/hnoc_noc.dir/config_io.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/config_io.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/hnoc_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/network.cc.o.d"
+  "/root/repo/src/noc/network_interface.cc" "src/noc/CMakeFiles/hnoc_noc.dir/network_interface.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/network_interface.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/noc/CMakeFiles/hnoc_noc.dir/router.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/router.cc.o.d"
+  "/root/repo/src/noc/routing.cc" "src/noc/CMakeFiles/hnoc_noc.dir/routing.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/routing.cc.o.d"
+  "/root/repo/src/noc/sim_harness.cc" "src/noc/CMakeFiles/hnoc_noc.dir/sim_harness.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/sim_harness.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/noc/CMakeFiles/hnoc_noc.dir/topology.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/topology.cc.o.d"
+  "/root/repo/src/noc/traffic.cc" "src/noc/CMakeFiles/hnoc_noc.dir/traffic.cc.o" "gcc" "src/noc/CMakeFiles/hnoc_noc.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hnoc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hnoc_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_noc.dir/config_io.cc.o"
+  "CMakeFiles/hnoc_noc.dir/config_io.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/network.cc.o"
+  "CMakeFiles/hnoc_noc.dir/network.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/network_interface.cc.o"
+  "CMakeFiles/hnoc_noc.dir/network_interface.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/router.cc.o"
+  "CMakeFiles/hnoc_noc.dir/router.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/routing.cc.o"
+  "CMakeFiles/hnoc_noc.dir/routing.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/sim_harness.cc.o"
+  "CMakeFiles/hnoc_noc.dir/sim_harness.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/topology.cc.o"
+  "CMakeFiles/hnoc_noc.dir/topology.cc.o.d"
+  "CMakeFiles/hnoc_noc.dir/traffic.cc.o"
+  "CMakeFiles/hnoc_noc.dir/traffic.cc.o.d"
+  "libhnoc_noc.a"
+  "libhnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

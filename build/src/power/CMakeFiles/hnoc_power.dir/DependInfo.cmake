@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/area_model.cc" "src/power/CMakeFiles/hnoc_power.dir/area_model.cc.o" "gcc" "src/power/CMakeFiles/hnoc_power.dir/area_model.cc.o.d"
+  "/root/repo/src/power/frequency_model.cc" "src/power/CMakeFiles/hnoc_power.dir/frequency_model.cc.o" "gcc" "src/power/CMakeFiles/hnoc_power.dir/frequency_model.cc.o.d"
+  "/root/repo/src/power/router_power.cc" "src/power/CMakeFiles/hnoc_power.dir/router_power.cc.o" "gcc" "src/power/CMakeFiles/hnoc_power.dir/router_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

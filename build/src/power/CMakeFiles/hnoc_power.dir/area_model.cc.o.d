@@ -1,0 +1,3 @@
+src/power/CMakeFiles/hnoc_power.dir/area_model.cc.o: \
+ /root/repo/src/power/area_model.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/area_model.hh /root/repo/src/power/router_params.hh

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_power.dir/area_model.cc.o"
+  "CMakeFiles/hnoc_power.dir/area_model.cc.o.d"
+  "CMakeFiles/hnoc_power.dir/frequency_model.cc.o"
+  "CMakeFiles/hnoc_power.dir/frequency_model.cc.o.d"
+  "CMakeFiles/hnoc_power.dir/router_power.cc.o"
+  "CMakeFiles/hnoc_power.dir/router_power.cc.o.d"
+  "libhnoc_power.a"
+  "libhnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

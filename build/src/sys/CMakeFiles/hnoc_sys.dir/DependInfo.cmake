@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/cache.cc" "src/sys/CMakeFiles/hnoc_sys.dir/cache.cc.o" "gcc" "src/sys/CMakeFiles/hnoc_sys.dir/cache.cc.o.d"
+  "/root/repo/src/sys/cmp_system.cc" "src/sys/CMakeFiles/hnoc_sys.dir/cmp_system.cc.o" "gcc" "src/sys/CMakeFiles/hnoc_sys.dir/cmp_system.cc.o.d"
+  "/root/repo/src/sys/mc_placement.cc" "src/sys/CMakeFiles/hnoc_sys.dir/mc_placement.cc.o" "gcc" "src/sys/CMakeFiles/hnoc_sys.dir/mc_placement.cc.o.d"
+  "/root/repo/src/sys/workloads.cc" "src/sys/CMakeFiles/hnoc_sys.dir/workloads.cc.o" "gcc" "src/sys/CMakeFiles/hnoc_sys.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/hnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

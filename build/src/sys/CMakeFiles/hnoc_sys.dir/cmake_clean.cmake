@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnoc_sys.dir/cache.cc.o"
+  "CMakeFiles/hnoc_sys.dir/cache.cc.o.d"
+  "CMakeFiles/hnoc_sys.dir/cmp_system.cc.o"
+  "CMakeFiles/hnoc_sys.dir/cmp_system.cc.o.d"
+  "CMakeFiles/hnoc_sys.dir/mc_placement.cc.o"
+  "CMakeFiles/hnoc_sys.dir/mc_placement.cc.o.d"
+  "CMakeFiles/hnoc_sys.dir/workloads.cc.o"
+  "CMakeFiles/hnoc_sys.dir/workloads.cc.o.d"
+  "libhnoc_sys.a"
+  "libhnoc_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnoc_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

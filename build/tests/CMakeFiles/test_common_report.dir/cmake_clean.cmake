@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_report.dir/common/test_report.cc.o"
+  "CMakeFiles/test_common_report.dir/common/test_report.cc.o.d"
+  "test_common_report"
+  "test_common_report.pdb"
+  "test_common_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

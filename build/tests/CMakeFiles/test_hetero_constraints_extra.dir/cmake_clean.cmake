@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_constraints_extra.dir/heteronoc/test_constraints_extra.cc.o"
+  "CMakeFiles/test_hetero_constraints_extra.dir/heteronoc/test_constraints_extra.cc.o.d"
+  "test_hetero_constraints_extra"
+  "test_hetero_constraints_extra.pdb"
+  "test_hetero_constraints_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_constraints_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

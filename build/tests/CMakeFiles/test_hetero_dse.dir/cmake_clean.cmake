@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_dse.dir/heteronoc/test_design_space.cc.o"
+  "CMakeFiles/test_hetero_dse.dir/heteronoc/test_design_space.cc.o.d"
+  "test_hetero_dse"
+  "test_hetero_dse.pdb"
+  "test_hetero_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_layout.dir/heteronoc/test_layout.cc.o"
+  "CMakeFiles/test_hetero_layout.dir/heteronoc/test_layout.cc.o.d"
+  "test_hetero_layout"
+  "test_hetero_layout.pdb"
+  "test_hetero_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

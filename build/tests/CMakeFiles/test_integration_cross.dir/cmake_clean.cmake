@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_cross.dir/integration/test_cross_features.cc.o"
+  "CMakeFiles/test_integration_cross.dir/integration/test_cross_features.cc.o.d"
+  "test_integration_cross"
+  "test_integration_cross.pdb"
+  "test_integration_cross[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

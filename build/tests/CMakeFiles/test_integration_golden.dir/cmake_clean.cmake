@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_golden.dir/integration/test_golden.cc.o"
+  "CMakeFiles/test_integration_golden.dir/integration/test_golden.cc.o.d"
+  "test_integration_golden"
+  "test_integration_golden.pdb"
+  "test_integration_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

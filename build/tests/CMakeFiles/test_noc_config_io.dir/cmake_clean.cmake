@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_config_io.dir/noc/test_config_io.cc.o"
+  "CMakeFiles/test_noc_config_io.dir/noc/test_config_io.cc.o.d"
+  "test_noc_config_io"
+  "test_noc_config_io.pdb"
+  "test_noc_config_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_config_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_failures.dir/noc/test_failure_modes.cc.o"
+  "CMakeFiles/test_noc_failures.dir/noc/test_failure_modes.cc.o.d"
+  "test_noc_failures"
+  "test_noc_failures.pdb"
+  "test_noc_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

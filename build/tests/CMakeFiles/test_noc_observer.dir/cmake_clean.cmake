@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_observer.dir/noc/test_observer.cc.o"
+  "CMakeFiles/test_noc_observer.dir/noc/test_observer.cc.o.d"
+  "test_noc_observer"
+  "test_noc_observer.pdb"
+  "test_noc_observer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_properties.dir/noc/test_network_properties.cc.o"
+  "CMakeFiles/test_noc_properties.dir/noc/test_network_properties.cc.o.d"
+  "test_noc_properties"
+  "test_noc_properties.pdb"
+  "test_noc_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

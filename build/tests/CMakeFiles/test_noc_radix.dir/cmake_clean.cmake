@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_radix.dir/noc/test_radix_generality.cc.o"
+  "CMakeFiles/test_noc_radix.dir/noc/test_radix_generality.cc.o.d"
+  "test_noc_radix"
+  "test_noc_radix.pdb"
+  "test_noc_radix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_router.dir/noc/test_router.cc.o"
+  "CMakeFiles/test_noc_router.dir/noc/test_router.cc.o.d"
+  "test_noc_router"
+  "test_noc_router.pdb"
+  "test_noc_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

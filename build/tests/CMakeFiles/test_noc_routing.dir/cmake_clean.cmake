@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_routing.dir/noc/test_routing.cc.o"
+  "CMakeFiles/test_noc_routing.dir/noc/test_routing.cc.o.d"
+  "test_noc_routing"
+  "test_noc_routing.pdb"
+  "test_noc_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

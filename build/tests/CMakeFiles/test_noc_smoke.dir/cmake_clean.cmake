@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_smoke.dir/noc/test_smoke.cc.o"
+  "CMakeFiles/test_noc_smoke.dir/noc/test_smoke.cc.o.d"
+  "test_noc_smoke"
+  "test_noc_smoke.pdb"
+  "test_noc_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_watchdog.dir/noc/test_watchdog_ni.cc.o"
+  "CMakeFiles/test_noc_watchdog.dir/noc/test_watchdog_ni.cc.o.d"
+  "test_noc_watchdog"
+  "test_noc_watchdog.pdb"
+  "test_noc_watchdog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

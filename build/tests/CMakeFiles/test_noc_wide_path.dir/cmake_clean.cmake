@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_wide_path.dir/noc/test_wide_path.cc.o"
+  "CMakeFiles/test_noc_wide_path.dir/noc/test_wide_path.cc.o.d"
+  "test_noc_wide_path"
+  "test_noc_wide_path.pdb"
+  "test_noc_wide_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_wide_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/test_power.cc" "tests/CMakeFiles/test_power.dir/power/test_power.cc.o" "gcc" "tests/CMakeFiles/test_power.dir/power/test_power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/hnoc_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/heteronoc/CMakeFiles/hnoc_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/hnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_cache.dir/sys/test_cache.cc.o"
+  "CMakeFiles/test_sys_cache.dir/sys/test_cache.cc.o.d"
+  "test_sys_cache"
+  "test_sys_cache.pdb"
+  "test_sys_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_cmp.dir/sys/test_cmp.cc.o"
+  "CMakeFiles/test_sys_cmp.dir/sys/test_cmp.cc.o.d"
+  "test_sys_cmp"
+  "test_sys_cmp.pdb"
+  "test_sys_cmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

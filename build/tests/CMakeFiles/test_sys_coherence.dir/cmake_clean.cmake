@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_coherence.dir/sys/test_coherence.cc.o"
+  "CMakeFiles/test_sys_coherence.dir/sys/test_coherence.cc.o.d"
+  "test_sys_coherence"
+  "test_sys_coherence.pdb"
+  "test_sys_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

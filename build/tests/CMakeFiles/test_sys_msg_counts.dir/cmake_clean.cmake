@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_msg_counts.dir/sys/test_msg_counts.cc.o"
+  "CMakeFiles/test_sys_msg_counts.dir/sys/test_msg_counts.cc.o.d"
+  "test_sys_msg_counts"
+  "test_sys_msg_counts.pdb"
+  "test_sys_msg_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_msg_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_protocol.dir/sys/test_protocol_accounting.cc.o"
+  "CMakeFiles/test_sys_protocol.dir/sys/test_protocol_accounting.cc.o.d"
+  "test_sys_protocol"
+  "test_sys_protocol.pdb"
+  "test_sys_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

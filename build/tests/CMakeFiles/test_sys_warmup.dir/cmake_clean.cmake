@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sys_warmup.dir/sys/test_warmup.cc.o"
+  "CMakeFiles/test_sys_warmup.dir/sys/test_warmup.cc.o.d"
+  "test_sys_warmup"
+  "test_sys_warmup.pdb"
+  "test_sys_warmup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sys_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

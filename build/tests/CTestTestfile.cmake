@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_router[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_cmp[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_common_report[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero_dse[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_observer[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_watchdog[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_radix[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_config[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_config_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_msg_counts[1]_include.cmake")
+include("/root/repo/build/tests/test_hetero_constraints_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_wide_path[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_cross[1]_include.cmake")
+include("/root/repo/build/tests/test_sys_warmup[1]_include.cmake")
