@@ -207,6 +207,81 @@ runClosedLoopMem(const NetworkConfig &net_cfg,
     return client.roundTripNs();
 }
 
+/** One layout's load-latency curve plus its zero-load latency. */
+struct LayoutCurve
+{
+    LayoutKind kind;
+    std::vector<SimPointResult> points;
+    double zeroLoadNs = 0.0;
+};
+
+/**
+ * Shared parallel runner for layout comparisons: every (layout, rate)
+ * sim point plus one zero-load point per layout goes into a single
+ * batch on the shared JobPool, so cross-layout points overlap instead
+ * of running layout-by-layout. Bit-identical to the former serial
+ * sweepLoad + zeroLoadLatencyNs loop (same configs, same seeds).
+ */
+inline std::vector<LayoutCurve>
+runLayoutSweeps(const std::vector<LayoutKind> &kinds,
+                TrafficPattern pattern, const std::vector<double> &rates,
+                const SimPointOptions &opts)
+{
+    std::vector<BatchPoint> batch;
+    batch.reserve(kinds.size() * (rates.size() + 1));
+    for (LayoutKind kind : kinds) {
+        NetworkConfig cfg = makeLayoutConfig(kind);
+        for (double r : rates) {
+            BatchPoint bp;
+            bp.config = cfg;
+            bp.pattern = pattern;
+            bp.opts = opts;
+            bp.opts.injectionRate = r;
+            batch.push_back(std::move(bp));
+        }
+        BatchPoint zl; // mirrors zeroLoadLatencyNs(cfg, pattern)
+        zl.config = cfg;
+        zl.pattern = pattern;
+        zl.opts.injectionRate = 0.001;
+        zl.opts.seed = 1;
+        batch.push_back(std::move(zl));
+    }
+
+    std::vector<SimPointResult> results = runBatch(batch);
+
+    std::vector<LayoutCurve> curves;
+    curves.reserve(kinds.size());
+    std::size_t idx = 0;
+    for (LayoutKind kind : kinds) {
+        LayoutCurve c;
+        c.kind = kind;
+        c.points.assign(results.begin() + static_cast<std::ptrdiff_t>(idx),
+                        results.begin() +
+                            static_cast<std::ptrdiff_t>(idx + rates.size()));
+        idx += rates.size();
+        c.zeroLoadNs = results[idx++].avgLatencyNs;
+        curves.push_back(std::move(c));
+    }
+    return curves;
+}
+
+/** Run one identical sim point per layout in parallel (input order). */
+inline std::vector<SimPointResult>
+runLayoutPoints(const std::vector<LayoutKind> &kinds,
+                TrafficPattern pattern, const SimPointOptions &opts)
+{
+    std::vector<BatchPoint> batch;
+    batch.reserve(kinds.size());
+    for (LayoutKind kind : kinds) {
+        BatchPoint bp;
+        bp.config = makeLayoutConfig(kind);
+        bp.pattern = pattern;
+        bp.opts = opts;
+        batch.push_back(std::move(bp));
+    }
+    return runBatch(batch);
+}
+
 /**
  * Shared driver for the Fig 7 / Fig 9 synthetic-traffic comparisons:
  * load-latency curves, throughput / average-latency / zero-load
@@ -216,27 +291,15 @@ inline void
 runSyntheticComparison(TrafficPattern pattern,
                        const std::vector<double> &rates)
 {
-    struct Curve
-    {
-        LayoutKind kind;
-        std::vector<SimPointResult> points;
-        double zeroLoadNs = 0.0;
-    };
+    using Curve = LayoutCurve;
 
     SimPointOptions opts;
     opts.warmupCycles = 6000;
     opts.measureCycles = 15000;
     opts.drainCycles = 30000;
 
-    std::vector<Curve> curves;
-    for (LayoutKind kind : allLayouts()) {
-        Curve c;
-        c.kind = kind;
-        NetworkConfig cfg = makeLayoutConfig(kind);
-        c.points = sweepLoad(cfg, pattern, rates, opts);
-        c.zeroLoadNs = zeroLoadLatencyNs(cfg, pattern);
-        curves.push_back(std::move(c));
-    }
+    std::vector<Curve> curves =
+        runLayoutSweeps(allLayouts(), pattern, rates, opts);
 
     const Curve &base = curves.front();
 

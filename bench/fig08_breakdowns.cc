@@ -28,11 +28,12 @@ main()
         LayoutKind kind;
         SimPointResult res;
     };
+    std::vector<LayoutKind> kinds = allLayouts();
+    std::vector<SimPointResult> results =
+        runLayoutPoints(kinds, TrafficPattern::UniformRandom, opts);
     std::vector<Run> runs;
-    for (LayoutKind kind : allLayouts())
-        runs.push_back({kind, runOpenLoop(makeLayoutConfig(kind),
-                                          TrafficPattern::UniformRandom,
-                                          opts)});
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+        runs.push_back({kinds[i], results[i]});
 
     const SimPointResult &base = runs.front().res;
     double base_total = base.avgLatencyNs;

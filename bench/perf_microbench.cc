@@ -7,9 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/job_pool.hh"
 #include "heteronoc/constraints.hh"
 #include "heteronoc/layout.hh"
 #include "noc/network.hh"
+#include "noc/sim_harness.hh"
 #include "noc/traffic.hh"
 #include "power/router_power.hh"
 
@@ -53,6 +55,84 @@ BM_NetworkStepDiagonalBL(benchmark::State &state)
     networkStep(state, LayoutKind::DiagonalBL);
 }
 BENCHMARK(BM_NetworkStepDiagonalBL);
+
+/**
+ * Cycles/second of an idle network: no injection, so every router's
+ * routeCompute should skip all ports via the rcPending fast path.
+ */
+void
+BM_NetworkStepIdle(benchmark::State &state)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    Network net(cfg);
+    for (auto _ : state)
+        net.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkStepIdle);
+
+/** Job-pool overhead: submit + drain a burst of trivial jobs. */
+void
+BM_JobPoolSubmitDrain(benchmark::State &state)
+{
+    JobPool pool(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto results = pool.runOrdered(
+            64, [](std::size_t i) { return static_cast<int>(i * i); });
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_JobPoolSubmitDrain)->Arg(1)->Arg(2)->Arg(4);
+
+namespace
+{
+
+const std::vector<double> kSweepRates = {0.01, 0.02, 0.03, 0.04};
+
+SimPointOptions
+sweepBenchOptions()
+{
+    // Short but non-trivial points; the serial/parallel pair below is
+    // the perf-trajectory probe for the experiment engine.
+    SimPointOptions opts;
+    opts.warmupCycles = 500;
+    opts.measureCycles = 1500;
+    opts.drainCycles = 3000;
+    return opts;
+}
+
+} // namespace
+
+void
+BM_SweepLoadSerial(benchmark::State &state)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    for (auto _ : state) {
+        auto curve = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                                     kSweepRates, sweepBenchOptions());
+        benchmark::DoNotOptimize(curve.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kSweepRates.size()));
+}
+BENCHMARK(BM_SweepLoadSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepLoadParallel(benchmark::State &state)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    JobPool pool(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto curve = sweepLoad(cfg, TrafficPattern::UniformRandom,
+                               kSweepRates, sweepBenchOptions(), &pool);
+        benchmark::DoNotOptimize(curve.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kSweepRates.size()));
+}
+BENCHMARK(BM_SweepLoadParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_PowerModelCalibration(benchmark::State &state)

@@ -10,9 +10,11 @@
  *   ./examples/design_space_explorer [num_big=8]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/job_pool.hh"
 #include "heteronoc/design_space.hh"
 #include "heteronoc/layout.hh"
 
@@ -49,9 +51,17 @@ main(int argc, char **argv)
     }
 
     std::printf("\nSimulating the top candidates plus references "
-                "(UR @ 0.05 pkt/node/cycle)...\n");
-    simulateTopPlacements(top, radix, 0.05);
-    simulateTopPlacements(refs, radix, 0.05);
+                "(UR @ 0.05 pkt/node/cycle, %d threads)...\n",
+                JobPool::shared().threadCount());
+    // One batch over candidates + references so every cycle-accurate
+    // evaluation runs concurrently on the shared pool.
+    std::vector<PlacementScore> all = top;
+    all.insert(all.end(), refs.begin(), refs.end());
+    simulateTopPlacements(all, radix, 0.05);
+    std::copy(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(
+                                             top.size()), top.begin());
+    std::copy(all.begin() + static_cast<std::ptrdiff_t>(top.size()),
+              all.end(), refs.begin());
     for (std::size_t i = 0; i < top.size(); ++i)
         std::printf("top-%zu: score %.4f -> %.1f ns\n", i + 1,
                     top[i].score, top[i].simLatencyNs);

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 
 #include "heteronoc/layout.hh"
 #include "noc/sim_harness.hh"
@@ -32,16 +33,27 @@ main(int argc, char **argv)
     std::printf("%-18s %14s %14s %12s %12s\n", "pattern",
                 "baseline (ns)", "hetero (ns)", "base P (W)",
                 "hetero P (W)");
+    // All (network, pattern) points are independent: run the whole
+    // tour as one parallel batch on the shared pool.
+    std::vector<BatchPoint> batch;
     for (TrafficPattern p : patterns) {
-        SimPointOptions opts;
-        opts.injectionRate = rate;
-        SimPointResult rb = runOpenLoop(base, p, opts);
-        SimPointResult rh = runOpenLoop(het, p, opts);
+        for (const NetworkConfig &cfg : {base, het}) {
+            BatchPoint bp;
+            bp.config = cfg;
+            bp.pattern = p;
+            bp.opts.injectionRate = rate;
+            batch.push_back(std::move(bp));
+        }
+    }
+    std::vector<SimPointResult> results = runBatch(batch);
+    for (std::size_t i = 0; i < std::size(patterns); ++i) {
+        const SimPointResult &rb = results[2 * i];
+        const SimPointResult &rh = results[2 * i + 1];
         std::printf("%-18s %13.1f%s %13.1f%s %12.1f %12.1f\n",
-                    trafficPatternName(p).c_str(), rb.avgLatencyNs,
-                    rb.saturated ? "*" : " ", rh.avgLatencyNs,
-                    rh.saturated ? "*" : " ", rb.networkPowerW,
-                    rh.networkPowerW);
+                    trafficPatternName(patterns[i]).c_str(),
+                    rb.avgLatencyNs, rb.saturated ? "*" : " ",
+                    rh.avgLatencyNs, rh.saturated ? "*" : " ",
+                    rb.networkPowerW, rh.networkPowerW);
     }
     std::printf("(* = network saturated at this load)\n");
     return 0;

@@ -1,18 +1,25 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace hnoc
 {
 
 namespace
 {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
+
+// Serializes whole messages so concurrent sim-point workers can't
+// interleave their output mid-line.
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(reportMutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");

@@ -176,21 +176,26 @@ explorePlacements(int radix, int num_big, int top_k)
 
 void
 simulateTopPlacements(std::vector<PlacementScore> &placements, int radix,
-                      double rate, std::uint64_t seed)
+                      double rate, std::uint64_t seed, JobPool *pool)
 {
-    for (PlacementScore &ps : placements) {
-        NetworkConfig cfg =
+    // Candidates are independent sim points: fan them out as a batch.
+    std::vector<BatchPoint> points;
+    points.reserve(placements.size());
+    for (const PlacementScore &ps : placements) {
+        BatchPoint bp;
+        bp.config =
             makeHeteroConfig(ps.bigMask, true, radix, "dse-candidate");
-        SimPointOptions opts;
-        opts.injectionRate = rate;
-        opts.warmupCycles = 3000;
-        opts.measureCycles = 8000;
-        opts.drainCycles = 16000;
-        opts.seed = seed;
-        SimPointResult res =
-            runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
-        ps.simLatencyNs = res.avgLatencyNs;
+        bp.pattern = TrafficPattern::UniformRandom;
+        bp.opts.injectionRate = rate;
+        bp.opts.warmupCycles = 3000;
+        bp.opts.measureCycles = 8000;
+        bp.opts.drainCycles = 16000;
+        bp.opts.seed = seed;
+        points.push_back(std::move(bp));
     }
+    std::vector<SimPointResult> results = runBatch(points, pool);
+    for (std::size_t i = 0; i < placements.size(); ++i)
+        placements[i].simLatencyNs = results[i].avgLatencyNs;
 }
 
 } // namespace hnoc

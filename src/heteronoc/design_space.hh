@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/job_pool.hh"
 #include "noc/network_config.hh"
 
 namespace hnoc
@@ -48,12 +49,15 @@ double binomial(int n, int k);
 
 /**
  * Run short uniform-random simulations of the given placements (+BL
- * semantics) and fill PlacementScore::simLatencyNs.
+ * semantics), in parallel on @p pool (shared pool when null), and fill
+ * PlacementScore::simLatencyNs. Results are deterministic: every
+ * candidate is an independent sim point with its own seed.
  * @param rate injection rate in packets/node/cycle
  */
 void simulateTopPlacements(std::vector<PlacementScore> &placements,
                            int radix, double rate,
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1,
+                           JobPool *pool = nullptr);
 
 } // namespace hnoc
 

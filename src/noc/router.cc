@@ -47,6 +47,8 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
     if (static_cast<int>(ivc.fifo.size()) >= bufferDepth_)
         panic("router %d port %d vc %d: buffer overflow (credit bug)",
               id_, p, flit.vc);
+    if (!ivc.active && ivc.fifo.empty())
+        ++ip.rcPending; // an idle VC just gained a head needing RC
     flit.arrivedAt = now;
     ivc.fifo.push_back(flit);
     ++activity_.bufferWrites;
@@ -80,6 +82,8 @@ void
 Router::routeCompute(Cycle now)
 {
     for (auto &ip : inputs_) {
+        if (ip.rcPending == 0)
+            continue; // no idle VC holds a waiting head
         for (auto &ivc : ip.vcs) {
             if (ivc.active || ivc.fifo.empty())
                 continue;
@@ -92,6 +96,7 @@ Router::routeCompute(Cycle now)
                                head.pkt ? head.pkt->id : 0));
             ivc.pkt = head.pkt;
             ivc.active = true;
+            --ip.rcPending;
             ivc.outPort = routing_.outputPort(id_, *ivc.pkt);
             ivc.outVc = INVALID_VC;
             const OutputPort &op =
@@ -246,6 +251,8 @@ Router::switchAllocate(Cycle now)
                     ivc.outPort = INVALID_PORT;
                     ivc.outVc = INVALID_VC;
                     ivc.pkt = nullptr;
+                    if (!ivc.fifo.empty())
+                        ++ip.rcPending; // next packet's head awaits RC
                     return true; // packet finished at this hop
                 }
                 if (!ivc.fifo.empty())

@@ -105,6 +105,11 @@ class Router
     {
         Channel *chan = nullptr; ///< upstream channel (credits go here)
         std::vector<InputVc> vcs;
+        /** VCs in state (!active && !fifo.empty()), i.e. holding a
+         *  head flit that still needs route compute. routeCompute
+         *  skips the whole port when this is 0 — the common case on a
+         *  lightly loaded network. */
+        int rcPending = 0;
     };
 
     struct OutVcState

@@ -215,9 +215,46 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     return res;
 }
 
+std::uint64_t
+derivePointSeed(std::uint64_t base, std::uint64_t index)
+{
+    // splitmix64 over (base, index): decorrelated streams per point,
+    // identical no matter which thread runs the point.
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<SimPointResult>
+runBatch(const std::vector<BatchPoint> &points, JobPool *pool)
+{
+    return runPointsParallel(
+        points,
+        [](const BatchPoint &p) {
+            return runOpenLoop(p.config, p.pattern, p.opts);
+        },
+        pool);
+}
+
 std::vector<SimPointResult>
 sweepLoad(const NetworkConfig &config, TrafficPattern pattern,
-          const std::vector<double> &rates, SimPointOptions opts)
+          const std::vector<double> &rates, SimPointOptions opts,
+          JobPool *pool)
+{
+    return runPointsParallel(
+        rates,
+        [&](double r) {
+            SimPointOptions o = opts;
+            o.injectionRate = r;
+            return runOpenLoop(config, pattern, o);
+        },
+        pool);
+}
+
+std::vector<SimPointResult>
+sweepLoadSerial(const NetworkConfig &config, TrafficPattern pattern,
+                const std::vector<double> &rates, SimPointOptions opts)
 {
     std::vector<SimPointResult> curve;
     curve.reserve(rates.size());
@@ -226,6 +263,36 @@ sweepLoad(const NetworkConfig &config, TrafficPattern pattern,
         curve.push_back(runOpenLoop(config, pattern, opts));
     }
     return curve;
+}
+
+std::vector<SimPointResult>
+runMultiSeed(const NetworkConfig &config, TrafficPattern pattern,
+             SimPointOptions opts, int num_seeds, JobPool *pool)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(num_seeds));
+    for (int i = 0; i < num_seeds; ++i)
+        seeds.push_back(
+            derivePointSeed(opts.seed, static_cast<std::uint64_t>(i)));
+    return runPointsParallel(
+        seeds,
+        [&](std::uint64_t s) {
+            SimPointOptions o = opts;
+            o.seed = s;
+            return runOpenLoop(config, pattern, o);
+        },
+        pool);
+}
+
+std::vector<SimPointResult>
+runMultiPattern(const NetworkConfig &config,
+                const std::vector<TrafficPattern> &patterns,
+                const SimPointOptions &opts, JobPool *pool)
+{
+    return runPointsParallel(
+        patterns,
+        [&](TrafficPattern p) { return runOpenLoop(config, p, opts); },
+        pool);
 }
 
 double

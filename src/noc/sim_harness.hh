@@ -5,13 +5,20 @@
  * breakdown), accepted throughput, power, utilization maps and the
  * flit-combining rate. Drives every network-only experiment
  * (Figs 1, 2, 7, 8, 9 and the network side of Fig 10).
+ *
+ * Sim points are independent and deterministic (each constructs its own
+ * Network, TrafficGenerator and Rng from its seed), so the batch layer
+ * below fans them out across a JobPool; results are collected in input
+ * order and are bit-identical to the serial loop.
  */
 
 #ifndef HNOC_NOC_SIM_HARNESS_HH
 #define HNOC_NOC_SIM_HARNESS_HH
 
+#include <cstddef>
 #include <vector>
 
+#include "common/job_pool.hh"
 #include "noc/network.hh"
 #include "noc/traffic.hh"
 #include "power/router_power.hh"
@@ -67,10 +74,75 @@ SimPointResult runOpenLoop(const NetworkConfig &config,
                            TrafficPattern pattern,
                            const SimPointOptions &opts);
 
-/** Run a load sweep over @p rates (shared warmup/measure options). */
+/** One point of a heterogeneous batch: full (config, pattern, opts). */
+struct BatchPoint
+{
+    NetworkConfig config;
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    SimPointOptions opts;
+};
+
+/**
+ * Decorrelated per-point seed: splitmix64 of (base, index). Both the
+ * serial and the parallel multi-seed paths derive seeds this way, so
+ * the two produce bit-identical results point for point.
+ */
+std::uint64_t derivePointSeed(std::uint64_t base, std::uint64_t index);
+
+/** Scale factor for simulation lengths from HNOC_SIM_SCALE (default 1). */
+double simScale();
+
+/**
+ * Generic parallel map over experiment points: runs fn(points[i]) on
+ * @p pool (the shared pool when null) and returns results in input
+ * order. fn must not touch shared mutable state; every sim point
+ * already owns its Network/TrafficGenerator/Rng, so the results are
+ * bit-identical to the serial loop regardless of thread count.
+ */
+template <typename Point, typename Fn>
+auto
+runPointsParallel(const std::vector<Point> &points, Fn fn,
+                  JobPool *pool = nullptr)
+    -> std::vector<decltype(fn(points[0]))>
+{
+    simScale(); // settle the env lookup before fanning out
+    JobPool &p = pool ? *pool : JobPool::shared();
+    return p.runOrdered(points.size(),
+                        [&](std::size_t i) { return fn(points[i]); });
+}
+
+/** Run a heterogeneous batch of open-loop points in parallel. */
+std::vector<SimPointResult> runBatch(const std::vector<BatchPoint> &points,
+                                     JobPool *pool = nullptr);
+
+/**
+ * Run a load sweep over @p rates (shared warmup/measure options).
+ * Points run in parallel on @p pool (shared pool when null); results
+ * are ordered by rate and bit-identical to sweepLoadSerial.
+ */
 std::vector<SimPointResult>
 sweepLoad(const NetworkConfig &config, TrafficPattern pattern,
-          const std::vector<double> &rates, SimPointOptions opts);
+          const std::vector<double> &rates, SimPointOptions opts,
+          JobPool *pool = nullptr);
+
+/** Serial reference implementation of sweepLoad (determinism tests). */
+std::vector<SimPointResult>
+sweepLoadSerial(const NetworkConfig &config, TrafficPattern pattern,
+                const std::vector<double> &rates, SimPointOptions opts);
+
+/**
+ * Run @p num_seeds replicas of one point in parallel, seeding replica
+ * i with derivePointSeed(opts.seed, i).
+ */
+std::vector<SimPointResult>
+runMultiSeed(const NetworkConfig &config, TrafficPattern pattern,
+             SimPointOptions opts, int num_seeds, JobPool *pool = nullptr);
+
+/** Run the same point under each pattern in parallel (input order). */
+std::vector<SimPointResult>
+runMultiPattern(const NetworkConfig &config,
+                const std::vector<TrafficPattern> &patterns,
+                const SimPointOptions &opts, JobPool *pool = nullptr);
 
 /** Average packet latency (ns) at a near-zero load. */
 double zeroLoadLatencyNs(const NetworkConfig &config,
@@ -88,9 +160,6 @@ double saturationThroughput(const std::vector<SimPointResult> &curve);
  * the paper's "average latency reduction" compares these.
  */
 double preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve);
-
-/** Scale factor for simulation lengths from HNOC_SIM_SCALE (default 1). */
-double simScale();
 
 } // namespace hnoc
 

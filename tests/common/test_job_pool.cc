@@ -1,0 +1,133 @@
+/**
+ * @file
+ * JobPool unit tests: sizing, FIFO dispatch, ordered result
+ * collection, exception propagation through futures, and saturation
+ * with far more jobs than workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/job_pool.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(JobPool, DefaultThreadCountReadsEnv)
+{
+    ::setenv("HNOC_THREADS", "3", 1);
+    EXPECT_EQ(JobPool::defaultThreadCount(), 3);
+    ::setenv("HNOC_THREADS", "0", 1); // invalid -> hardware fallback
+    EXPECT_GE(JobPool::defaultThreadCount(), 1);
+    ::unsetenv("HNOC_THREADS");
+    EXPECT_GE(JobPool::defaultThreadCount(), 1);
+}
+
+TEST(JobPool, EnvSizedPoolHasOneWorker)
+{
+    ::setenv("HNOC_THREADS", "1", 1);
+    JobPool pool; // sized from the environment
+    EXPECT_EQ(pool.threadCount(), 1);
+    ::unsetenv("HNOC_THREADS");
+}
+
+TEST(JobPool, ExplicitThreadCount)
+{
+    JobPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+}
+
+TEST(JobPool, SubmitReturnsResult)
+{
+    JobPool pool(2);
+    auto fut = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(JobPool, SingleWorkerRunsJobsInSubmissionOrder)
+{
+    JobPool pool(1);
+    std::vector<int> order;
+    std::mutex m;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 32; ++i)
+        futs.push_back(pool.submit([&, i] {
+            std::lock_guard<std::mutex> lock(m);
+            order.push_back(i);
+        }));
+    for (auto &f : futs)
+        f.get();
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(JobPool, RunOrderedCollectsInInputOrder)
+{
+    JobPool pool(4);
+    auto results = pool.runOrdered(
+        100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(results.size(), 100u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], static_cast<int>(i) * 3);
+}
+
+TEST(JobPool, ExceptionPropagatesThroughFuture)
+{
+    JobPool pool(2);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    // The worker survives the exception and keeps serving jobs.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(JobPool, RunOrderedRethrowsFirstFailure)
+{
+    JobPool pool(2);
+    EXPECT_THROW(pool.runOrdered(16,
+                                 [](std::size_t i) -> int {
+                                     if (i == 5)
+                                         throw std::invalid_argument("x");
+                                     return static_cast<int>(i);
+                                 }),
+                 std::invalid_argument);
+}
+
+TEST(JobPool, SaturationManyMoreJobsThanWorkers)
+{
+    JobPool pool(2);
+    std::atomic<int> done{0};
+    auto results = pool.runOrdered(500, [&](std::size_t i) {
+        done.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(i);
+    });
+    EXPECT_EQ(done.load(), 500);
+    ASSERT_EQ(results.size(), 500u);
+    EXPECT_EQ(results.front(), 0);
+    EXPECT_EQ(results.back(), 499);
+}
+
+TEST(JobPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> done{0};
+    {
+        JobPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&] {
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No get(): destruction must still run every queued job.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+} // namespace
+} // namespace hnoc

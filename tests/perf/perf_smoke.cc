@@ -1,0 +1,61 @@
+/**
+ * @file
+ * perf-smoke CTest target: one short load sweep through the parallel
+ * experiment engine, checked bit-identical against the serial path.
+ * Small enough to run under ThreadSanitizer (-DHNOC_TSAN=ON), where it
+ * exercises the JobPool queue, the future hand-off and the shared-state
+ * audit of the sim harness under real contention:
+ *
+ *   ctest -L perf-smoke --output-on-failure
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/job_pool.hh"
+#include "heteronoc/layout.hh"
+#include "noc/sim_harness.hh"
+
+using namespace hnoc;
+
+int
+main()
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    SimPointOptions opts;
+    opts.warmupCycles = 500;
+    opts.measureCycles = 1200;
+    opts.drainCycles = 2500;
+    opts.seed = 5;
+    const std::vector<double> rates = {0.01, 0.02, 0.03, 0.04};
+
+    JobPool pool; // HNOC_THREADS-sized (the CTest entry sets it to 4)
+    std::vector<SimPointResult> par =
+        sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts, &pool);
+    std::vector<SimPointResult> ser =
+        sweepLoadSerial(cfg, TrafficPattern::UniformRandom, rates, opts);
+
+    if (par.size() != rates.size() || ser.size() != rates.size()) {
+        std::fprintf(stderr, "perf_smoke: wrong point count\n");
+        return 1;
+    }
+    for (std::size_t i = 0; i < par.size(); ++i) {
+        if (par[i].avgLatencyNs != ser[i].avgLatencyNs ||
+            par[i].acceptedRate != ser[i].acceptedRate ||
+            par[i].trackedDelivered != ser[i].trackedDelivered) {
+            std::fprintf(stderr,
+                         "perf_smoke: parallel/serial mismatch at "
+                         "point %zu\n", i);
+            return 1;
+        }
+        if (par[i].avgLatencyNs <= 0.0) {
+            std::fprintf(stderr,
+                         "perf_smoke: implausible latency at point "
+                         "%zu\n", i);
+            return 1;
+        }
+    }
+    std::printf("perf_smoke: %zu points, %d threads, parallel == "
+                "serial\n", par.size(), pool.threadCount());
+    return 0;
+}
