@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/report.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "heteronoc/layout.hh"
@@ -285,11 +286,14 @@ runLayoutPoints(const std::vector<LayoutKind> &kinds,
 /**
  * Shared driver for the Fig 7 / Fig 9 synthetic-traffic comparisons:
  * load-latency curves, throughput / average-latency / zero-load
- * summary bars, and power curves across HeteroNoC layouts.
+ * summary bars, and power curves across HeteroNoC layouts. When
+ * @p report_path is non-empty, the full set of sim points is also
+ * exported as a unified JSON run report (honors HNOC_JSON_DIR).
  */
 inline void
 runSyntheticComparison(TrafficPattern pattern,
-                       const std::vector<double> &rates)
+                       const std::vector<double> &rates,
+                       const std::string &report_path = "")
 {
     using Curve = LayoutCurve;
 
@@ -300,6 +304,20 @@ runSyntheticComparison(TrafficPattern pattern,
 
     std::vector<Curve> curves =
         runLayoutSweeps(allLayouts(), pattern, rates, opts);
+
+    if (!report_path.empty()) {
+        std::vector<std::string> labels;
+        std::vector<SimPointResult> flat;
+        for (const Curve &c : curves) {
+            for (const auto &p : c.points) {
+                labels.push_back(layoutName(c.kind) + "@" +
+                                 Table::num(p.offeredRate, 4));
+                flat.push_back(p);
+            }
+        }
+        writeRunReport(report_path, "synthetic traffic comparison",
+                       labels, flat);
+    }
 
     const Curve &base = curves.front();
 

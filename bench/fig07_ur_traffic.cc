@@ -28,6 +28,7 @@ main()
                 "power");
     runSyntheticComparison(TrafficPattern::UniformRandom,
                            {0.004, 0.012, 0.020, 0.028, 0.036, 0.044,
-                            0.052, 0.060, 0.068});
+                            0.052, 0.060, 0.068},
+                           "FIG07_report.json");
     return 0;
 }

@@ -20,6 +20,7 @@ main()
                 "nearest-neighbor traffic: the HeteroNoC anomaly");
     runSyntheticComparison(TrafficPattern::NearestNeighbor,
                            {0.0125, 0.025, 0.0375, 0.05, 0.0625, 0.075,
-                            0.0875, 0.1, 0.1125});
+                            0.0875, 0.1, 0.1125},
+                           "FIG09_report.json");
     return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/job_pool.hh"
 #include "heteronoc/constraints.hh"
 #include "heteronoc/layout.hh"
@@ -14,18 +16,39 @@
 #include "noc/sim_harness.hh"
 #include "noc/traffic.hh"
 #include "power/router_power.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace
 {
 
 using namespace hnoc;
 
+/** Telemetry attachment level for the network-step benchmarks. */
+enum class TelemetryLevel
+{
+    Off,      ///< no registry attached (hooks cost one branch)
+    Registry, ///< MetricRegistry attached, no tracing
+    Trace,    ///< registry plus a TraceObserver on every router
+};
+
 /** Cycles/second of the full 64-router network under UR load. */
 void
-networkStep(benchmark::State &state, LayoutKind kind)
+networkStep(benchmark::State &state, LayoutKind kind,
+            TelemetryLevel level = TelemetryLevel::Off)
 {
     NetworkConfig cfg = makeLayoutConfig(kind);
     Network net(cfg);
+    std::unique_ptr<MetricRegistry> reg;
+    std::unique_ptr<TraceObserver> tracer;
+    if (level != TelemetryLevel::Off) {
+        reg = net.makeMetricRegistry(1000);
+        net.attachTelemetry(reg.get());
+    }
+    if (level == TelemetryLevel::Trace) {
+        tracer = std::make_unique<TraceObserver>();
+        net.setObserver(tracer.get());
+    }
     TrafficGenerator gen(TrafficPattern::UniformRandom, 64, 8, 7);
     Cycle now = 0;
     for (auto _ : state) {
@@ -40,6 +63,10 @@ networkStep(benchmark::State &state, LayoutKind kind)
         ++now;
     }
     state.SetItemsProcessed(state.iterations());
+    if (reg)
+        benchmark::DoNotOptimize(reg->total(Ctr::BufferWrites));
+    if (tracer)
+        benchmark::DoNotOptimize(tracer->eventCount());
 }
 
 void
@@ -55,6 +82,26 @@ BM_NetworkStepDiagonalBL(benchmark::State &state)
     networkStep(state, LayoutKind::DiagonalBL);
 }
 BENCHMARK(BM_NetworkStepDiagonalBL);
+
+/**
+ * Telemetry overhead ladder on the loaded baseline network. The CI
+ * perf guard compares BM_NetworkStepBaseline between HNOC_TELEMETRY=ON
+ * and OFF builds (hooks-with-no-registry must stay within noise); the
+ * two variants below price an attached registry and full tracing.
+ */
+void
+BM_NetworkStepTelemetryRegistry(benchmark::State &state)
+{
+    networkStep(state, LayoutKind::Baseline, TelemetryLevel::Registry);
+}
+BENCHMARK(BM_NetworkStepTelemetryRegistry);
+
+void
+BM_NetworkStepFullTrace(benchmark::State &state)
+{
+    networkStep(state, LayoutKind::Baseline, TelemetryLevel::Trace);
+}
+BENCHMARK(BM_NetworkStepFullTrace);
 
 /**
  * Cycles/second of an idle network: no injection, so every router's

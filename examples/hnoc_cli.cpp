@@ -24,6 +24,7 @@
 #include "noc/sim_harness.hh"
 #include "sys/cmp_system.hh"
 #include "sys/workloads.hh"
+#include "telemetry/trace.hh"
 
 using namespace hnoc;
 
@@ -47,6 +48,13 @@ usage(int code)
         "  --radix N      mesh radix (default 8)\n"
         "  --seed S       RNG seed\n"
         "  --csv FILE     also write results as CSV\n"
+        "  --json FILE    write a unified JSON run report (per-router\n"
+        "                 telemetry registry included per point)\n"
+        "  --trace FILE   write a Chrome-trace JSON of every flit\n"
+        "                 (open in chrome://tracing or Perfetto;\n"
+        "                 single --rate only)\n"
+        "  --flitlog FILE write the compact JSONL flit event log\n"
+        "                 (single --rate only)\n"
         "  --config FILE  load a saved network configuration\n"
         "  --dump-config FILE  save the effective configuration\n\n"
         "full-system mode:\n"
@@ -107,6 +115,9 @@ main(int argc, char **argv)
     int radix = 8;
     std::uint64_t seed = 1;
     std::string csv_path;
+    std::string json_path;
+    std::string trace_path;
+    std::string flitlog_path;
     std::string cmp_workload;
     std::string config_path;
     std::string dump_config_path;
@@ -147,6 +158,12 @@ main(int argc, char **argv)
             seed = std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--csv")
             csv_path = next();
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--flitlog")
+            flitlog_path = next();
         else if (arg == "--config")
             config_path = next();
         else if (arg == "--dump-config")
@@ -197,8 +214,19 @@ main(int argc, char **argv)
         return 0;
     }
 
+    bool tracing = !trace_path.empty() || !flitlog_path.empty();
+    if (tracing && rates.size() != 1)
+        fatal("--trace/--flitlog need a single --rate, not a sweep");
+
     SimPointOptions opts;
     opts.seed = seed;
+    opts.collectMetrics = !json_path.empty();
+    TraceObserver tracer;
+    if (tracing)
+        opts.observer = &tracer;
+
+    std::vector<std::string> labels;
+    std::vector<SimPointResult> results;
     Table t({"rate", "accepted", "latency(ns)", "queue(ns)",
              "block(ns)", "transfer(ns)", "power(W)", "combine",
              "saturated"});
@@ -213,6 +241,8 @@ main(int argc, char **argv)
                Table::num(res.networkPowerW, 1),
                Table::num(res.combineRate, 2),
                res.saturated ? "yes" : "no"});
+        labels.push_back(cfg.name + "@" + Table::num(r, 4));
+        results.push_back(std::move(res));
     }
     std::printf("%s (%s, %s)\n", cfg.name.c_str(),
                 trafficPatternName(pattern).c_str(),
@@ -220,5 +250,15 @@ main(int argc, char **argv)
     std::fputs(t.text().c_str(), stdout);
     if (!csv_path.empty())
         t.writeCsv(csv_path);
+    if (!json_path.empty() &&
+        writeRunReport(json_path, "hnoc_cli run", labels, results))
+        std::printf("run report: %s\n", json_path.c_str());
+    if (!trace_path.empty() && tracer.writeChromeTrace(trace_path))
+        std::printf("chrome trace: %s (%llu events, %zu packets)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(tracer.eventCount()),
+                    tracer.packets().size());
+    if (!flitlog_path.empty() && tracer.writeFlitLog(flitlog_path))
+        std::printf("flit log: %s\n", flitlog_path.c_str());
     return 0;
 }

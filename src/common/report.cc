@@ -95,8 +95,11 @@ Table::csv() const
     return out;
 }
 
+namespace
+{
+
 bool
-Table::writeCsv(const std::string &path) const
+writeCsvFile(const std::string &path, const std::string &data)
 {
     std::string target = path;
     if (const char *dir = std::getenv("HNOC_CSV_DIR")) {
@@ -108,13 +111,51 @@ Table::writeCsv(const std::string &path) const
     }
     std::FILE *f = std::fopen(target.c_str(), "w");
     if (!f) {
-        warn("Table::writeCsv: cannot open %s", target.c_str());
+        warn("report: cannot open %s", target.c_str());
         return false;
     }
-    std::string data = csv();
     std::fwrite(data.data(), 1, data.size(), f);
     std::fclose(f);
     return true;
+}
+
+} // namespace
+
+bool
+Table::writeCsv(const std::string &path) const
+{
+    return writeCsvFile(path, csv());
+}
+
+std::string
+heatMapCsv(const std::vector<double> &values, int cols, int decimals)
+{
+    std::string out;
+    if (values.empty() || cols <= 0)
+        return out;
+    char buf[64];
+    int rows = (static_cast<int>(values.size()) + cols - 1) / cols;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            auto i = static_cast<std::size_t>(r * cols + c);
+            if (i >= values.size())
+                break;
+            if (c)
+                out += ',';
+            std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                          values[i]);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeHeatMapCsv(const std::string &path, const std::vector<double> &values,
+                int cols, int decimals)
+{
+    return writeCsvFile(path, heatMapCsv(values, cols, decimals));
 }
 
 } // namespace hnoc

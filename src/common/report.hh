@@ -54,6 +54,22 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
+/**
+ * Render a row-major 2-D grid (e.g. per-router utilization from a
+ * MetricRegistry) as CSV: one line per grid row, no header. The
+ * counterpart of formatHeatMap for machine consumption.
+ */
+std::string heatMapCsv(const std::vector<double> &values, int cols,
+                       int decimals = 3);
+
+/**
+ * Write heatMapCsv output to @p path (honors HNOC_CSV_DIR like
+ * Table::writeCsv). @return true on success.
+ */
+bool writeHeatMapCsv(const std::string &path,
+                     const std::vector<double> &values, int cols,
+                     int decimals = 3);
+
 } // namespace hnoc
 
 #endif // HNOC_COMMON_REPORT_HH

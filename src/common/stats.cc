@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -49,6 +50,20 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+double
+RunningStat::min() const
+{
+    return count_ ? min_
+                  : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+RunningStat::max() const
+{
+    return count_ ? max_
+                  : std::numeric_limits<double>::quiet_NaN();
+}
+
 void
 RunningStat::merge(const RunningStat &other)
 {
@@ -58,6 +73,7 @@ RunningStat::merge(const RunningStat &other)
         *this = other;
         return;
     }
+    // Both non-empty below, so min_/max_ hold real samples.
     std::uint64_t n = count_ + other.count_;
     double delta = other.mean_ - mean_;
     double na = static_cast<double>(count_);
@@ -97,6 +113,21 @@ Histogram::reset()
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
     sum_ = 0.0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (lo_ != other.lo_ || hi_ != other.hi_ ||
+        counts_.size() != other.counts_.size())
+        panic("Histogram::merge: shape mismatch ([%f,%f)x%zu vs "
+              "[%f,%f)x%zu)",
+              lo_, hi_, counts_.size(), other.lo_, other.hi_,
+              other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
 }
 
 double

@@ -41,11 +41,17 @@ class RunningStat
     /** @return population standard deviation. */
     double stddev() const;
 
-    /** @return smallest sample (0 when empty). */
-    double min() const { return count_ ? min_ : 0.0; }
+    /** @return true when no samples have been accumulated. */
+    bool empty() const { return count_ == 0; }
 
-    /** @return largest sample (0 when empty). */
-    double max() const { return count_ ? max_ : 0.0; }
+    /**
+     * @return smallest sample, or NaN when empty — a real 0.0 sample
+     * is unambiguous from "no data" (check empty() before comparing).
+     */
+    double min() const;
+
+    /** @return largest sample, or NaN when empty. */
+    double max() const;
 
     /** Merge another accumulator into this one. */
     void merge(const RunningStat &other);
@@ -89,6 +95,18 @@ class Histogram
 
     /** @return the raw bucket counts. */
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+    /** @return inclusive lower bound of the first bucket. */
+    double lo() const { return lo_; }
+
+    /** @return exclusive upper bound of the last bucket. */
+    double hi() const { return hi_; }
+
+    /**
+     * Merge another histogram into this one (bucket-wise). The shapes
+     * must match exactly (panics otherwise).
+     */
+    void merge(const Histogram &other);
 
   private:
     double lo_;

@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "noc/flit.hh"
+#include "telemetry/metrics.hh"
 
 namespace hnoc
 {
@@ -48,18 +49,26 @@ class Channel
     void
     sendFlit(const Flit &flit, Cycle now)
     {
+        bool paired = false;
         if (now == lastSendCycle_) {
             ++sendsThisCycle_;
             if (sendsThisCycle_ > lanes_)
                 panic("channel %d oversubscribed (%d lanes)", id_, lanes_);
-            if (sendsThisCycle_ == 2)
+            if (sendsThisCycle_ == 2) {
                 ++pairedCycles_;
+                paired = true;
+            }
         } else {
             lastSendCycle_ = now;
             sendsThisCycle_ = 1;
             ++busyCycles_;
         }
         ++flitsSent_;
+        if (kTelemetryEnabled && telemetry_) {
+            telemetry_->add(Ctr::LinkFlits, telRouter_, telPort_);
+            if (paired)
+                telemetry_->add(Ctr::LinkPaired, telRouter_, telPort_);
+        }
         flitPipe_.emplace_back(now + static_cast<Cycle>(flitDelay_), flit);
     }
 
@@ -127,6 +136,19 @@ class Channel
     }
     ///@}
 
+    /**
+     * Attach a metrics registry; link-flit counters are attributed to
+     * the driving router's (router, out-port) pair. Pass nullptr to
+     * detach.
+     */
+    void
+    setTelemetry(MetricRegistry *reg, int driver_router, int driver_port)
+    {
+        telemetry_ = reg;
+        telRouter_ = driver_router;
+        telPort_ = driver_port;
+    }
+
   private:
     int id_;
     int widthBits_;
@@ -136,6 +158,10 @@ class Channel
 
     std::deque<std::pair<Cycle, Flit>> flitPipe_;
     std::deque<std::pair<Cycle, VcId>> creditPipe_;
+
+    MetricRegistry *telemetry_ = nullptr;
+    int telRouter_ = -1;
+    int telPort_ = -1;
 
     Cycle lastSendCycle_ = CYCLE_NEVER;
     int sendsThisCycle_ = 0;

@@ -182,6 +182,11 @@ Network::enqueuePacket(NodeId src, NodeId dst, int num_flits,
     nis_[static_cast<std::size_t>(src)]->enqueue(pkt);
     ++packetsInjected_;
     ++livePackets_;
+    if (kTelemetryEnabled && telemetry_) {
+        telemetry_->add(Ctr::PacketsInjected);
+        telemetry_->gaugeMax(Gauge::PeakInFlight,
+                             static_cast<std::uint64_t>(livePackets_));
+    }
     if (observer_)
         observer_->onPacketCreated(*pkt, cycle_);
     return pkt;
@@ -193,6 +198,53 @@ Network::setObserver(NetworkObserver *observer)
     observer_ = observer;
     for (auto &r : routers_)
         r->setObserver(observer);
+}
+
+std::unique_ptr<MetricRegistry>
+Network::makeMetricRegistry(Cycle epoch_cycles) const
+{
+    MetricRegistry::Dims dims;
+    dims.routers = topo_->numRouters();
+    dims.ports = topo_->portsPerRouter();
+    dims.vcs = config_.defaultVcs;
+    for (RouterId r = 0; r < topo_->numRouters(); ++r)
+        dims.vcs = std::max(dims.vcs, config_.vcsOf(r));
+    dims.gridCols = topo_->gridCols();
+
+    auto reg = std::make_unique<MetricRegistry>(dims, epoch_cycles);
+    for (RouterId r = 0; r < topo_->numRouters(); ++r)
+        reg->setBufferCapacity(
+            r, routers_[static_cast<std::size_t>(r)]->bufferCapacity());
+    for (const ChannelEnds &e : ends_) {
+        if (!e.driverIsRouter)
+            continue;
+        reg->setPortLanes(e.driverRouter, e.driverPort, e.chan->lanes());
+        reg->setPortInterRouter(e.driverRouter, e.driverPort,
+                                e.sinkIsRouter);
+    }
+    return reg;
+}
+
+void
+Network::attachTelemetry(MetricRegistry *reg)
+{
+    telemetry_ = reg;
+    for (auto &r : routers_)
+        r->setTelemetry(reg);
+    for (ChannelEnds &e : ends_) {
+        if (e.driverIsRouter)
+            e.chan->setTelemetry(reg, e.driverRouter, e.driverPort);
+    }
+    if (reg)
+        reg->beginWindow(cycle_);
+}
+
+void
+Network::detachTelemetry()
+{
+    if (telemetry_)
+        telemetry_->finish();
+    attachTelemetry(nullptr);
 }
 
 void
@@ -218,11 +270,23 @@ Network::step()
                     *nis_[static_cast<std::size_t>(e.sinkNode)];
                 for (const Flit &f : scratchFlits_) {
                     ++flitsDelivered_;
+                    if (kTelemetryEnabled && telemetry_)
+                        telemetry_->add(Ctr::FlitsEjected);
                     Packet *done = ni.receiveFlit(f, now);
                     if (done) {
                         ++packetsDelivered_;
                         --livePackets_;
                         lastDelivery_ = now;
+                        if (kTelemetryEnabled && telemetry_) {
+                            telemetry_->add(Ctr::PacketsDelivered);
+                            telemetry_->histAdd(
+                                Hist::PacketLatencyCycles,
+                                static_cast<double>(now - done->createdAt));
+                            telemetry_->histAdd(
+                                Hist::NetworkLatencyCycles,
+                                static_cast<double>(now -
+                                                    done->injectedAt));
+                        }
                         if (observer_)
                             observer_->onPacketDelivered(*done, now);
                         if (client_)
@@ -255,6 +319,9 @@ Network::step()
     // Phase C: NI injection.
     for (auto &ni : nis_)
         ni->stepInject(now);
+
+    if (kTelemetryEnabled && telemetry_)
+        telemetry_->tick(now);
 
     ++cycle_;
 }

@@ -21,6 +21,7 @@
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 #include "power/router_power.hh"
+#include "telemetry/metrics.hh"
 
 namespace hnoc
 {
@@ -152,6 +153,29 @@ class Network
     std::string dumpState() const;
     ///@}
 
+    /** @name Telemetry */
+    ///@{
+    /**
+     * Create a registry sized for this network, with buffer capacity
+     * and per-port lane/inter-router metadata filled in.
+     */
+    std::unique_ptr<MetricRegistry>
+    makeMetricRegistry(Cycle epoch_cycles = 1000) const;
+
+    /**
+     * Attach @p reg to every router and router-driven channel and
+     * start its measurement window at the current cycle. Pass nullptr
+     * (or call detachTelemetry) to stop collecting.
+     */
+    void attachTelemetry(MetricRegistry *reg);
+
+    /** Detach and finish() the registry (flushes the partial epoch). */
+    void detachTelemetry();
+
+    /** @return the attached registry, or nullptr. */
+    MetricRegistry *telemetry() const { return telemetry_; }
+    ///@}
+
   private:
     /** Wiring record: who consumes a channel's flits and credits. */
     struct ChannelEnds
@@ -185,6 +209,7 @@ class Network
 
     NetworkClient *client_ = nullptr;
     NetworkObserver *observer_ = nullptr;
+    MetricRegistry *telemetry_ = nullptr;
 
     Cycle cycle_ = 0;
     Cycle measureStart_ = 0;

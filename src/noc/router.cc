@@ -52,6 +52,8 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
     flit.arrivedAt = now;
     ivc.fifo.push_back(flit);
     ++activity_.bufferWrites;
+    if (kTelemetryEnabled && telemetry_)
+        telemetry_->add(Ctr::BufferWrites, id_, p, flit.vc);
     if (observer_)
         observer_->onFlitArrive(id_, p, flit, now);
 }
@@ -74,7 +76,10 @@ Router::step(Cycle now)
     switchAllocate(now);
 
     // Occupancy sample for the Fig 1/2 heat maps.
-    occupancySum_ += bufferOccupancy();
+    int occ = bufferOccupancy();
+    occupancySum_ += occ;
+    if (kTelemetryEnabled && telemetry_)
+        telemetry_->occupancySample(id_, occ);
     ++activity_.cycles;
 }
 
@@ -153,6 +158,9 @@ Router::vcAllocate(Cycle now)
                 break;
             }
         }
+        if (kTelemetryEnabled && telemetry_ && ivc.outVc == INVALID_VC)
+            telemetry_->add(Ctr::VaConflicts, id_, idx / vcs_,
+                            idx % vcs_);
     }
     vaRrPtr_ = (vaRrPtr_ + 1) % static_cast<unsigned>(total);
 }
@@ -209,8 +217,11 @@ Router::switchAllocate(Cycle now)
             if (ivc.fifo.empty() || ivc.fifo.front().arrivedAt >= now)
                 continue;
             OutVcState &ov = op.vcs[static_cast<std::size_t>(ivc.outVc)];
-            if (ov.credits <= 0)
+            if (ov.credits <= 0) {
+                if (kTelemetryEnabled && telemetry_)
+                    telemetry_->add(Ctr::CreditStalls, id_, o);
                 continue;
+            }
             int &pg = port_grants[static_cast<std::size_t>(in_port)];
             if (pg >= 2)
                 continue;
@@ -234,6 +245,10 @@ Router::switchAllocate(Cycle now)
                 ++activity_.bufferReads;
                 ++activity_.xbarTraversals;
                 ++activity_.arbOps;
+                if (kTelemetryEnabled && telemetry_) {
+                    telemetry_->add(Ctr::XbarGrants, id_, o);
+                    telemetry_->add(Ctr::BufferReads, id_, in_port);
+                }
                 // Charge the active (flit) bits, not the full wire
                 // width: an unpaired flit on a wide link toggles only
                 // its own half.

@@ -24,6 +24,7 @@
 #include "noc/observer.hh"
 #include "noc/routing.hh"
 #include "power/router_power.hh"
+#include "telemetry/metrics.hh"
 
 namespace hnoc
 {
@@ -88,6 +89,10 @@ class Router
     /** Install a flit-event observer (nullptr to clear). */
     void setObserver(NetworkObserver *observer) { observer_ = observer; }
 
+    /** Attach a metrics registry (nullptr to detach). Hooks cost one
+     *  branch per event while detached. */
+    void setTelemetry(MetricRegistry *reg) { telemetry_ = reg; }
+
   private:
     struct InputVc
     {
@@ -148,6 +153,7 @@ class Router
     RouterActivity activity_;
     double occupancySum_ = 0.0;
     NetworkObserver *observer_ = nullptr;
+    MetricRegistry *telemetry_ = nullptr;
     std::vector<int> scratchOrder_; ///< per-cycle SA visiting order
 };
 

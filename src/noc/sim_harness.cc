@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "telemetry/run_report.hh"
 
 namespace hnoc
 {
@@ -169,10 +170,19 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     Network net(config);
     OpenLoopClient client(pattern, config, opts);
     net.setClient(&client);
+    if (opts.observer)
+        net.setObserver(opts.observer);
 
     net.run(opts.warmupCycles);
 
     net.resetMeasurement();
+    // Scope the registry to exactly the measurement window: attach
+    // after warmup, detach (finishing the partial epoch) before drain.
+    std::shared_ptr<MetricRegistry> reg;
+    if (opts.collectMetrics) {
+        reg = net.makeMetricRegistry(opts.telemetryEpoch);
+        net.attachTelemetry(reg.get());
+    }
     client.beginMeasurement(net.now(), opts.measureCycles);
     net.run(opts.measureCycles);
     Cycle window = net.measuredCycles();
@@ -186,6 +196,8 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     res.bufferUtilPct = net.bufferUtilizationPercent();
     res.linkUtilPct = net.linkUtilizationPercent();
 
+    if (reg)
+        net.detachTelemetry();
     client.endMeasurement();
 
     // Drain: keep traffic flowing so tracked packets finish under the
@@ -212,6 +224,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     res.latencyByHopsNs.reserve(client.byHops_.size());
     for (const RunningStat &s : client.byHops_)
         res.latencyByHopsNs.push_back(s.mean());
+    res.metrics = std::move(reg);
     return res;
 }
 
@@ -329,6 +342,39 @@ preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve)
     }
     return s.count() ? s.mean()
                      : (curve.empty() ? 0.0 : curve.front().avgLatencyNs);
+}
+
+std::shared_ptr<MetricRegistry>
+mergeRegistries(const std::vector<SimPointResult> &results)
+{
+    std::shared_ptr<MetricRegistry> merged;
+    for (const auto &r : results) {
+        if (!r.metrics)
+            continue;
+        if (!merged)
+            merged = std::make_shared<MetricRegistry>(*r.metrics);
+        else
+            merged->merge(*r.metrics);
+    }
+    return merged;
+}
+
+bool
+writeRunReport(const std::string &path, const std::string &title,
+               const std::vector<std::string> &labels,
+               const std::vector<SimPointResult> &results)
+{
+    RunReport report("sim_harness", title);
+    report.meta("points", static_cast<double>(results.size()));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::string label = i < labels.size()
+                                ? labels[i]
+                                : "point" + std::to_string(i);
+        report.addPoint(label, results[i]);
+    }
+    if (auto merged = mergeRegistries(results))
+        report.addRegistry("merged", *merged);
+    return report.writeFile(path);
 }
 
 } // namespace hnoc

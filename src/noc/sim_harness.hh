@@ -16,6 +16,8 @@
 #define HNOC_NOC_SIM_HARNESS_HH
 
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/job_pool.hh"
@@ -37,6 +39,14 @@ struct SimPointOptions
     /** Fraction of packets that are single-flit control packets;
      *  the rest are full data packets (1024 b). */
     double controlFraction = 0.0;
+
+    /** Collect a MetricRegistry over the measurement window. */
+    bool collectMetrics = false;
+    /** Epoch length (cycles) of the registry's time series. */
+    Cycle telemetryEpoch = 1000;
+    /** Optional flit-event observer (e.g. TraceObserver), attached
+     *  for the whole run including warmup and drain. Not owned. */
+    NetworkObserver *observer = nullptr;
 };
 
 /** Results of one open-loop simulation point. */
@@ -67,6 +77,10 @@ struct SimPointResult
     /** Mean packet latency (ns) binned by hop count (router
      *  traversals); empty bins are 0. Index = hops. */
     std::vector<double> latencyByHopsNs;
+
+    /** Measurement-window metrics (opts.collectMetrics). shared_ptr
+     *  so results stay cheap to copy through the batch layer. */
+    std::shared_ptr<MetricRegistry> metrics;
 };
 
 /** Run a single open-loop point. */
@@ -160,6 +174,26 @@ double saturationThroughput(const std::vector<SimPointResult> &curve);
  * the paper's "average latency reduction" compares these.
  */
 double preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve);
+
+/**
+ * Merge the registries of every point that collected one, in input
+ * order. Pure integer arithmetic, so a parallel run merges to a
+ * bit-identical registry as the serial loop. @return nullptr when no
+ * point carried metrics.
+ */
+std::shared_ptr<MetricRegistry>
+mergeRegistries(const std::vector<SimPointResult> &results);
+
+/**
+ * Write a unified JSON run report (schema hnoc-run-report-v1) for a
+ * set of labelled sim points, including each point's registry and the
+ * cross-point merge under "registries"/"merged". Labels beyond
+ * @p labels.size() are synthesized as "point<i>". Honors
+ * HNOC_JSON_DIR like Table::writeCsv honors HNOC_CSV_DIR.
+ */
+bool writeRunReport(const std::string &path, const std::string &title,
+                    const std::vector<std::string> &labels,
+                    const std::vector<SimPointResult> &results);
 
 } // namespace hnoc
 

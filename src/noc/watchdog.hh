@@ -8,6 +8,8 @@
 #ifndef HNOC_NOC_WATCHDOG_HH
 #define HNOC_NOC_WATCHDOG_HH
 
+#include <string>
+
 #include "common/logging.hh"
 #include "noc/network.hh"
 
@@ -51,13 +53,32 @@ class ProgressWatchdog
         }
         if (net.now() - lastProgress_ <= window_)
             return true;
+        std::string diag = diagnostics(net);
         if (fatalOnTrip_)
             panic("watchdog: no delivery for %llu cycles with %zu "
-                  "packets in flight",
+                  "packets in flight\n%s",
                   static_cast<unsigned long long>(net.now() -
                                                   lastProgress_),
-                  net.packetsInFlight());
+                  net.packetsInFlight(), diag.c_str());
+        warn("watchdog tripped: no delivery for %llu cycles with %zu "
+             "packets in flight\n%s",
+             static_cast<unsigned long long>(net.now() - lastProgress_),
+             net.packetsInFlight(), diag.c_str());
         return false;
+    }
+
+    /**
+     * Trip-time snapshot: buffer-occupancy grid, stuck source queues
+     * and in-flight count, plus the telemetry hot-spot summary when a
+     * MetricRegistry is attached to the network.
+     */
+    std::string
+    diagnostics(const Network &net) const
+    {
+        std::string out = net.dumpState();
+        if (const MetricRegistry *reg = net.telemetry())
+            out += reg->summary();
+        return out;
     }
 
     /** Reset the progress window (e.g. after reconfiguration). */

@@ -1,0 +1,223 @@
+#include "telemetry/json_writer.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+JsonWriter::JsonWriter()
+{
+    out_.reserve(4096);
+}
+
+void
+JsonWriter::prefix()
+{
+    if (keyPending_) {
+        keyPending_ = false;
+        return; // the key already emitted "name":
+    }
+    if (stack_.empty())
+        return; // top-level value
+    if (stack_.back() > 0)
+        out_ += ',';
+    ++stack_.back();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix();
+    out_ += '{';
+    stack_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty())
+        panic("JsonWriter: endObject with no open container");
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix();
+    out_ += '[';
+    stack_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty())
+        panic("JsonWriter: endArray with no open container");
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty())
+        panic("JsonWriter: key() outside an object");
+    if (stack_.back() > 0)
+        out_ += ',';
+    ++stack_.back();
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    prefix();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view(s));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    prefix();
+    char buf[40];
+    // %.17g round-trips every finite double; NaN/Inf are not JSON.
+    if (v != v) {
+        out_ += "null";
+        return *this;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prefix();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prefix();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::keyArray(std::string_view name,
+                     const std::vector<double> &values)
+{
+    key(name);
+    beginArray();
+    for (double v : values)
+        value(v);
+    return endArray();
+}
+
+JsonWriter &
+JsonWriter::keyArray(std::string_view name,
+                     const std::vector<std::uint64_t> &values)
+{
+    key(name);
+    beginArray();
+    for (std::uint64_t v : values)
+        value(v);
+    return endArray();
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        panic("JsonWriter: str() with %zu containers still open",
+              stack_.size());
+    return out_;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace hnoc

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the telemetry exporters.
+ *
+ * Deterministic output: numbers are formatted with fixed printf
+ * patterns ("%.17g" for doubles, decimal for integers), keys are
+ * emitted in call order, and no locale-dependent functions are used —
+ * so two registries with bit-identical contents serialize to
+ * byte-identical JSON (the property the parallel-merge tests pin).
+ */
+
+#ifndef HNOC_TELEMETRY_JSON_WRITER_HH
+#define HNOC_TELEMETRY_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hnoc
+{
+
+/** Stack-tracked JSON emitter building into an internal string. */
+class JsonWriter
+{
+  public:
+    JsonWriter();
+
+    /** @name Structure */
+    ///@{
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value/begin* call is its value. */
+    JsonWriter &key(std::string_view name);
+    ///@}
+
+    /** @name Values */
+    ///@{
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    keyValue(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Emit a whole numeric array under @p name. */
+    JsonWriter &keyArray(std::string_view name,
+                         const std::vector<double> &values);
+    JsonWriter &keyArray(std::string_view name,
+                         const std::vector<std::uint64_t> &values);
+    ///@}
+
+    /**
+     * @return the serialized document. Must be called with all
+     * containers closed (panics otherwise — catches missing end*()).
+     */
+    const std::string &str() const;
+
+    /** Escape @p s per RFC 8259 (quotes not included). */
+    static std::string escape(std::string_view s);
+
+  private:
+    void prefix(); ///< comma / separator bookkeeping before a value
+
+    std::string out_;
+    /** One entry per open container: count of values emitted so far;
+     *  -1 flags "a key was just written, next value is its payload". */
+    std::vector<std::int64_t> stack_;
+    bool keyPending_ = false;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_TELEMETRY_JSON_WRITER_HH

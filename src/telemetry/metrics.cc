@@ -1,0 +1,595 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "telemetry/json_writer.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+constexpr MetricInfo kCtrInfo[] = {
+    {"buffer_writes", MetricScope::RouterPortVc,
+     "flits written into input buffers"},
+    {"buffer_reads", MetricScope::RouterPort,
+     "flits read out during switch traversal"},
+    {"xbar_grants", MetricScope::RouterPort,
+     "switch-allocator grants per output port"},
+    {"credit_stalls", MetricScope::RouterPort,
+     "switch requests blocked on zero downstream credits"},
+    {"va_conflicts", MetricScope::RouterPortVc,
+     "VC-allocation attempts that found no free downstream VC"},
+    {"link_flits", MetricScope::RouterPort,
+     "flits sent on the output channel"},
+    {"link_paired", MetricScope::RouterPort,
+     "cycles a wide link carried a second combined flit"},
+    {"occupancy_flit_cycles", MetricScope::Router,
+     "sum over cycles of buffered flits"},
+    {"packets_injected", MetricScope::Global,
+     "packets entering a source queue"},
+    {"packets_delivered", MetricScope::Global,
+     "packets fully ejected at their destination"},
+    {"flits_ejected", MetricScope::Global,
+     "flits delivered to destination interfaces"},
+};
+static_assert(sizeof(kCtrInfo) / sizeof(kCtrInfo[0]) ==
+              static_cast<std::size_t>(Ctr::NumCtrs));
+
+constexpr MetricInfo kGaugeInfo[] = {
+    {"peak_occupancy", MetricScope::Router,
+     "maximum buffered flits observed in one cycle"},
+    {"peak_in_flight", MetricScope::Global,
+     "maximum live packets network-wide"},
+};
+static_assert(sizeof(kGaugeInfo) / sizeof(kGaugeInfo[0]) ==
+              static_cast<std::size_t>(Gauge::NumGauges));
+
+constexpr MetricInfo kHistInfo[] = {
+    {"packet_latency_cycles", MetricScope::Global,
+     "per-packet created->ejected latency"},
+    {"network_latency_cycles", MetricScope::Global,
+     "per-packet injected->ejected latency"},
+};
+static_assert(sizeof(kHistInfo) / sizeof(kHistInfo[0]) ==
+              static_cast<std::size_t>(Hist::NumHists));
+
+} // namespace
+
+const MetricInfo &
+counterInfo(Ctr c)
+{
+    return kCtrInfo[static_cast<std::size_t>(c)];
+}
+
+const MetricInfo &
+gaugeInfo(Gauge g)
+{
+    return kGaugeInfo[static_cast<std::size_t>(g)];
+}
+
+const MetricInfo &
+histogramInfo(Hist h)
+{
+    return kHistInfo[static_cast<std::size_t>(h)];
+}
+
+MetricRegistry::MetricRegistry(const Dims &dims, Cycle epoch_cycles)
+    : dims_(dims), epochCycles_(epoch_cycles)
+{
+    if (dims_.routers <= 0 || dims_.ports <= 0 || dims_.vcs <= 0)
+        panic("MetricRegistry: invalid dims %dx%dx%d", dims_.routers,
+              dims_.ports, dims_.vcs);
+    if (epochCycles_ == 0)
+        panic("MetricRegistry: epoch length must be >= 1");
+    if (dims_.gridCols <= 0)
+        dims_.gridCols = dims_.routers; // degenerate single-row grid
+
+    for (std::size_t c = 0; c < counters_.size(); ++c)
+        counters_[c].assign(
+            scopeSize(kCtrInfo[c].scope), 0);
+    for (std::size_t g = 0; g < gauges_.size(); ++g)
+        gauges_[g].assign(scopeSize(kGaugeInfo[g].scope), 0);
+
+    // Latency histograms: 1-cycle buckets would be exact but large;
+    // 4-cycle buckets over [0, 4096) keep percentiles tight for every
+    // workload the benches run.
+    hists_.reserve(static_cast<std::size_t>(Hist::NumHists));
+    for (int h = 0; h < static_cast<int>(Hist::NumHists); ++h)
+        hists_.emplace_back(0.0, 4096.0, 1024);
+
+    bufferCapacity_.assign(static_cast<std::size_t>(dims_.routers), 0);
+    portLanes_.assign(
+        static_cast<std::size_t>(dims_.routers * dims_.ports), 0);
+    portInterRouter_.assign(
+        static_cast<std::size_t>(dims_.routers * dims_.ports), 0);
+
+    auto n = static_cast<std::size_t>(dims_.routers);
+    lastOccupancy_.assign(n, 0);
+    lastLinkFlits_.assign(n, 0);
+    lastFlitsRouted_.assign(n, 0);
+}
+
+std::size_t
+MetricRegistry::scopeSize(MetricScope s) const
+{
+    switch (s) {
+    case MetricScope::Global:
+        return 1;
+    case MetricScope::Router:
+        return static_cast<std::size_t>(dims_.routers);
+    case MetricScope::RouterPort:
+        return static_cast<std::size_t>(dims_.routers * dims_.ports);
+    case MetricScope::RouterPortVc:
+        return static_cast<std::size_t>(dims_.routers * dims_.ports *
+                                        dims_.vcs);
+    }
+    return 1;
+}
+
+void
+MetricRegistry::setBufferCapacity(int r, int slots)
+{
+    bufferCapacity_[static_cast<std::size_t>(r)] = slots;
+}
+
+void
+MetricRegistry::setPortLanes(int r, int p, int lanes)
+{
+    portLanes_[static_cast<std::size_t>(r * dims_.ports + p)] = lanes;
+}
+
+void
+MetricRegistry::setPortInterRouter(int r, int p, bool inter)
+{
+    portInterRouter_[static_cast<std::size_t>(r * dims_.ports + p)] =
+        inter ? 1 : 0;
+}
+
+void
+MetricRegistry::beginWindow(Cycle start)
+{
+    windowStart_ = start;
+}
+
+std::uint64_t
+MetricRegistry::total(Ctr c) const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : counters_[static_cast<std::size_t>(c)])
+        sum += v;
+    return sum;
+}
+
+std::uint64_t
+MetricRegistry::at(Ctr c, int r) const
+{
+    return counters_[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(r)];
+}
+
+std::uint64_t
+MetricRegistry::at(Ctr c, int r, int p) const
+{
+    return counters_[static_cast<std::size_t>(c)]
+                    [static_cast<std::size_t>(r * dims_.ports + p)];
+}
+
+std::uint64_t
+MetricRegistry::at(Ctr c, int r, int p, int v) const
+{
+    return counters_[static_cast<std::size_t>(c)][static_cast<std::size_t>(
+        (r * dims_.ports + p) * dims_.vcs + v)];
+}
+
+std::uint64_t
+MetricRegistry::gauge(Gauge g, int r) const
+{
+    return gauges_[static_cast<std::size_t>(g)]
+                  [static_cast<std::size_t>(r)];
+}
+
+const Histogram &
+MetricRegistry::histogram(Hist h) const
+{
+    return hists_[static_cast<std::size_t>(h)];
+}
+
+std::vector<std::uint64_t>
+MetricRegistry::perRouter(Ctr c) const
+{
+    const auto &info = counterInfo(c);
+    const auto &vals = counters_[static_cast<std::size_t>(c)];
+    std::vector<std::uint64_t> out(
+        static_cast<std::size_t>(dims_.routers), 0);
+    switch (info.scope) {
+    case MetricScope::Global:
+        break; // no per-router view
+    case MetricScope::Router:
+        out = vals;
+        break;
+    case MetricScope::RouterPort:
+    case MetricScope::RouterPortVc: {
+        std::size_t stride = vals.size() / out.size();
+        for (std::size_t r = 0; r < out.size(); ++r)
+            for (std::size_t i = 0; i < stride; ++i)
+                out[r] += vals[r * stride + i];
+        break;
+    }
+    }
+    return out;
+}
+
+const std::vector<std::uint64_t> &
+MetricRegistry::values(Ctr c) const
+{
+    return counters_[static_cast<std::size_t>(c)];
+}
+
+std::vector<double>
+MetricRegistry::bufferUtilizationPercent() const
+{
+    std::vector<double> util(static_cast<std::size_t>(dims_.routers),
+                             0.0);
+    double cycles = static_cast<double>(observedCycles_);
+    if (cycles <= 0.0)
+        return util;
+    for (int r = 0; r < dims_.routers; ++r) {
+        double cap =
+            static_cast<double>(bufferCapacity_[static_cast<std::size_t>(r)]);
+        if (cap <= 0.0)
+            continue;
+        util[static_cast<std::size_t>(r)] =
+            100.0 *
+            static_cast<double>(at(Ctr::OccupancyFlitCycles, r)) /
+            (cap * cycles);
+    }
+    return util;
+}
+
+std::vector<double>
+MetricRegistry::linkUtilizationPercent() const
+{
+    std::vector<double> util(static_cast<std::size_t>(dims_.routers),
+                             0.0);
+    double cycles = static_cast<double>(observedCycles_);
+    if (cycles <= 0.0)
+        return util;
+    for (int r = 0; r < dims_.routers; ++r) {
+        double sum = 0.0;
+        int count = 0;
+        for (int p = 0; p < dims_.ports; ++p) {
+            std::size_t idx =
+                static_cast<std::size_t>(r * dims_.ports + p);
+            if (!portInterRouter_[idx] || portLanes_[idx] <= 0)
+                continue;
+            sum += 100.0 * static_cast<double>(at(Ctr::LinkFlits, r, p)) /
+                   (static_cast<double>(portLanes_[idx]) * cycles);
+            ++count;
+        }
+        if (count > 0)
+            util[static_cast<std::size_t>(r)] = sum / count;
+    }
+    return util;
+}
+
+double
+MetricRegistry::combineRate() const
+{
+    // Busy cycles of wide links = flits - paired (each paired cycle
+    // carries two flits but occupies one cycle).
+    std::uint64_t flits = 0;
+    std::uint64_t paired = 0;
+    for (int r = 0; r < dims_.routers; ++r) {
+        for (int p = 0; p < dims_.ports; ++p) {
+            std::size_t idx =
+                static_cast<std::size_t>(r * dims_.ports + p);
+            if (portLanes_[idx] < 2)
+                continue;
+            flits += at(Ctr::LinkFlits, r, p);
+            paired += at(Ctr::LinkPaired, r, p);
+        }
+    }
+    std::uint64_t busy = flits - paired;
+    return busy ? static_cast<double>(paired) / static_cast<double>(busy)
+                : 0.0;
+}
+
+void
+MetricRegistry::rollEpoch()
+{
+    EpochRow row;
+    row.cycles = cyclesInEpoch_;
+    auto n = static_cast<std::size_t>(dims_.routers);
+    row.occupancyFlitCycles.resize(n);
+    row.linkFlits.resize(n);
+    row.flitsRouted.resize(n);
+
+    std::vector<std::uint64_t> link = perRouter(Ctr::LinkFlits);
+    std::vector<std::uint64_t> routed = perRouter(Ctr::BufferReads);
+    for (std::size_t r = 0; r < n; ++r) {
+        std::uint64_t occ = at(Ctr::OccupancyFlitCycles,
+                               static_cast<int>(r));
+        row.occupancyFlitCycles[r] = occ - lastOccupancy_[r];
+        row.linkFlits[r] = link[r] - lastLinkFlits_[r];
+        row.flitsRouted[r] = routed[r] - lastFlitsRouted_[r];
+        lastOccupancy_[r] = occ;
+        lastLinkFlits_[r] = link[r];
+        lastFlitsRouted_[r] = routed[r];
+    }
+    epochs_.push_back(std::move(row));
+    cyclesInEpoch_ = 0;
+}
+
+void
+MetricRegistry::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    if (cyclesInEpoch_ > 0)
+        rollEpoch();
+}
+
+std::vector<double>
+MetricRegistry::epochBufferUtilizationPercent(std::size_t e) const
+{
+    const EpochRow &row = epochs_.at(e);
+    std::vector<double> util(row.occupancyFlitCycles.size(), 0.0);
+    if (row.cycles == 0)
+        return util;
+    for (std::size_t r = 0; r < util.size(); ++r) {
+        double cap = static_cast<double>(bufferCapacity_[r]);
+        if (cap > 0.0)
+            util[r] = 100.0 *
+                      static_cast<double>(row.occupancyFlitCycles[r]) /
+                      (cap * static_cast<double>(row.cycles));
+    }
+    return util;
+}
+
+std::vector<double>
+MetricRegistry::epochLinkFlitsPerCycle(std::size_t e) const
+{
+    const EpochRow &row = epochs_.at(e);
+    std::vector<double> out(row.linkFlits.size(), 0.0);
+    if (row.cycles == 0)
+        return out;
+    for (std::size_t r = 0; r < out.size(); ++r)
+        out[r] = static_cast<double>(row.linkFlits[r]) /
+                 static_cast<double>(row.cycles);
+    return out;
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    if (dims_.routers != other.dims_.routers ||
+        dims_.ports != other.dims_.ports || dims_.vcs != other.dims_.vcs)
+        panic("MetricRegistry::merge: dims mismatch (%dx%dx%d vs "
+              "%dx%dx%d)",
+              dims_.routers, dims_.ports, dims_.vcs, other.dims_.routers,
+              other.dims_.ports, other.dims_.vcs);
+    if (epochCycles_ != other.epochCycles_)
+        panic("MetricRegistry::merge: epoch mismatch (%llu vs %llu)",
+              static_cast<unsigned long long>(epochCycles_),
+              static_cast<unsigned long long>(other.epochCycles_));
+
+    for (std::size_t c = 0; c < counters_.size(); ++c)
+        for (std::size_t i = 0; i < counters_[c].size(); ++i)
+            counters_[c][i] += other.counters_[c][i];
+    for (std::size_t g = 0; g < gauges_.size(); ++g)
+        for (std::size_t i = 0; i < gauges_[g].size(); ++i)
+            gauges_[g][i] = std::max(gauges_[g][i], other.gauges_[g][i]);
+    for (std::size_t h = 0; h < hists_.size(); ++h)
+        hists_[h].merge(other.hists_[h]);
+
+    // Adopt metadata from the other side where ours is unset (merging
+    // into a default-constructed accumulator).
+    for (std::size_t i = 0; i < bufferCapacity_.size(); ++i)
+        if (bufferCapacity_[i] == 0)
+            bufferCapacity_[i] = other.bufferCapacity_[i];
+    for (std::size_t i = 0; i < portLanes_.size(); ++i) {
+        if (portLanes_[i] == 0)
+            portLanes_[i] = other.portLanes_[i];
+        if (!portInterRouter_[i])
+            portInterRouter_[i] = other.portInterRouter_[i];
+    }
+
+    // Epoch rows add element-wise; a longer series keeps its tail.
+    if (other.epochs_.size() > epochs_.size())
+        epochs_.resize(other.epochs_.size());
+    auto n = static_cast<std::size_t>(dims_.routers);
+    for (std::size_t e = 0; e < other.epochs_.size(); ++e) {
+        EpochRow &dst = epochs_[e];
+        const EpochRow &src = other.epochs_[e];
+        if (dst.occupancyFlitCycles.empty()) {
+            dst.occupancyFlitCycles.assign(n, 0);
+            dst.linkFlits.assign(n, 0);
+            dst.flitsRouted.assign(n, 0);
+        }
+        dst.cycles += src.cycles;
+        for (std::size_t r = 0; r < n; ++r) {
+            dst.occupancyFlitCycles[r] += src.occupancyFlitCycles[r];
+            dst.linkFlits[r] += src.linkFlits[r];
+            dst.flitsRouted[r] += src.flitsRouted[r];
+        }
+    }
+
+    observedCycles_ += other.observedCycles_;
+    windowStart_ = std::min(windowStart_, other.windowStart_);
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.keyValue("epoch_cycles", static_cast<std::uint64_t>(epochCycles_));
+    w.keyValue("observed_cycles",
+               static_cast<std::uint64_t>(observedCycles_));
+    w.keyValue("window_start", static_cast<std::uint64_t>(windowStart_));
+
+    w.key("dims").beginObject();
+    w.keyValue("routers", dims_.routers);
+    w.keyValue("ports", dims_.ports);
+    w.keyValue("vcs", dims_.vcs);
+    w.keyValue("grid_cols", dims_.gridCols);
+    w.endObject();
+
+    w.key("counters").beginObject();
+    for (int c = 0; c < static_cast<int>(Ctr::NumCtrs); ++c) {
+        auto ctr = static_cast<Ctr>(c);
+        const MetricInfo &info = counterInfo(ctr);
+        w.key(info.name).beginObject();
+        w.keyValue("scope",
+                   info.scope == MetricScope::Global ? "global"
+                   : info.scope == MetricScope::Router ? "router"
+                   : info.scope == MetricScope::RouterPort
+                       ? "router.port"
+                       : "router.port.vc");
+        w.keyValue("help", info.help);
+        w.keyValue("total", total(ctr));
+        if (info.scope != MetricScope::Global)
+            w.keyArray("per_router", perRouter(ctr));
+        if (info.scope == MetricScope::RouterPort ||
+            info.scope == MetricScope::RouterPortVc)
+            w.keyArray("values", values(ctr));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (int g = 0; g < static_cast<int>(Gauge::NumGauges); ++g) {
+        auto gg = static_cast<Gauge>(g);
+        const MetricInfo &info = gaugeInfo(gg);
+        w.key(info.name).beginObject();
+        w.keyValue("help", info.help);
+        if (info.scope == MetricScope::Global) {
+            w.keyValue("value", gauge(gg));
+        } else {
+            w.keyArray("per_router",
+                       gauges_[static_cast<std::size_t>(g)]);
+        }
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (int h = 0; h < static_cast<int>(Hist::NumHists); ++h) {
+        auto hh = static_cast<Hist>(h);
+        const Histogram &hist = histogram(hh);
+        w.key(histogramInfo(hh).name).beginObject();
+        w.keyValue("count", hist.count());
+        w.keyValue("mean", hist.mean());
+        w.keyValue("p50", hist.percentile(0.50));
+        w.keyValue("p95", hist.percentile(0.95));
+        w.keyValue("p99", hist.percentile(0.99));
+        w.keyArray("buckets", hist.buckets());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("derived").beginObject();
+    w.keyArray("buffer_util_pct", bufferUtilizationPercent());
+    w.keyArray("link_util_pct", linkUtilizationPercent());
+    w.keyValue("combine_rate", combineRate());
+    w.endObject();
+
+    w.key("epochs").beginObject();
+    {
+        std::vector<std::uint64_t> cyc;
+        cyc.reserve(epochs_.size());
+        for (const EpochRow &e : epochs_)
+            cyc.push_back(e.cycles);
+        w.keyArray("cycles", cyc);
+    }
+    w.key("occupancy_flit_cycles").beginArray();
+    for (const EpochRow &e : epochs_) {
+        w.beginArray();
+        for (std::uint64_t v : e.occupancyFlitCycles)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.key("link_flits").beginArray();
+    for (const EpochRow &e : epochs_) {
+        w.beginArray();
+        for (std::uint64_t v : e.linkFlits)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.key("flits_routed").beginArray();
+    for (const EpochRow &e : epochs_) {
+        w.beginArray();
+        for (std::uint64_t v : e.flitsRouted)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+}
+
+std::string
+MetricRegistry::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+std::string
+MetricRegistry::summary(int top_n) const
+{
+    char buf[160];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "telemetry: %llu cycles observed, %zu epochs\n",
+                  static_cast<unsigned long long>(observedCycles_),
+                  epochs_.size());
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "packets injected/delivered: %llu / %llu (peak in flight %llu)\n",
+        static_cast<unsigned long long>(total(Ctr::PacketsInjected)),
+        static_cast<unsigned long long>(total(Ctr::PacketsDelivered)),
+        static_cast<unsigned long long>(gauge(Gauge::PeakInFlight)));
+    out += buf;
+
+    // Hottest routers by cumulative occupancy; the first places to
+    // look when a run stalls.
+    std::vector<int> order(static_cast<std::size_t>(dims_.routers));
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return at(Ctr::OccupancyFlitCycles, a) >
+               at(Ctr::OccupancyFlitCycles, b);
+    });
+    out += "hottest routers (occupancy flit-cycles | credit stalls | "
+           "VA conflicts | peak occ):\n";
+    std::vector<std::uint64_t> stalls = perRouter(Ctr::CreditStalls);
+    std::vector<std::uint64_t> conflicts = perRouter(Ctr::VaConflicts);
+    for (int i = 0; i < top_n && i < dims_.routers; ++i) {
+        int r = order[static_cast<std::size_t>(i)];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  router %2d: %10llu | %8llu | %8llu | %4llu\n", r,
+            static_cast<unsigned long long>(
+                at(Ctr::OccupancyFlitCycles, r)),
+            static_cast<unsigned long long>(
+                stalls[static_cast<std::size_t>(r)]),
+            static_cast<unsigned long long>(
+                conflicts[static_cast<std::size_t>(r)]),
+            static_cast<unsigned long long>(
+                gauge(Gauge::PeakOccupancy, r)));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace hnoc

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * The metrics registry of the telemetry subsystem.
+ *
+ * A MetricRegistry holds a fixed catalog of named counters, gauges and
+ * histograms over per-router × per-port × per-VC dimensions, plus
+ * time-bucketed (epoch) series for the heat-map metrics. Hook sites in
+ * Router/Channel/Network test a registry pointer and call the inline
+ * add() methods below; with no registry attached the cost is a single
+ * predictable branch per event, and configuring the build with
+ * -DHNOC_TELEMETRY=OFF compiles the hooks out entirely.
+ *
+ * Registries are single-threaded by design: every sim point owns its
+ * own instance, and multi-seed / multi-point runs combine them after
+ * the JobPool joins via merge(), which is pure integer arithmetic in
+ * input order — a parallel run's merged registry is bit-identical to
+ * the serial single-thread merge (pinned by test_telemetry_metrics).
+ */
+
+#ifndef HNOC_TELEMETRY_METRICS_HH
+#define HNOC_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+class JsonWriter;
+
+/** Compile-time kill switch (-DHNOC_TELEMETRY=OFF). */
+#ifdef HNOC_TELEMETRY_DISABLED
+inline constexpr bool kTelemetryEnabled = false;
+#else
+inline constexpr bool kTelemetryEnabled = true;
+#endif
+
+/** Dimensionality of a metric. */
+enum class MetricScope : std::uint8_t
+{
+    Global,       ///< one value for the whole network
+    Router,       ///< one value per router
+    RouterPort,   ///< one value per (router, port)
+    RouterPortVc, ///< one value per (router, port, VC)
+};
+
+/** The counter catalog. Scopes/names live in counterInfo(). */
+enum class Ctr : int
+{
+    BufferWrites,        ///< flits written into input buffers (r,p,vc)
+    BufferReads,         ///< flits read during switch traversal (r,p)
+    XbarGrants,          ///< switch-allocator grants (r, out port)
+    CreditStalls,        ///< SA requests blocked on zero credits (r, out port)
+    VaConflicts,         ///< VC-allocation attempts that failed (r,p,vc)
+    LinkFlits,           ///< flits sent on the output channel (r, out port)
+    LinkPaired,          ///< cycles a wide link carried a 2nd flit (r, out port)
+    OccupancyFlitCycles, ///< sum over cycles of buffered flits (r)
+    PacketsInjected,     ///< packets entering a source queue (global)
+    PacketsDelivered,    ///< packets fully ejected (global)
+    FlitsEjected,        ///< flits delivered to destination NIs (global)
+    NumCtrs,
+};
+
+/** The gauge catalog (merge takes the maximum). */
+enum class Gauge : int
+{
+    PeakOccupancy, ///< max buffered flits seen in one cycle (r)
+    PeakInFlight,  ///< max live packets network-wide (global)
+    NumGauges,
+};
+
+/** The histogram catalog. */
+enum class Hist : int
+{
+    PacketLatencyCycles,  ///< created -> ejected, cycles (global)
+    NetworkLatencyCycles, ///< injected -> ejected, cycles (global)
+    NumHists,
+};
+
+/** Static description of a catalog entry. */
+struct MetricInfo
+{
+    const char *name;
+    MetricScope scope;
+    const char *help;
+};
+
+const MetricInfo &counterInfo(Ctr c);
+const MetricInfo &gaugeInfo(Gauge g);
+const MetricInfo &histogramInfo(Hist h);
+
+/**
+ * Registry of all telemetry metrics for one network over one
+ * measurement window. Construct via Network::makeMetricRegistry()
+ * (which fills in the dimension/capacity metadata) or directly with
+ * Dims for unit tests.
+ */
+class MetricRegistry
+{
+  public:
+    /** Network shape; strides for the flat metric arrays. */
+    struct Dims
+    {
+        int routers = 0;
+        int ports = 0;
+        int vcs = 0;     ///< max VCs per port across routers
+        int gridCols = 0; ///< router-grid columns (heat-map layout)
+    };
+
+    MetricRegistry(const Dims &dims, Cycle epoch_cycles = 1000);
+
+    const Dims &dims() const { return dims_; }
+    Cycle epochCycles() const { return epochCycles_; }
+
+    /** @name Metadata (filled by Network::makeMetricRegistry) */
+    ///@{
+    /** Total buffer slots of router @p r (occupancy normalization). */
+    void setBufferCapacity(int r, int slots);
+    /** Lane count of the channel driven by (r, p); 0 = no channel. */
+    void setPortLanes(int r, int p, int lanes);
+    /** Mark (r, p) as an inter-router link (Fig 1(b) accounting). */
+    void setPortInterRouter(int r, int p, bool inter);
+    ///@}
+
+    /**
+     * @name Hot-path hooks
+     *
+     * Caution: an explicit count must be std::uint64_t-typed. A plain
+     * int literal in the count position overload-resolves as the next
+     * index (router/port/VC) instead — debug builds assert on the
+     * resulting out-of-scope index.
+     */
+    ///@{
+    void
+    add(Ctr c, std::uint64_t n = 1)
+    {
+        slot(c, 0) += n;
+    }
+
+    void
+    add(Ctr c, int r, std::uint64_t n = 1)
+    {
+        slot(c, static_cast<std::size_t>(r)) += n;
+    }
+
+    void
+    add(Ctr c, int r, int p, std::uint64_t n = 1)
+    {
+        slot(c, static_cast<std::size_t>(r * dims_.ports + p)) += n;
+    }
+
+    void
+    add(Ctr c, int r, int p, int v, std::uint64_t n = 1)
+    {
+        slot(c, static_cast<std::size_t>(
+                    (r * dims_.ports + p) * dims_.vcs + v)) += n;
+    }
+
+    void
+    gaugeMax(Gauge g, std::uint64_t v)
+    {
+        auto &s = gauges_[static_cast<std::size_t>(g)][0];
+        if (v > s)
+            s = v;
+    }
+
+    void
+    gaugeMax(Gauge g, int r, std::uint64_t v)
+    {
+        auto &vec = gauges_[static_cast<std::size_t>(g)];
+        assert(static_cast<std::size_t>(r) < vec.size() &&
+               "gauge index out of scope bounds");
+        auto &s = vec[static_cast<std::size_t>(r)];
+        if (v > s)
+            s = v;
+    }
+
+    /** Per-cycle occupancy sample for router @p r. */
+    void
+    occupancySample(int r, int occupied_flits)
+    {
+        add(Ctr::OccupancyFlitCycles, r,
+            static_cast<std::uint64_t>(occupied_flits));
+        gaugeMax(Gauge::PeakOccupancy, r,
+                 static_cast<std::uint64_t>(occupied_flits));
+    }
+
+    void
+    histAdd(Hist h, double x)
+    {
+        hists_[static_cast<std::size_t>(h)].add(x);
+    }
+
+    /**
+     * Advance the epoch clock by one cycle; rolls the per-epoch series
+     * every epochCycles() cycles. Called once per Network::step().
+     */
+    void
+    tick(Cycle now)
+    {
+        (void)now;
+        ++observedCycles_;
+        if (++cyclesInEpoch_ >= epochCycles_)
+            rollEpoch();
+    }
+    ///@}
+
+    /** Mark the start of the measurement window (absolute cycle). */
+    void beginWindow(Cycle start);
+
+    /** Flush the partial final epoch (idempotent). Call at detach. */
+    void finish();
+
+    /** @name Reading */
+    ///@{
+    Cycle observedCycles() const { return observedCycles_; }
+    Cycle windowStart() const { return windowStart_; }
+
+    std::uint64_t total(Ctr c) const;
+    std::uint64_t at(Ctr c, int r) const;
+    std::uint64_t at(Ctr c, int r, int p) const;
+    std::uint64_t at(Ctr c, int r, int p, int v) const;
+    std::uint64_t gauge(Gauge g, int r = 0) const;
+    const Histogram &histogram(Hist h) const;
+
+    /** Per-router sums of any counter (reduces port/VC dimensions). */
+    std::vector<std::uint64_t> perRouter(Ctr c) const;
+
+    /** @return raw flat value array of @p c (layout per its scope). */
+    const std::vector<std::uint64_t> &values(Ctr c) const;
+    ///@}
+
+    /** @name Derived utilization (the Fig 1 heat-map data) */
+    ///@{
+    /** Per-router buffer utilization %, occupancy / (capacity·cycles). */
+    std::vector<double> bufferUtilizationPercent() const;
+
+    /** Per-router mean outgoing inter-router link utilization %. */
+    std::vector<double> linkUtilizationPercent() const;
+
+    /** Fraction of busy wide-link cycles that carried two flits. */
+    double combineRate() const;
+    ///@}
+
+    /** @name Epoch series */
+    ///@{
+    /** One closed epoch of per-router activity (raw integer sums). */
+    struct EpochRow
+    {
+        Cycle cycles = 0; ///< cycles covered (last row may be partial)
+        std::vector<std::uint64_t> occupancyFlitCycles; ///< per router
+        std::vector<std::uint64_t> linkFlits;           ///< per router
+        std::vector<std::uint64_t> flitsRouted;         ///< per router
+    };
+
+    const std::vector<EpochRow> &epochs() const { return epochs_; }
+
+    /** Per-router buffer utilization % inside epoch @p e. */
+    std::vector<double> epochBufferUtilizationPercent(std::size_t e) const;
+
+    /** Per-router link flits/cycle inside epoch @p e. */
+    std::vector<double> epochLinkFlitsPerCycle(std::size_t e) const;
+    ///@}
+
+    /**
+     * Merge @p other into this registry: counters, histograms, epoch
+     * rows and observed cycles add; gauges take the maximum. Pure
+     * integer arithmetic, so the result is independent of how the
+     * inputs were produced (serial or parallel) and depends only on
+     * the merge order. Dims must match.
+     */
+    void merge(const MetricRegistry &other);
+
+    /** Serialize the full registry (schema in docs/OBSERVABILITY.md). */
+    void writeJson(JsonWriter &w) const;
+
+    /** @return writeJson output as a standalone document. */
+    std::string json() const;
+
+    /** Multi-line text summary (watchdog dumps, debugging). */
+    std::string summary(int top_n = 5) const;
+
+  private:
+    /** Bounds-asserted access to one counter slot (debug builds). */
+    std::uint64_t &
+    slot(Ctr c, std::size_t idx)
+    {
+        auto &vec = counters_[static_cast<std::size_t>(c)];
+        assert(idx < vec.size() && "counter index out of scope bounds");
+        return vec[idx];
+    }
+
+    void rollEpoch();
+    std::size_t scopeSize(MetricScope s) const;
+
+    Dims dims_;
+    Cycle epochCycles_;
+    Cycle windowStart_ = 0;
+    Cycle observedCycles_ = 0;
+    Cycle cyclesInEpoch_ = 0;
+    bool finished_ = false;
+
+    std::array<std::vector<std::uint64_t>,
+               static_cast<std::size_t>(Ctr::NumCtrs)>
+        counters_;
+    std::array<std::vector<std::uint64_t>,
+               static_cast<std::size_t>(Gauge::NumGauges)>
+        gauges_;
+    std::vector<Histogram> hists_;
+
+    std::vector<int> bufferCapacity_;  ///< per router
+    std::vector<int> portLanes_;       ///< per (router, port)
+    std::vector<std::uint8_t> portInterRouter_; ///< per (router, port)
+
+    std::vector<EpochRow> epochs_;
+    /** Counter snapshots at the last epoch boundary (delta source). */
+    std::vector<std::uint64_t> lastOccupancy_;
+    std::vector<std::uint64_t> lastLinkFlits_;
+    std::vector<std::uint64_t> lastFlitsRouted_;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_TELEMETRY_METRICS_HH

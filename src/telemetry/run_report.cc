@@ -1,0 +1,128 @@
+#include "telemetry/run_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "telemetry/json_writer.hh"
+#include "telemetry/metrics.hh"
+
+namespace hnoc
+{
+
+RunReport::RunReport(std::string tool, std::string title)
+    : tool_(std::move(tool)), title_(std::move(title))
+{
+}
+
+void
+RunReport::meta(const std::string &key, const std::string &value)
+{
+    metaStr_.emplace_back(key, value);
+}
+
+void
+RunReport::meta(const std::string &key, double value)
+{
+    metaNum_.emplace_back(key, value);
+}
+
+void
+RunReport::addPoint(const std::string &label, const SimPointResult &res)
+{
+    points_.emplace_back(label, res);
+}
+
+void
+RunReport::addRegistry(const std::string &label,
+                       const MetricRegistry &reg)
+{
+    registries_.emplace_back(label, reg);
+}
+
+void
+RunReport::writePoint(JsonWriter &w, const std::string &label,
+                      const SimPointResult &res) const
+{
+    w.beginObject();
+    w.keyValue("label", label);
+    w.keyValue("offered_rate", res.offeredRate);
+    w.keyValue("accepted_rate", res.acceptedRate);
+    w.keyValue("avg_latency_cycles", res.avgLatencyCycles);
+    w.keyValue("avg_latency_ns", res.avgLatencyNs);
+    w.keyValue("avg_queuing_ns", res.avgQueuingNs);
+    w.keyValue("avg_blocking_ns", res.avgBlockingNs);
+    w.keyValue("avg_transfer_ns", res.avgTransferNs);
+    w.keyValue("p95_latency_ns", res.p95LatencyNs);
+    w.keyValue("network_power_w", res.networkPowerW);
+    w.keyValue("combine_rate", res.combineRate);
+    w.keyValue("saturated", res.saturated);
+    w.keyValue("tracked_created", res.trackedCreated);
+    w.keyValue("tracked_delivered", res.trackedDelivered);
+    w.keyArray("buffer_util_pct", res.bufferUtilPct);
+    w.keyArray("link_util_pct", res.linkUtilPct);
+    w.keyArray("latency_by_hops_ns", res.latencyByHopsNs);
+    if (res.metrics) {
+        w.key("telemetry");
+        res.metrics->writeJson(w);
+    }
+    w.endObject();
+}
+
+std::string
+RunReport::json() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("tool", tool_);
+    w.keyValue("title", title_);
+    w.keyValue("schema", "hnoc-run-report-v1");
+
+    w.key("meta").beginObject();
+    for (const auto &[k, v] : metaStr_)
+        w.keyValue(k, v);
+    for (const auto &[k, v] : metaNum_)
+        w.keyValue(k, v);
+    w.endObject();
+
+    w.key("points").beginArray();
+    for (const auto &[label, res] : points_)
+        writePoint(w, label, res);
+    w.endArray();
+
+    if (!registries_.empty()) {
+        w.key("registries").beginObject();
+        for (const auto &[label, reg] : registries_) {
+            w.key(label);
+            reg.writeJson(w);
+        }
+        w.endObject();
+    }
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+RunReport::writeFile(const std::string &path) const
+{
+    std::string target = path;
+    if (const char *dir = std::getenv("HNOC_JSON_DIR")) {
+        std::string base = path;
+        auto slash = base.find_last_of('/');
+        if (slash != std::string::npos)
+            base = base.substr(slash + 1);
+        target = std::string(dir) + "/" + base;
+    }
+    std::FILE *f = std::fopen(target.c_str(), "w");
+    if (!f) {
+        warn("RunReport: cannot open %s", target.c_str());
+        return false;
+    }
+    std::string data = json();
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace hnoc

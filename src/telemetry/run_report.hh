@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unified JSON run reports: one machine-readable document per
+ * experiment run, replacing per-bench ad-hoc output formats. A report
+ * carries free-form metadata, any number of labelled sim points (the
+ * standard SimPointResult fields), and the full metric registry of
+ * points that collected telemetry.
+ *
+ * File placement follows the CSV convention: when HNOC_JSON_DIR is
+ * set, writeFile() drops the report (by base name) into that
+ * directory, so `HNOC_JSON_DIR=out ./bench/fig07_ur_traffic` collects
+ * every report without touching the bench code.
+ */
+
+#ifndef HNOC_TELEMETRY_RUN_REPORT_HH
+#define HNOC_TELEMETRY_RUN_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+
+class JsonWriter;
+
+/** Builder for one unified JSON run report. */
+class RunReport
+{
+  public:
+    /**
+     * @param tool producing binary/identity (e.g. "fig01", "hnoc_cli")
+     * @param title human description of the run
+     */
+    RunReport(std::string tool, std::string title);
+
+    /** Attach a free-form metadata string (emitted under "meta"). */
+    void meta(const std::string &key, const std::string &value);
+    void meta(const std::string &key, double value);
+
+    /**
+     * Append one labelled sim point. The standard result fields are
+     * exported always; the metric registry too when the point was run
+     * with SimPointOptions::collectMetrics.
+     */
+    void addPoint(const std::string &label, const SimPointResult &res);
+
+    /** Export a standalone merged registry (multi-seed aggregates). */
+    void addRegistry(const std::string &label, const MetricRegistry &reg);
+
+    std::size_t points() const { return points_.size(); }
+
+    /** @return the report as a JSON document. */
+    std::string json() const;
+
+    /**
+     * Write the report to @p path, honoring HNOC_JSON_DIR (see file
+     * comment). @return true on success.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void writePoint(JsonWriter &w, const std::string &label,
+                    const SimPointResult &res) const;
+
+    std::string tool_;
+    std::string title_;
+    std::vector<std::pair<std::string, std::string>> metaStr_;
+    std::vector<std::pair<std::string, double>> metaNum_;
+    std::vector<std::pair<std::string, SimPointResult>> points_;
+    std::vector<std::pair<std::string, MetricRegistry>> registries_;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_TELEMETRY_RUN_REPORT_HH

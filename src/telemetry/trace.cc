@@ -1,0 +1,294 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "telemetry/json_writer.hh"
+
+namespace hnoc
+{
+
+TraceObserver::TraceObserver(TraceOptions opts) : opts_(opts)
+{
+}
+
+Cycle
+TraceObserver::PacketRecord::hopSum() const
+{
+    Cycle sum = 0;
+    for (const HopRecord &h : hops)
+        if (h.depart != CYCLE_NEVER)
+            sum += h.depart - h.arrive;
+    return sum;
+}
+
+Cycle
+TraceObserver::PacketRecord::serialization() const
+{
+    Cycle n = network();
+    Cycle h = hopSum();
+    return n > h ? n - h : 0;
+}
+
+void
+TraceObserver::record(std::uint8_t kind, RouterId router, PortId port,
+                      const Flit &flit, Cycle now)
+{
+    if (!opts_.flitLog)
+        return;
+    if (events_.size() >= opts_.maxEvents) {
+        ++droppedEvents_;
+        return;
+    }
+    Event e;
+    e.t = now;
+    e.pkt = static_cast<std::uint32_t>(flit.pkt ? flit.pkt->id : 0);
+    e.router = static_cast<std::int16_t>(router);
+    e.port = static_cast<std::int8_t>(port);
+    e.vc = static_cast<std::int8_t>(flit.vc);
+    e.seq = flit.seq;
+    e.kind = kind;
+    e.isHead = flit.isHead() ? 1 : 0;
+    events_.push_back(e);
+}
+
+void
+TraceObserver::onPacketCreated(const Packet &pkt, Cycle now)
+{
+    if (live_.size() + done_.size() >= opts_.maxPackets) {
+        ++droppedPackets_;
+        return;
+    }
+    PacketRecord rec;
+    rec.id = pkt.id;
+    rec.src = pkt.src;
+    rec.dst = pkt.dst;
+    rec.numFlits = pkt.numFlits;
+    rec.created = now;
+    live_.emplace(pkt.id, std::move(rec));
+}
+
+void
+TraceObserver::onFlitArrive(RouterId router, PortId port,
+                            const Flit &flit, Cycle now)
+{
+    record(0, router, port, flit, now);
+    if (!flit.isHead() || !flit.pkt)
+        return;
+    auto it = live_.find(flit.pkt->id);
+    if (it == live_.end())
+        return;
+    HopRecord hop;
+    hop.router = router;
+    hop.inPort = port;
+    hop.vc = flit.vc;
+    hop.arrive = now;
+    it->second.hops.push_back(hop);
+}
+
+void
+TraceObserver::onFlitDepart(RouterId router, PortId port,
+                            const Flit &flit, Cycle now)
+{
+    record(1, router, port, flit, now);
+    if (!flit.isHead() || !flit.pkt)
+        return;
+    auto it = live_.find(flit.pkt->id);
+    if (it == live_.end())
+        return;
+    // Close the newest open hop at this router (the head visits each
+    // router once).
+    for (auto h = it->second.hops.rbegin(); h != it->second.hops.rend();
+         ++h) {
+        if (h->router == router && h->depart == CYCLE_NEVER) {
+            h->depart = now;
+            break;
+        }
+    }
+}
+
+void
+TraceObserver::onPacketDelivered(const Packet &pkt, Cycle now)
+{
+    (void)now;
+    auto it = live_.find(pkt.id);
+    if (it == live_.end())
+        return;
+    PacketRecord rec = std::move(it->second);
+    live_.erase(it);
+    rec.injected = pkt.injectedAt;
+    rec.ejected = pkt.ejectedAt;
+    done_.push_back(std::move(rec));
+}
+
+void
+TraceObserver::reset()
+{
+    events_.clear();
+    live_.clear();
+    done_.clear();
+    droppedEvents_ = 0;
+    droppedPackets_ = 0;
+}
+
+std::string
+TraceObserver::chromeTraceJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.keyValue("tool", "hnoc");
+    w.keyValue("time_unit", "1 trace us = 1 simulation cycle");
+    w.keyValue("dropped_events", droppedEvents_);
+    w.keyValue("dropped_packets", droppedPackets_);
+    w.endObject();
+    w.key("traceEvents").beginArray();
+
+    // Process/thread naming metadata: pid 0 = the network, one thread
+    // per router touched by a recorded hop.
+    auto meta = [&](const char *name, int pid, int tid,
+                    const std::string &value) {
+        w.beginObject();
+        w.keyValue("name", name);
+        w.keyValue("ph", "M");
+        w.keyValue("pid", pid);
+        w.keyValue("tid", tid);
+        w.key("args").beginObject();
+        w.keyValue("name", value);
+        w.endObject();
+        w.endObject();
+    };
+    meta("process_name", 0, 0, "hnoc network");
+    std::vector<RouterId> routers;
+    for (const PacketRecord &p : done_)
+        for (const HopRecord &h : p.hops)
+            routers.push_back(h.router);
+    std::sort(routers.begin(), routers.end());
+    routers.erase(std::unique(routers.begin(), routers.end()),
+                  routers.end());
+    char buf[48];
+    for (RouterId r : routers) {
+        std::snprintf(buf, sizeof(buf), "router %d", r);
+        meta("thread_name", 0, r, buf);
+    }
+
+    for (const PacketRecord &p : done_) {
+        std::snprintf(buf, sizeof(buf), "pkt %llu",
+                      static_cast<unsigned long long>(p.id));
+        if (opts_.packetSpans) {
+            // Async begin at injection...
+            w.beginObject();
+            w.keyValue("name", buf);
+            w.keyValue("cat", "packet");
+            w.keyValue("ph", "b");
+            w.keyValue("id", p.id);
+            w.keyValue("ts", static_cast<std::uint64_t>(p.injected));
+            w.keyValue("pid", 0);
+            w.keyValue("tid", 0);
+            w.key("args").beginObject();
+            w.keyValue("src", p.src);
+            w.keyValue("dst", p.dst);
+            w.keyValue("flits", p.numFlits);
+            w.endObject();
+            w.endObject();
+            // ...end at ejection, carrying the latency decomposition.
+            w.beginObject();
+            w.keyValue("name", buf);
+            w.keyValue("cat", "packet");
+            w.keyValue("ph", "e");
+            w.keyValue("id", p.id);
+            w.keyValue("ts", static_cast<std::uint64_t>(p.ejected));
+            w.keyValue("pid", 0);
+            w.keyValue("tid", 0);
+            w.key("args").beginObject();
+            w.keyValue("queueing_cycles",
+                       static_cast<std::uint64_t>(p.queueing()));
+            w.keyValue("network_cycles",
+                       static_cast<std::uint64_t>(p.network()));
+            w.keyValue("hop_cycles",
+                       static_cast<std::uint64_t>(p.hopSum()));
+            w.keyValue("serialization_cycles",
+                       static_cast<std::uint64_t>(p.serialization()));
+            w.keyValue("hops",
+                       static_cast<std::uint64_t>(p.hops.size()));
+            w.endObject();
+            w.endObject();
+        }
+        if (opts_.hopSlices) {
+            for (const HopRecord &h : p.hops) {
+                if (h.depart == CYCLE_NEVER)
+                    continue;
+                w.beginObject();
+                w.keyValue("name", buf);
+                w.keyValue("cat", "hop");
+                w.keyValue("ph", "X");
+                w.keyValue("ts", static_cast<std::uint64_t>(h.arrive));
+                w.keyValue("dur", static_cast<std::uint64_t>(
+                                      h.depart - h.arrive));
+                w.keyValue("pid", 0);
+                w.keyValue("tid", h.router);
+                w.key("args").beginObject();
+                w.keyValue("in_port", h.inPort);
+                w.keyValue("vc", h.vc);
+                w.endObject();
+                w.endObject();
+            }
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+TraceObserver::flitLogJsonl() const
+{
+    std::string out;
+    out.reserve(events_.size() * 64);
+    char buf[160];
+    for (const Event &e : events_) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"t\":%llu,\"ev\":\"%s\",\"r\":%d,\"p\":%d,"
+                      "\"vc\":%d,\"pkt\":%u,\"seq\":%u,\"head\":%u}\n",
+                      static_cast<unsigned long long>(e.t),
+                      e.kind == 0 ? "arr" : "dep", e.router, e.port,
+                      e.vc, e.pkt, e.seq, e.isHead);
+        out += buf;
+    }
+    return out;
+}
+
+namespace
+{
+
+bool
+writeStringToFile(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("trace: cannot open %s", path.c_str());
+        return false;
+    }
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+bool
+TraceObserver::writeChromeTrace(const std::string &path) const
+{
+    return writeStringToFile(path, chromeTraceJson());
+}
+
+bool
+TraceObserver::writeFlitLog(const std::string &path) const
+{
+    return writeStringToFile(path, flitLogJsonl());
+}
+
+} // namespace hnoc

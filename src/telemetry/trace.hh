@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Flit/packet tracing: a NetworkObserver that records every flit event
+ * and emits (1) Chrome-trace-format JSON loadable in chrome://tracing
+ * or Perfetto, and (2) a compact JSONL flit log for scripted analysis.
+ *
+ * The Chrome trace maps routers to threads (tid = router id) of one
+ * process; each head flit's residency at a router becomes a complete
+ * ("X") slice, and each packet's network lifetime becomes an async
+ * b/e span keyed by packet id. Timestamps are simulation cycles
+ * written as microseconds (1 cycle = 1 us on the trace-viewer axis).
+ *
+ * On delivery the observer decomposes each packet's latency into
+ *   queueing      source-queue wait (created -> injected),
+ *   per-hop       head-flit residency at each router,
+ *   serialization network time not spent buffered at routers
+ *                 (wire traversal + tail serialization),
+ * and attaches the breakdown to the packet's end event.
+ */
+
+#ifndef HNOC_TELEMETRY_TRACE_HH
+#define HNOC_TELEMETRY_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/flit.hh"
+#include "noc/observer.hh"
+
+namespace hnoc
+{
+
+/** Knobs for TraceObserver. */
+struct TraceOptions
+{
+    bool hopSlices = true;   ///< per-hop "X" events (head flits)
+    bool packetSpans = true; ///< async b/e span per packet
+    bool flitLog = true;     ///< record the JSONL flit event log
+    /** Hard cap on recorded flit-log events; exceeding events are
+     *  dropped (counted in droppedEvents()). Bounds memory on long
+     *  runs: ~40 B/event. */
+    std::size_t maxEvents = 1u << 20;
+    /** Hard cap on completed packet records kept for the trace. */
+    std::size_t maxPackets = 1u << 18;
+};
+
+/** Records flit events and renders Chrome-trace JSON / JSONL logs. */
+class TraceObserver : public NetworkObserver
+{
+  public:
+    explicit TraceObserver(TraceOptions opts = {});
+
+    /** @name NetworkObserver */
+    ///@{
+    void onPacketCreated(const Packet &pkt, Cycle now) override;
+    void onFlitArrive(RouterId router, PortId port, const Flit &flit,
+                      Cycle now) override;
+    void onFlitDepart(RouterId router, PortId port, const Flit &flit,
+                      Cycle now) override;
+    void onPacketDelivered(const Packet &pkt, Cycle now) override;
+    ///@}
+
+    /** One router visit of a packet's head flit. */
+    struct HopRecord
+    {
+        RouterId router = INVALID_ROUTER;
+        PortId inPort = INVALID_PORT;
+        VcId vc = INVALID_VC;
+        Cycle arrive = 0;
+        Cycle depart = CYCLE_NEVER;
+    };
+
+    /** Full journey of one delivered packet. */
+    struct PacketRecord
+    {
+        PacketId id = 0;
+        NodeId src = INVALID_NODE;
+        NodeId dst = INVALID_NODE;
+        int numFlits = 0;
+        Cycle created = 0;
+        Cycle injected = 0;
+        Cycle ejected = 0;
+        std::vector<HopRecord> hops;
+
+        /** @name Latency decomposition (cycles) */
+        ///@{
+        Cycle queueing() const { return injected - created; }
+        Cycle network() const { return ejected - injected; }
+        Cycle hopSum() const;
+        /** Network time not buffered at routers: wires + tail
+         *  serialization behind the head. */
+        Cycle serialization() const;
+        ///@}
+    };
+
+    const std::vector<PacketRecord> &packets() const { return done_; }
+    std::uint64_t eventCount() const { return events_.size(); }
+    std::uint64_t droppedEvents() const { return droppedEvents_; }
+    std::uint64_t droppedPackets() const { return droppedPackets_; }
+
+    /** Drop all recorded state (benchmark loops). */
+    void reset();
+
+    /** @name Export */
+    ///@{
+    /** The full trace as a Chrome-trace JSON document. */
+    std::string chromeTraceJson() const;
+
+    /** One JSON object per line: the compact flit event log. */
+    std::string flitLogJsonl() const;
+
+    bool writeChromeTrace(const std::string &path) const;
+    bool writeFlitLog(const std::string &path) const;
+    ///@}
+
+  private:
+    /** A single flit-log entry, 2 words packed. */
+    struct Event
+    {
+        Cycle t;
+        std::uint32_t pkt;  ///< truncated packet id (log readability)
+        std::int16_t router;
+        std::int8_t port;
+        std::int8_t vc;
+        std::uint16_t seq;
+        std::uint8_t kind; ///< 0 = arrive, 1 = depart
+        std::uint8_t isHead;
+    };
+
+    void record(std::uint8_t kind, RouterId router, PortId port,
+                const Flit &flit, Cycle now);
+
+    TraceOptions opts_;
+    std::vector<Event> events_;
+    std::unordered_map<PacketId, PacketRecord> live_;
+    std::vector<PacketRecord> done_;
+    std::uint64_t droppedEvents_ = 0;
+    std::uint64_t droppedPackets_ = 0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_TELEMETRY_TRACE_HH

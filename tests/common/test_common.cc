@@ -53,6 +53,51 @@ TEST(RunningStat, EmptyIsZero)
     EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStat, EmptyMinMaxIsNaN)
+{
+    RunningStat s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    // A single 0.0 sample is distinguishable from "no data".
+    s.add(0.0);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat empty;
+    RunningStat one;
+    one.add(3.0);
+    RunningStat a = one;
+    a.merge(empty); // empty rhs: unchanged
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.min(), 3.0);
+    RunningStat b;
+    b.merge(one); // empty lhs: adopts rhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.max(), 3.0);
+}
+
+TEST(Histogram, MergeAddsBuckets)
+{
+    Histogram a(0.0, 10.0, 10);
+    Histogram b(0.0, 10.0, 10);
+    a.add(1.5);
+    a.add(2.5);
+    b.add(2.5);
+    b.add(9.5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.mean(), (1.5 + 2.5 + 2.5 + 9.5) / 4.0);
+    EXPECT_EQ(a.buckets()[2], 2u);
+    EXPECT_EQ(a.buckets()[9], 1u);
+}
+
 TEST(Histogram, MeanAndPercentiles)
 {
     Histogram h(0.0, 100.0, 100);

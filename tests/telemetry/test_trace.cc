@@ -1,0 +1,538 @@
+/**
+ * @file
+ * TraceObserver tests: the Chrome-trace JSON round-trip (emit, then
+ * parse with a small in-test JSON parser and validate the event
+ * structure), the per-packet latency decomposition, the JSONL flit
+ * log, and the event/packet caps. The parser accepts exactly the
+ * JSON grammar, so these tests also pin down that the emitter never
+ * produces malformed documents (trailing commas, bad escapes, NaN
+ * literals).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "noc/flit.hh"
+#include "noc/network.hh"
+#include "noc/sim_harness.hh"
+#include "telemetry/trace.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+// ------------------------------------------------- mini JSON parser --
+
+/** A parsed JSON value: tagged union over the six JSON types. */
+struct Jv
+{
+    enum class T
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+
+    T t = T::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::vector<Jv> arr;
+    std::vector<std::pair<std::string, Jv>> obj;
+
+    const Jv *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : obj)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+
+    /** Numeric field lookup; fails the test when absent. */
+    double
+    numAt(const std::string &key) const
+    {
+        const Jv *v = find(key);
+        EXPECT_NE(v, nullptr) << "missing key " << key;
+        if (!v || v->t != T::Num)
+            return -1.0;
+        return v->num;
+    }
+
+    std::string
+    strAt(const std::string &key) const
+    {
+        const Jv *v = find(key);
+        EXPECT_NE(v, nullptr) << "missing key " << key;
+        return v && v->t == T::Str ? v->str : std::string();
+    }
+};
+
+/** Strict recursive-descent parser over a whole document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &doc)
+        : p_(doc.c_str()), end_(doc.c_str() + doc.size())
+    {
+    }
+
+    /** @return true iff the document parsed and was fully consumed. */
+    bool
+    parse(Jv &out)
+    {
+        bool ok = value(out);
+        skipWs();
+        return ok && p_ == end_;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                             *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *s)
+    {
+        const char *q = p_;
+        while (*s) {
+            if (q == end_ || *q != *s)
+                return false;
+            ++q;
+            ++s;
+        }
+        p_ = q;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (p_ == end_ || *p_ != '"')
+            return false;
+        ++p_;
+        out.clear();
+        while (p_ < end_ && *p_ != '"') {
+            char c = *p_++;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ == end_)
+                return false;
+            char e = *p_++;
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (end_ - p_ < 4)
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        if (p_ == end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    value(Jv &out)
+    {
+        skipWs();
+        if (p_ == end_)
+            return false;
+        switch (*p_) {
+          case '{': {
+            out.t = Jv::T::Obj;
+            ++p_;
+            skipWs();
+            if (p_ < end_ && *p_ == '}') {
+                ++p_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (p_ == end_ || *p_ != ':')
+                    return false;
+                ++p_;
+                Jv v;
+                if (!value(v))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p_ == end_)
+                    return false;
+                if (*p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                if (*p_ == '}') {
+                    ++p_;
+                    return true;
+                }
+                return false;
+            }
+          }
+          case '[': {
+            out.t = Jv::T::Arr;
+            ++p_;
+            skipWs();
+            if (p_ < end_ && *p_ == ']') {
+                ++p_;
+                return true;
+            }
+            for (;;) {
+                Jv v;
+                if (!value(v))
+                    return false;
+                out.arr.push_back(std::move(v));
+                skipWs();
+                if (p_ == end_)
+                    return false;
+                if (*p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                if (*p_ == ']') {
+                    ++p_;
+                    return true;
+                }
+                return false;
+            }
+          }
+          case '"':
+            out.t = Jv::T::Str;
+            return string(out.str);
+          case 't':
+            out.t = Jv::T::Bool;
+            out.b = true;
+            return literal("true");
+          case 'f':
+            out.t = Jv::T::Bool;
+            out.b = false;
+            return literal("false");
+          case 'n':
+            out.t = Jv::T::Null;
+            return literal("null");
+          default: {
+            char *after = nullptr;
+            out.t = Jv::T::Num;
+            out.num = std::strtod(p_, &after);
+            if (after == p_ || after > end_)
+                return false;
+            p_ = after;
+            return true;
+          }
+        }
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+bool
+parseJson(const std::string &doc, Jv &out)
+{
+    return JsonParser(doc).parse(out);
+}
+
+TEST(MiniJsonParser, SelfTest)
+{
+    Jv v;
+    ASSERT_TRUE(parseJson(
+        "{\"a\":[1,2.5,-3],\"s\":\"x\\ny\",\"t\":true,\"n\":null}", v));
+    ASSERT_EQ(v.t, Jv::T::Obj);
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("a")->arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->arr[1].num, 2.5);
+    EXPECT_EQ(v.strAt("s"), "x\ny");
+    EXPECT_TRUE(v.find("t")->b);
+    EXPECT_EQ(v.find("n")->t, Jv::T::Null);
+    // Malformed documents must be rejected, or the round-trip tests
+    // below prove nothing.
+    EXPECT_FALSE(parseJson("{\"a\":1,}", v));
+    EXPECT_FALSE(parseJson("[1 2]", v));
+    EXPECT_FALSE(parseJson("{\"a\":nan}", v));
+    EXPECT_FALSE(parseJson("{} trailing", v));
+}
+
+// ------------------------------------------------ synthetic journey --
+
+TEST(TraceObserver, SyntheticJourneyDecomposesLatency)
+{
+    TraceObserver obs;
+
+    Packet pkt;
+    pkt.id = 42;
+    pkt.src = 0;
+    pkt.dst = 9;
+    pkt.numFlits = 4;
+    pkt.createdAt = 5;
+    pkt.injectedAt = 8;
+    pkt.ejectedAt = 40;
+
+    Flit head;
+    head.pkt = &pkt;
+    head.type = FlitType::Head;
+    head.seq = 0;
+    head.vc = 1;
+
+    obs.onPacketCreated(pkt, 5);
+    obs.onFlitArrive(2, 3, head, 10); // router 2: 4-cycle residency
+    obs.onFlitDepart(2, 1, head, 14);
+    obs.onFlitArrive(7, 0, head, 16); // router 7: 5-cycle residency
+    obs.onFlitDepart(7, 2, head, 21);
+    obs.onPacketDelivered(pkt, 40);
+
+    ASSERT_EQ(obs.packets().size(), 1u);
+    const TraceObserver::PacketRecord &rec = obs.packets()[0];
+    EXPECT_EQ(rec.id, 42u);
+    EXPECT_EQ(rec.queueing(), 3u);
+    EXPECT_EQ(rec.network(), 32u);
+    EXPECT_EQ(rec.hopSum(), 9u);
+    EXPECT_EQ(rec.serialization(), 23u);
+    ASSERT_EQ(rec.hops.size(), 2u);
+    EXPECT_EQ(rec.hops[0].router, 2);
+    EXPECT_EQ(rec.hops[1].router, 7);
+
+    // Round-trip the Chrome trace and check the exact events.
+    Jv doc;
+    ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
+    const Jv *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->t, Jv::T::Arr);
+
+    int spans_b = 0;
+    int spans_e = 0;
+    int slices = 0;
+    std::vector<std::string> thread_names;
+    for (const Jv &ev : events->arr) {
+        std::string ph = ev.strAt("ph");
+        if (ph == "M") {
+            if (ev.strAt("name") == "thread_name")
+                thread_names.push_back(
+                    ev.find("args")->strAt("name"));
+        } else if (ph == "b") {
+            ++spans_b;
+            EXPECT_EQ(ev.numAt("id"), 42.0);
+            EXPECT_EQ(ev.numAt("ts"), 8.0);
+            EXPECT_EQ(ev.find("args")->numAt("flits"), 4.0);
+        } else if (ph == "e") {
+            ++spans_e;
+            EXPECT_EQ(ev.numAt("ts"), 40.0);
+            const Jv *args = ev.find("args");
+            ASSERT_NE(args, nullptr);
+            EXPECT_EQ(args->numAt("queueing_cycles"), 3.0);
+            EXPECT_EQ(args->numAt("network_cycles"), 32.0);
+            EXPECT_EQ(args->numAt("hop_cycles"), 9.0);
+            EXPECT_EQ(args->numAt("serialization_cycles"), 23.0);
+            EXPECT_EQ(args->numAt("hops"), 2.0);
+        } else if (ph == "X") {
+            ++slices;
+            if (ev.numAt("tid") == 2.0)
+                EXPECT_EQ(ev.numAt("dur"), 4.0);
+            else
+                EXPECT_EQ(ev.numAt("dur"), 5.0);
+        }
+    }
+    EXPECT_EQ(spans_b, 1);
+    EXPECT_EQ(spans_e, 1);
+    EXPECT_EQ(slices, 2);
+    ASSERT_EQ(thread_names.size(), 2u);
+    EXPECT_EQ(thread_names[0], "router 2");
+    EXPECT_EQ(thread_names[1], "router 7");
+}
+
+// ------------------------------------------------ end-to-end traces --
+
+SimPointOptions
+traceOptions()
+{
+    SimPointOptions opts;
+    opts.injectionRate = 0.02;
+    opts.warmupCycles = 200;
+    opts.measureCycles = 800;
+    opts.drainCycles = 2000;
+    return opts;
+}
+
+TEST(TraceObserver, EndToEndChromeTraceRoundTrips)
+{
+    NetworkConfig cfg; // baseline 8x8
+    SimPointOptions opts = traceOptions();
+    TraceObserver obs;
+    opts.observer = &obs;
+    SimPointResult res =
+        runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+    (void)res;
+
+    ASSERT_GT(obs.packets().size(), 0u);
+    EXPECT_EQ(obs.droppedEvents(), 0u);
+    EXPECT_EQ(obs.droppedPackets(), 0u);
+
+    Jv doc;
+    ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
+    EXPECT_EQ(doc.find("otherData")->numAt("dropped_events"), 0.0);
+    const Jv *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    std::size_t spans_b = 0;
+    std::size_t spans_e = 0;
+    std::size_t slices = 0;
+    for (const Jv &ev : events->arr) {
+        std::string ph = ev.strAt("ph");
+        EXPECT_NE(ev.find("pid"), nullptr);
+        if (ph == "b")
+            ++spans_b;
+        else if (ph == "e")
+            ++spans_e;
+        else if (ph == "X") {
+            EXPECT_GE(ev.numAt("dur"), 0.0);
+            double tid = ev.numAt("tid");
+            EXPECT_GE(tid, 0.0);
+            EXPECT_LT(tid, 64.0);
+        }
+        if (ph == "X")
+            ++slices;
+    }
+    // One b/e pair per delivered packet, at least one hop slice each.
+    EXPECT_EQ(spans_b, obs.packets().size());
+    EXPECT_EQ(spans_e, obs.packets().size());
+    EXPECT_GE(slices, obs.packets().size());
+
+    // Decomposition identity on every record: hop + serialization
+    // reassemble the network latency exactly.
+    for (const TraceObserver::PacketRecord &rec : obs.packets()) {
+        EXPECT_GE(rec.hops.size(), 1u);
+        EXPECT_EQ(rec.hopSum() + rec.serialization(), rec.network());
+        EXPECT_GE(rec.ejected, rec.injected);
+        EXPECT_GE(rec.injected, rec.created);
+    }
+}
+
+TEST(TraceObserver, FlitLogLinesAreValidJson)
+{
+    NetworkConfig cfg;
+    SimPointOptions opts = traceOptions();
+    opts.measureCycles = 400;
+    TraceObserver obs;
+    opts.observer = &obs;
+    runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+
+    std::string log = obs.flitLogJsonl();
+    ASSERT_FALSE(log.empty());
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (start < log.size()) {
+        std::size_t nl = log.find('\n', start);
+        ASSERT_NE(nl, std::string::npos) << "log must end in newline";
+        Jv line;
+        ASSERT_TRUE(parseJson(log.substr(start, nl - start), line))
+            << "line " << lines;
+        std::string ev = line.strAt("ev");
+        EXPECT_TRUE(ev == "arr" || ev == "dep") << ev;
+        EXPECT_NE(line.find("t"), nullptr);
+        EXPECT_NE(line.find("r"), nullptr);
+        EXPECT_NE(line.find("vc"), nullptr);
+        EXPECT_NE(line.find("seq"), nullptr);
+        ++lines;
+        start = nl + 1;
+    }
+    EXPECT_EQ(lines, obs.eventCount());
+}
+
+TEST(TraceObserver, CapsBoundMemoryAndAreReported)
+{
+    NetworkConfig cfg;
+    SimPointOptions opts = traceOptions();
+    TraceOptions cap;
+    cap.maxEvents = 64;
+    cap.maxPackets = 3;
+    TraceObserver obs(cap);
+    opts.observer = &obs;
+    runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+
+    EXPECT_EQ(obs.eventCount(), 64u);
+    EXPECT_GT(obs.droppedEvents(), 0u);
+    EXPECT_LE(obs.packets().size(), 3u);
+    EXPECT_GT(obs.droppedPackets(), 0u);
+
+    // The truncated trace is still a valid document and reports the
+    // drop counts so readers know it is partial.
+    Jv doc;
+    ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
+    const Jv *other = doc.find("otherData");
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->numAt("dropped_events"),
+              static_cast<double>(obs.droppedEvents()));
+    EXPECT_EQ(other->numAt("dropped_packets"),
+              static_cast<double>(obs.droppedPackets()));
+}
+
+TEST(TraceObserver, ResetClearsAllState)
+{
+    NetworkConfig cfg;
+    SimPointOptions opts = traceOptions();
+    opts.measureCycles = 400;
+    TraceObserver obs;
+    opts.observer = &obs;
+    runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
+    ASSERT_GT(obs.eventCount(), 0u);
+
+    obs.reset();
+    EXPECT_EQ(obs.eventCount(), 0u);
+    EXPECT_EQ(obs.packets().size(), 0u);
+    EXPECT_EQ(obs.droppedEvents(), 0u);
+    EXPECT_TRUE(obs.flitLogJsonl().empty());
+    Jv doc;
+    ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
+    // Only the process_name metadata event remains.
+    ASSERT_NE(doc.find("traceEvents"), nullptr);
+    EXPECT_EQ(doc.find("traceEvents")->arr.size(), 1u);
+}
+
+} // namespace
+} // namespace hnoc

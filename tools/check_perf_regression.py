@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare one benchmark between two google-benchmark JSON files.
+
+Used by CI to guard the telemetry hooks: the HNOC_TELEMETRY=ON build
+(hooks compiled in, nothing attached) must not regress the network
+hot loop versus the OFF build by more than the threshold.
+
+    check_perf_regression.py baseline.json candidate.json \
+        --benchmark BM_NetworkStepBaseline --max-regression-pct 2.0
+
+Exit status: 0 within threshold, 1 regression, 2 usage/data error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def best_time(path, name):
+    """Smallest real_time of `name` in a --benchmark_out JSON file.
+
+    The minimum across repetitions is the standard low-noise estimate
+    for a CPU-bound loop: noise only ever adds time.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    times = [
+        b["real_time"]
+        for b in doc.get("benchmarks", [])
+        if b.get("run_name", b.get("name")) == name
+        and b.get("run_type", "iteration") != "aggregate"
+    ]
+    if not times:
+        sys.exit(f"error: no '{name}' runs in {path}")
+    return min(times)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="benchmark JSON of the reference build")
+    ap.add_argument("candidate", help="benchmark JSON of the build under test")
+    ap.add_argument("--benchmark", default="BM_NetworkStepBaseline")
+    ap.add_argument("--max-regression-pct", type=float, default=2.0)
+    args = ap.parse_args()
+
+    base = best_time(args.baseline, args.benchmark)
+    cand = best_time(args.candidate, args.benchmark)
+    delta_pct = (cand - base) / base * 100.0
+    print(
+        f"{args.benchmark}: baseline {base:.1f} ns, "
+        f"candidate {cand:.1f} ns, delta {delta_pct:+.2f}% "
+        f"(limit +{args.max_regression_pct:.2f}%)"
+    )
+    if delta_pct > args.max_regression_pct:
+        print("FAIL: hot-path regression over threshold", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
