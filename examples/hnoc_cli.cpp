@@ -57,6 +57,20 @@ usage(int code)
         "                 (single --rate only)\n"
         "  --config FILE  load a saved network configuration\n"
         "  --dump-config FILE  save the effective configuration\n\n"
+        "diagnostics:\n"
+        "  --postmortem FILE  arm a forward-progress watchdog with a\n"
+        "                 flight recorder; on a stall, dump an\n"
+        "                 hnoc-postmortem-v1 JSON to FILE (inspect it\n"
+        "                 with `hnoc_inspect postmortem FILE`)\n"
+        "  --progress[=N] print a live progress line to stderr every N\n"
+        "                 cycles (default 10000): cycle, delivered,\n"
+        "                 in-flight, flits/sec, ETA\n"
+        "  --audit[=N]    run the credit/buffer-conservation audit\n"
+        "                 every N cycles (default 1000); abort with a\n"
+        "                 diagnostic on the first violation\n"
+        "  --watchdog=N   trip the forward-progress watchdog after N\n"
+        "                 cycles without a delivery (default 50000\n"
+        "                 when --postmortem is given)\n\n"
         "full-system mode:\n"
         "  --cmp W        run workload W on the 64-tile CMP\n"
         "                 (SAP SPECjbb TPC-C SJAS frrt fsim vips canl\n"
@@ -121,6 +135,10 @@ main(int argc, char **argv)
     std::string cmp_workload;
     std::string config_path;
     std::string dump_config_path;
+    std::string postmortem_path;
+    Cycle progress_every = 0;
+    Cycle audit_every = 0;
+    Cycle watchdog_window = 0;
     McPlacement mc = McPlacement::Corners;
 
     for (int i = 1; i < argc; ++i) {
@@ -172,6 +190,18 @@ main(int argc, char **argv)
             cmp_workload = next();
         else if (arg == "--mc")
             mc = parseMc(next());
+        else if (arg == "--postmortem")
+            postmortem_path = next();
+        else if (arg == "--progress")
+            progress_every = 10000;
+        else if (arg.rfind("--progress=", 0) == 0)
+            progress_every = std::strtoull(arg.c_str() + 11, nullptr, 10);
+        else if (arg == "--audit")
+            audit_every = 1000;
+        else if (arg.rfind("--audit=", 0) == 0)
+            audit_every = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--watchdog=", 0) == 0)
+            watchdog_window = std::strtoull(arg.c_str() + 11, nullptr, 10);
         else
             usage(1);
     }
@@ -221,6 +251,15 @@ main(int argc, char **argv)
     SimPointOptions opts;
     opts.seed = seed;
     opts.collectMetrics = !json_path.empty();
+    opts.progressEvery = progress_every;
+    opts.auditEvery = audit_every;
+    opts.watchdogWindow = watchdog_window;
+    if (!postmortem_path.empty()) {
+        opts.postmortemPath = postmortem_path;
+        opts.flightRecorder = true;
+        if (opts.watchdogWindow == 0)
+            opts.watchdogWindow = 50000;
+    }
     TraceObserver tracer;
     if (tracing)
         opts.observer = &tracer;
@@ -242,6 +281,14 @@ main(int argc, char **argv)
                Table::num(res.combineRate, 2),
                res.saturated ? "yes" : "no"});
         labels.push_back(cfg.name + "@" + Table::num(r, 4));
+        if (res.watchdogTrips > 0)
+            std::fprintf(stderr,
+                         "rate %.4f: watchdog tripped %llu time(s)%s%s\n",
+                         r,
+                         static_cast<unsigned long long>(
+                             res.watchdogTrips),
+                         postmortem_path.empty() ? "" : ", postmortem: ",
+                         postmortem_path.c_str());
         results.push_back(std::move(res));
     }
     std::printf("%s (%s, %s)\n", cfg.name.c_str(),

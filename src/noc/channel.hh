@@ -111,6 +111,31 @@ class Channel
         return flitPipe_.empty() && creditPipe_.empty();
     }
 
+    /** @name In-flight introspection (conservation audit) */
+    ///@{
+    /** Flits for @p vc currently in the forward pipe. */
+    int
+    pipeFlits(VcId vc) const
+    {
+        int n = 0;
+        for (const auto &e : flitPipe_)
+            if (e.second.vc == vc)
+                ++n;
+        return n;
+    }
+
+    /** Credits for @p vc currently in the reverse pipe. */
+    int
+    pipeCredits(VcId vc) const
+    {
+        int n = 0;
+        for (const auto &e : creditPipe_)
+            if (e.second == vc)
+                ++n;
+        return n;
+    }
+    ///@}
+
     /** @name Measurement counters (reset via resetStats). */
     ///@{
     std::uint64_t flitsSent() const { return flitsSent_; }

@@ -9,9 +9,6 @@
 namespace hnoc
 {
 
-namespace
-{
-
 const char *
 topologyName(TopologyType t)
 {
@@ -27,6 +24,9 @@ topologyName(TopologyType t)
     }
     return "mesh";
 }
+
+namespace
+{
 
 TopologyType
 topologyFromName(const std::string &s)

@@ -15,6 +15,9 @@
 namespace hnoc
 {
 
+/** Stable short name of @p t ("mesh", "torus", "cmesh", "flatfly"). */
+const char *topologyName(TopologyType t);
+
 /** Serialize @p config to the key=value text format. */
 std::string configToString(const NetworkConfig &config);
 

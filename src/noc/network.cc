@@ -1,9 +1,13 @@
 #include "noc/network.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "noc/config_io.hh"
 #include "power/frequency_model.hh"
+#include "telemetry/json_writer.hh"
 
 namespace hnoc
 {
@@ -187,6 +191,9 @@ Network::enqueuePacket(NodeId src, NodeId dst, int num_flits,
         telemetry_->gaugeMax(Gauge::PeakInFlight,
                              static_cast<std::uint64_t>(livePackets_));
     }
+    if (kTelemetryEnabled && recorder_)
+        recorder_->record(FrKind::Inject, cycle_, src, -1, -1, pkt->id,
+                          true);
     if (observer_)
         observer_->onPacketCreated(*pkt, cycle_);
     return pkt;
@@ -248,6 +255,224 @@ Network::detachTelemetry()
 }
 
 void
+Network::attachFlightRecorder(FlightRecorder *fr)
+{
+    recorder_ = fr;
+    for (auto &r : routers_)
+        r->setFlightRecorder(fr);
+}
+
+HealthSample
+Network::healthSample() const
+{
+    HealthSample s;
+    s.cycle = cycle_;
+    s.packetsInjected = packetsInjected_;
+    s.packetsDelivered = packetsDelivered_;
+    s.flitsDelivered = flitsDelivered_;
+    s.packetsInFlight = livePackets_;
+    s.sourceQueueDepth = totalSourceQueueDepth();
+    s.routers = topo_->numRouters();
+    s.ports = topo_->portsPerRouter();
+    s.vcs = config_.defaultVcs;
+    for (RouterId r = 0; r < s.routers; ++r)
+        s.vcs = std::max(s.vcs, config_.vcsOf(r));
+
+    s.bufferOccupancy.reserve(static_cast<std::size_t>(s.routers));
+    s.vcOccupancy.assign(
+        static_cast<std::size_t>(s.routers * s.ports * s.vcs), 0);
+    for (RouterId r = 0; r < s.routers; ++r) {
+        const Router &router = *routers_[static_cast<std::size_t>(r)];
+        s.bufferOccupancy.push_back(router.bufferOccupancy());
+        int router_vcs = router.vcsPerPort();
+        for (PortId p = 0; p < s.ports; ++p)
+            for (VcId v = 0; v < router_vcs; ++v)
+                s.vcOccupancy[static_cast<std::size_t>(
+                    (r * s.ports + p) * s.vcs + v)] =
+                    router.inputVcOccupancy(p, v);
+    }
+    return s;
+}
+
+bool
+Network::auditCreditConservation(std::string *err) const
+{
+    for (const ChannelEnds &e : ends_) {
+        // The downstream buffer being credited: a router input port,
+        // or the NI ejection sink (which consumes instantly, so its
+        // occupancy is always zero).
+        int vcs = e.sinkIsRouter
+                      ? routers_[static_cast<std::size_t>(e.sinkRouter)]
+                            ->vcsPerPort()
+                      : routers_[static_cast<std::size_t>(e.driverRouter)]
+                            ->outputVcCount(e.driverPort);
+        for (VcId v = 0; v < vcs; ++v) {
+            int driver_credits =
+                e.driverIsRouter
+                    ? routers_[static_cast<std::size_t>(e.driverRouter)]
+                          ->outputCredits(e.driverPort, v)
+                    : nis_[static_cast<std::size_t>(e.driverNode)]
+                          ->injectionCredits(v);
+            int in_flight_flits = e.chan->pipeFlits(v);
+            int in_flight_credits = e.chan->pipeCredits(v);
+            int sink_occ =
+                e.sinkIsRouter
+                    ? routers_[static_cast<std::size_t>(e.sinkRouter)]
+                          ->inputVcOccupancy(e.sinkPort, v)
+                    : 0;
+            int total = driver_credits + in_flight_flits +
+                        in_flight_credits + sink_occ;
+            if (total != config_.bufferDepth) {
+                if (err) {
+                    char buf[256];
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "channel %d vc %d: credits %d + pipe flits %d + "
+                        "pipe credits %d + sink occupancy %d = %d, "
+                        "expected buffer depth %d",
+                        e.chan->id(), v, driver_credits, in_flight_flits,
+                        in_flight_credits, sink_occ, total,
+                        config_.bufferDepth);
+                    *err = buf;
+                }
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+Network::postmortemJson(const std::string &reason) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.keyValue("schema", "hnoc-postmortem-v1");
+    w.keyValue("reason", reason);
+    w.keyValue("cycle", static_cast<std::uint64_t>(cycle_));
+    w.keyValue("packets_injected", packetsInjected_);
+    w.keyValue("packets_delivered", packetsDelivered_);
+    w.keyValue("flits_delivered", flitsDelivered_);
+    w.keyValue("packets_in_flight",
+               static_cast<std::uint64_t>(livePackets_));
+    w.keyValue("source_queue_depth",
+               static_cast<std::uint64_t>(totalSourceQueueDepth()));
+    w.keyValue("last_delivery_cycle",
+               static_cast<std::uint64_t>(lastDelivery_));
+
+    w.key("config").beginObject();
+    w.keyValue("topology", topologyName(config_.topology));
+    w.keyValue("routers", topo_->numRouters());
+    w.keyValue("ports", topo_->portsPerRouter());
+    w.keyValue("grid_cols", topo_->gridCols());
+    w.keyValue("buffer_depth", config_.bufferDepth);
+    w.endObject();
+
+    // Per-router pipeline snapshot. Idle state is the common case in a
+    // postmortem's healthy regions, so only waiting/allocated VCs are
+    // emitted.
+    w.key("routers").beginArray();
+    for (RouterId r = 0; r < topo_->numRouters(); ++r) {
+        const Router &router = *routers_[static_cast<std::size_t>(r)];
+        w.beginObject();
+        w.keyValue("id", r);
+        w.keyValue("occupancy", router.bufferOccupancy());
+        w.key("input_vcs").beginArray();
+        for (PortId p = 0; p < router.numPorts(); ++p) {
+            for (VcId v = 0; v < router.vcsPerPort(); ++v) {
+                Router::InputVcView view = router.inputVcView(p, v);
+                if (view.occupancy == 0 && !view.active)
+                    continue;
+                w.beginObject();
+                w.keyValue("port", p);
+                w.keyValue("vc", v);
+                w.keyValue("occupancy", view.occupancy);
+                w.keyValue("active", view.active);
+                w.keyValue("out_port", view.outPort);
+                w.keyValue("out_vc", view.outVc);
+                w.keyValue("head_since",
+                           static_cast<std::uint64_t>(view.headSince));
+                w.keyValue("pkt", view.pkt);
+                w.endObject();
+            }
+        }
+        w.endArray();
+        w.key("output_vcs").beginArray();
+        for (PortId p = 0; p < router.numPorts(); ++p) {
+            for (VcId v = 0; v < router.outputVcCount(p); ++v) {
+                bool allocated = router.outputAllocated(p, v);
+                int credits = router.outputCredits(p, v);
+                if (!allocated && credits == config_.bufferDepth)
+                    continue;
+                w.beginObject();
+                w.keyValue("port", p);
+                w.keyValue("vc", v);
+                w.keyValue("credits", credits);
+                w.keyValue("allocated", allocated);
+                w.endObject();
+            }
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("source_queues").beginArray();
+    for (const auto &ni : nis_) {
+        if (ni->sourceQueueDepth() == 0)
+            continue;
+        w.beginObject();
+        w.keyValue("node", ni->node());
+        w.keyValue("depth",
+                   static_cast<std::uint64_t>(ni->sourceQueueDepth()));
+        w.endObject();
+    }
+    w.endArray();
+
+    std::string audit_err;
+    bool audit_ok = auditCreditConservation(&audit_err);
+    w.key("conservation").beginObject();
+    w.keyValue("ok", audit_ok);
+    if (!audit_ok)
+        w.keyValue("error", audit_err);
+    w.endObject();
+
+    if (recorder_) {
+        w.key("flight_recorder");
+        recorder_->writeJson(w);
+    }
+    if (telemetry_) {
+        w.key("telemetry");
+        telemetry_->writeJson(w);
+    }
+    w.endObject();
+    return w.str();
+}
+
+bool
+Network::writePostmortem(const std::string &path,
+                         const std::string &reason) const
+{
+    std::string target = path;
+    if (const char *dir = std::getenv("HNOC_JSON_DIR")) {
+        std::string base = path;
+        auto slash = base.find_last_of('/');
+        if (slash != std::string::npos)
+            base = base.substr(slash + 1);
+        target = std::string(dir) + "/" + base;
+    }
+    std::FILE *f = std::fopen(target.c_str(), "w");
+    if (!f) {
+        warn("postmortem: cannot open %s", target.c_str());
+        return false;
+    }
+    std::string data = postmortemJson(reason);
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
 Network::step()
 {
     Cycle now = cycle_;
@@ -287,6 +512,10 @@ Network::step()
                                 static_cast<double>(now -
                                                     done->injectedAt));
                         }
+                        if (kTelemetryEnabled && recorder_)
+                            recorder_->record(FrKind::Eject, now,
+                                              done->dst, -1, -1,
+                                              done->id, true);
                         if (observer_)
                             observer_->onPacketDelivered(*done, now);
                         if (client_)
@@ -302,7 +531,7 @@ Network::step()
                 Router &r =
                     *routers_[static_cast<std::size_t>(e.driverRouter)];
                 for (VcId vc : scratchCredits_)
-                    r.receiveCredit(e.driverPort, vc);
+                    r.receiveCredit(e.driverPort, vc, now);
             } else {
                 NetworkInterface &ni =
                     *nis_[static_cast<std::size_t>(e.driverNode)];

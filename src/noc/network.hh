@@ -21,6 +21,8 @@
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 #include "power/router_power.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
 
 namespace hnoc
@@ -174,6 +176,43 @@ class Network
 
     /** @return the attached registry, or nullptr. */
     MetricRegistry *telemetry() const { return telemetry_; }
+
+    /**
+     * Attach a flight recorder to every router plus the network's
+     * inject/eject hooks (nullptr to detach). Like the registry hooks,
+     * the cost while detached is one branch per event.
+     */
+    void attachFlightRecorder(FlightRecorder *fr);
+
+    /** @return the attached flight recorder, or nullptr. */
+    FlightRecorder *flightRecorder() const { return recorder_; }
+    ///@}
+
+    /** @name Diagnostics */
+    ///@{
+    /** Snapshot current state for HealthMonitor::probe(). */
+    HealthSample healthSample() const;
+
+    /**
+     * Credit/buffer-conservation audit: for every channel and VC,
+     * driver credits + flits in flight + credits in flight + sink
+     * buffer occupancy must equal the buffer depth. Valid at step
+     * boundaries. On violation returns false and, when @p err is
+     * non-null, describes the first broken channel.
+     */
+    bool auditCreditConservation(std::string *err = nullptr) const;
+
+    /**
+     * Serialize an `hnoc-postmortem-v1` document: run state, the
+     * per-router pipeline snapshot, conservation-audit result, the
+     * flight-recorder ring (when attached) and the telemetry registry
+     * (when attached).
+     */
+    std::string postmortemJson(const std::string &reason) const;
+
+    /** Write postmortemJson() to @p path (honors HNOC_JSON_DIR). */
+    bool writePostmortem(const std::string &path,
+                         const std::string &reason) const;
     ///@}
 
   private:
@@ -210,6 +249,7 @@ class Network
     NetworkClient *client_ = nullptr;
     NetworkObserver *observer_ = nullptr;
     MetricRegistry *telemetry_ = nullptr;
+    FlightRecorder *recorder_ = nullptr;
 
     Cycle cycle_ = 0;
     Cycle measureStart_ = 0;

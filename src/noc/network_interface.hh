@@ -71,6 +71,14 @@ class NetworkInterface
 
     std::size_t sourceQueueDepth() const { return sourceQueue_.size(); }
 
+    /** Credits held toward the router's local input VC @p vc
+     *  (conservation audit). */
+    int
+    injectionCredits(VcId vc) const
+    {
+        return credits_[static_cast<std::size_t>(vc)];
+    }
+
     NodeId node() const { return node_; }
 
   private:

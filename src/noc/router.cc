@@ -54,18 +54,23 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
     ++activity_.bufferWrites;
     if (kTelemetryEnabled && telemetry_)
         telemetry_->add(Ctr::BufferWrites, id_, p, flit.vc);
+    if (kTelemetryEnabled && recorder_)
+        recorder_->record(FrKind::FlitIn, now, id_, p, flit.vc,
+                          flit.pkt ? flit.pkt->id : 0, flit.isHead());
     if (observer_)
         observer_->onFlitArrive(id_, p, flit, now);
 }
 
 void
-Router::receiveCredit(PortId p, VcId vc)
+Router::receiveCredit(PortId p, VcId vc, Cycle now)
 {
     OutputPort &op = outputs_[static_cast<std::size_t>(p)];
     OutVcState &ov = op.vcs[static_cast<std::size_t>(vc)];
     if (ov.credits >= bufferDepth_ * 4) // generous sanity bound
         panic("router %d port %d vc %d: credit overflow", id_, p, vc);
     ++ov.credits;
+    if (kTelemetryEnabled && recorder_)
+        recorder_->record(FrKind::CreditIn, now, id_, p, vc);
 }
 
 void
@@ -161,6 +166,11 @@ Router::vcAllocate(Cycle now)
         if (kTelemetryEnabled && telemetry_ && ivc.outVc == INVALID_VC)
             telemetry_->add(Ctr::VaConflicts, id_, idx / vcs_,
                             idx % vcs_);
+        if (kTelemetryEnabled && recorder_)
+            recorder_->record(ivc.outVc == INVALID_VC ? FrKind::VaDeny
+                                                      : FrKind::VaGrant,
+                              now, id_, idx / vcs_, idx % vcs_,
+                              ivc.pkt ? ivc.pkt->id : 0);
     }
     vaRrPtr_ = (vaRrPtr_ + 1) % static_cast<unsigned>(total);
 }
@@ -220,6 +230,10 @@ Router::switchAllocate(Cycle now)
             if (ov.credits <= 0) {
                 if (kTelemetryEnabled && telemetry_)
                     telemetry_->add(Ctr::CreditStalls, id_, o);
+                if (kTelemetryEnabled && recorder_)
+                    recorder_->record(FrKind::CreditStall, now, id_, o,
+                                      ivc.outVc,
+                                      ivc.pkt ? ivc.pkt->id : 0);
                 continue;
             }
             int &pg = port_grants[static_cast<std::size_t>(in_port)];
@@ -248,6 +262,14 @@ Router::switchAllocate(Cycle now)
                 if (kTelemetryEnabled && telemetry_) {
                     telemetry_->add(Ctr::XbarGrants, id_, o);
                     telemetry_->add(Ctr::BufferReads, id_, in_port);
+                }
+                if (kTelemetryEnabled && recorder_) {
+                    recorder_->record(FrKind::FlitOut, now, id_, o,
+                                      flit.vc,
+                                      flit.pkt ? flit.pkt->id : 0,
+                                      flit.isHead());
+                    recorder_->record(FrKind::CreditOut, now, id_,
+                                      in_port, idx % vcs_);
                 }
                 // Charge the active (flit) bits, not the full wire
                 // width: an unpaired flit on a wide link toggles only
@@ -299,6 +321,21 @@ Router::bufferOccupancy() const
         for (const auto &ivc : ip.vcs)
             n += static_cast<int>(ivc.fifo.size());
     return n;
+}
+
+Router::InputVcView
+Router::inputVcView(PortId p, VcId v) const
+{
+    const InputVc &ivc = inputs_[static_cast<std::size_t>(p)]
+                             .vcs[static_cast<std::size_t>(v)];
+    InputVcView view;
+    view.occupancy = static_cast<int>(ivc.fifo.size());
+    view.active = ivc.active;
+    view.outPort = ivc.outPort;
+    view.outVc = ivc.outVc;
+    view.headSince = ivc.headSince;
+    view.pkt = ivc.pkt ? ivc.pkt->id : 0;
+    return view;
 }
 
 bool

@@ -24,6 +24,7 @@
 #include "noc/observer.hh"
 #include "noc/routing.hh"
 #include "power/router_power.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
 
 namespace hnoc
@@ -58,7 +59,7 @@ class Router
     void receiveFlit(PortId p, Flit flit, Cycle now);
 
     /** A credit returned for output port @p p, VC @p vc. */
-    void receiveCredit(PortId p, VcId vc);
+    void receiveCredit(PortId p, VcId vc, Cycle now = 0);
 
     /** Run RC / VA / SA / ST for this cycle. */
     void step(Cycle now);
@@ -92,6 +93,63 @@ class Router
     /** Attach a metrics registry (nullptr to detach). Hooks cost one
      *  branch per event while detached. */
     void setTelemetry(MetricRegistry *reg) { telemetry_ = reg; }
+
+    /** Attach a flight recorder (nullptr to detach). Same cost model
+     *  as setTelemetry: one branch per event while detached. */
+    void setFlightRecorder(FlightRecorder *fr) { recorder_ = fr; }
+
+    /** @name Introspection (health probes, conservation audit,
+     *        postmortem dumps) */
+    ///@{
+    /** Flits buffered at input port @p p, VC @p v. */
+    int
+    inputVcOccupancy(PortId p, VcId v) const
+    {
+        return static_cast<int>(inputs_[static_cast<std::size_t>(p)]
+                                    .vcs[static_cast<std::size_t>(v)]
+                                    .fifo.size());
+    }
+
+    /** Downstream VC count credited at output port @p p (0 when the
+     *  port drives no channel). */
+    int
+    outputVcCount(PortId p) const
+    {
+        return static_cast<int>(
+            outputs_[static_cast<std::size_t>(p)].vcs.size());
+    }
+
+    /** Credits held for output port @p p, downstream VC @p v. */
+    int
+    outputCredits(PortId p, VcId v) const
+    {
+        return outputs_[static_cast<std::size_t>(p)]
+            .vcs[static_cast<std::size_t>(v)]
+            .credits;
+    }
+
+    /** Is downstream VC @p v at output port @p p allocated? */
+    bool
+    outputAllocated(PortId p, VcId v) const
+    {
+        return outputs_[static_cast<std::size_t>(p)]
+            .vcs[static_cast<std::size_t>(v)]
+            .allocated;
+    }
+
+    /** Snapshot of one input VC's pipeline state (postmortem dump). */
+    struct InputVcView
+    {
+        int occupancy = 0;
+        bool active = false;
+        PortId outPort = INVALID_PORT;
+        VcId outVc = INVALID_VC;
+        Cycle headSince = 0;
+        std::uint64_t pkt = 0; ///< packet id (0 = none)
+    };
+
+    InputVcView inputVcView(PortId p, VcId v) const;
+    ///@}
 
   private:
     struct InputVc
@@ -154,6 +212,7 @@ class Router
     double occupancySum_ = 0.0;
     NetworkObserver *observer_ = nullptr;
     MetricRegistry *telemetry_ = nullptr;
+    FlightRecorder *recorder_ = nullptr;
     std::vector<int> scratchOrder_; ///< per-cycle SA visiting order
 };
 

@@ -1,10 +1,13 @@
 #include "noc/sim_harness.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "noc/watchdog.hh"
+#include "telemetry/health.hh"
 #include "telemetry/run_report.hh"
 
 namespace hnoc
@@ -173,7 +176,57 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     if (opts.observer)
         net.setObserver(opts.observer);
 
-    net.run(opts.warmupCycles);
+    FlightRecorder recorder(opts.flightRecorder
+                                ? opts.flightRecorderCapacity
+                                : 1);
+    if (opts.flightRecorder)
+        net.attachFlightRecorder(&recorder);
+
+    Cycle audit_every = opts.auditEvery;
+#ifndef NDEBUG
+    // Debug builds audit every telemetry epoch by default; release
+    // builds audit only on demand (opts.auditEvery).
+    if (audit_every == 0)
+        audit_every = opts.telemetryEpoch;
+#endif
+
+    HealthOptions health_opts;
+    health_opts.targetCycles = opts.warmupCycles + opts.measureCycles;
+    HealthMonitor health(health_opts);
+    ProgressWatchdog watchdog(
+        opts.watchdogWindow > 0 ? opts.watchdogWindow : 50000);
+    if (!opts.postmortemPath.empty())
+        watchdog.setPostmortemPath(opts.postmortemPath);
+
+    bool instrumented = opts.progressEvery > 0 || audit_every > 0 ||
+                        opts.watchdogWindow > 0;
+    auto run_phase = [&](Cycle cycles) {
+        if (!instrumented) {
+            net.run(cycles); // keep the uninstrumented loop tight
+            return;
+        }
+        for (Cycle i = 0; i < cycles; ++i) {
+            net.step();
+            if (audit_every > 0 && net.now() % audit_every == 0) {
+                std::string err;
+                if (!net.auditCreditConservation(&err))
+                    panic("credit conservation violated @ cycle %llu: %s",
+                          static_cast<unsigned long long>(net.now()),
+                          err.c_str());
+            }
+            if (opts.watchdogWindow > 0)
+                watchdog.check(net);
+            if (opts.progressEvery > 0 &&
+                net.now() % opts.progressEvery == 0) {
+                HealthSample s = net.healthSample();
+                health.probe(s, net.telemetry());
+                std::fprintf(stderr, "%s\n",
+                             health.progressLine(s).c_str());
+            }
+        }
+    };
+
+    run_phase(opts.warmupCycles);
 
     net.resetMeasurement();
     // Scope the registry to exactly the measurement window: attach
@@ -184,7 +237,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         net.attachTelemetry(reg.get());
     }
     client.beginMeasurement(net.now(), opts.measureCycles);
-    net.run(opts.measureCycles);
+    run_phase(opts.measureCycles);
     Cycle window = net.measuredCycles();
 
     // Snapshot window-scoped measurements before draining.
@@ -206,8 +259,13 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     while (!client.allTrackedDelivered() && drained < opts.drainCycles) {
         net.step();
         ++drained;
+        if (instrumented && opts.watchdogWindow > 0)
+            watchdog.check(net);
     }
     res.saturated = !client.allTrackedDelivered();
+    res.watchdogTrips = watchdog.trips();
+    if (opts.flightRecorder)
+        net.attachFlightRecorder(nullptr);
 
     int nodes = config.numNodes();
     res.acceptedRate =

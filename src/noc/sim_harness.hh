@@ -47,6 +47,28 @@ struct SimPointOptions
     /** Optional flit-event observer (e.g. TraceObserver), attached
      *  for the whole run including warmup and drain. Not owned. */
     NetworkObserver *observer = nullptr;
+
+    /** @name Diagnostics (docs/OBSERVABILITY.md) */
+    ///@{
+    /** Attach a FlightRecorder for the whole run, so a watchdog-trip
+     *  postmortem carries recent pipeline history. */
+    bool flightRecorder = false;
+    /** Ring capacity (events) when flightRecorder is set. */
+    std::size_t flightRecorderCapacity = 1u << 16;
+    /** Print a live progress line to stderr every N cycles (0 = off). */
+    Cycle progressEvery = 0;
+    /** Run the credit-conservation auditor every N cycles and panic on
+     *  violation. 0 = automatic: every telemetry epoch in debug
+     *  builds, off in release. */
+    Cycle auditEvery = 0;
+    /** Enable a ProgressWatchdog with this window (0 = off). A trip
+     *  warns once per stalled window and, when postmortemPath is set,
+     *  dumps an hnoc-postmortem-v1 document. */
+    Cycle watchdogWindow = 0;
+    /** Postmortem destination for watchdog trips (honors
+     *  HNOC_JSON_DIR); empty = no dump. */
+    std::string postmortemPath;
+    ///@}
 };
 
 /** Results of one open-loop simulation point. */
@@ -81,6 +103,9 @@ struct SimPointResult
     /** Measurement-window metrics (opts.collectMetrics). shared_ptr
      *  so results stay cheap to copy through the batch layer. */
     std::shared_ptr<MetricRegistry> metrics;
+
+    /** Watchdog trips observed (opts.watchdogWindow). */
+    std::uint64_t watchdogTrips = 0;
 };
 
 /** Run a single open-loop point. */

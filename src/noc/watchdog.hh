@@ -36,7 +36,9 @@ class ProgressWatchdog
     /**
      * @return true while the network is making progress; false (or
      * panic) once no packet has been delivered for the whole window
-     * despite packets being in flight.
+     * despite packets being in flight. A trip warns exactly once and
+     * restarts the window, so a persistent stall produces one warning
+     * per stalled window rather than one per call.
      */
     bool
     check(const Network &net)
@@ -53,17 +55,24 @@ class ProgressWatchdog
         }
         if (net.now() - lastProgress_ <= window_)
             return true;
-        std::string diag = diagnostics(net);
+        Cycle stalled = net.now() - lastProgress_;
+        ++trips_;
+        lastDiagnostics_ = diagnostics(net);
+        if (!postmortemPath_.empty())
+            net.writePostmortem(postmortemPath_, "watchdog trip");
+        // Restart the window before reporting: the next check() call
+        // must not re-trip until another full window passes without
+        // progress.
+        lastProgress_ = net.now();
         if (fatalOnTrip_)
             panic("watchdog: no delivery for %llu cycles with %zu "
                   "packets in flight\n%s",
-                  static_cast<unsigned long long>(net.now() -
-                                                  lastProgress_),
-                  net.packetsInFlight(), diag.c_str());
+                  static_cast<unsigned long long>(stalled),
+                  net.packetsInFlight(), lastDiagnostics_.c_str());
         warn("watchdog tripped: no delivery for %llu cycles with %zu "
              "packets in flight\n%s",
-             static_cast<unsigned long long>(net.now() - lastProgress_),
-             net.packetsInFlight(), diag.c_str());
+             static_cast<unsigned long long>(stalled),
+             net.packetsInFlight(), lastDiagnostics_.c_str());
         return false;
     }
 
@@ -89,11 +98,28 @@ class ProgressWatchdog
         lastDelivered_ = net.packetsDelivered();
     }
 
+    /** Write an `hnoc-postmortem-v1` dump to @p path on every trip
+     *  (empty disables; honors HNOC_JSON_DIR like run reports). */
+    void
+    setPostmortemPath(std::string path)
+    {
+        postmortemPath_ = std::move(path);
+    }
+
+    /** Times the watchdog has tripped (== warnings issued). */
+    std::uint64_t trips() const { return trips_; }
+
+    /** Diagnostics captured at the most recent trip. */
+    const std::string &lastDiagnostics() const { return lastDiagnostics_; }
+
   private:
     Cycle window_;
     bool fatalOnTrip_;
     Cycle lastProgress_ = 0;
     std::uint64_t lastDelivered_ = 0;
+    std::uint64_t trips_ = 0;
+    std::string lastDiagnostics_;
+    std::string postmortemPath_;
 };
 
 } // namespace hnoc

@@ -1,0 +1,314 @@
+#include "telemetry/health.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "telemetry/metrics.hh"
+
+namespace hnoc
+{
+
+namespace
+{
+
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<std::uint64_t>
+delta(const std::vector<std::uint64_t> &now,
+      const std::vector<std::uint64_t> &before)
+{
+    std::vector<std::uint64_t> d(now.size(), 0);
+    for (std::size_t i = 0; i < now.size(); ++i)
+        d[i] = i < before.size() ? now[i] - before[i] : now[i];
+    return d;
+}
+
+/** Format a count with an SI suffix into @p buf ("2.31 M"). */
+void
+siRate(char *buf, std::size_t n, double v)
+{
+    if (v >= 1e6)
+        std::snprintf(buf, n, "%.2f M", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, n, "%.1f k", v / 1e3);
+    else
+        std::snprintf(buf, n, "%.0f ", v);
+}
+
+} // namespace
+
+std::string
+HealthReport::text(int top_n) const
+{
+    char buf[200];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "health @ cycle %llu: +%llu delivered / +%llu injected "
+                  "over %llu cycles, %zu in flight, %zu queued\n",
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(deliveredDelta),
+                  static_cast<unsigned long long>(injectedDelta),
+                  static_cast<unsigned long long>(intervalCycles),
+                  packetsInFlight, sourceQueueDepth);
+    out += buf;
+
+    if (hasRegistryDeltas && !routers.empty()) {
+        // Rank routers by stall pressure this interval.
+        std::vector<int> order(routers.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = static_cast<int>(i);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            const StallBreakdown &sa =
+                routers[static_cast<std::size_t>(a)];
+            const StallBreakdown &sb =
+                routers[static_cast<std::size_t>(b)];
+            return sa.creditStalls + sa.vaConflicts >
+                   sb.creditStalls + sb.vaConflicts;
+        });
+        out += "most stalled routers (SA credit stalls | VA conflicts | "
+               "grants | occupancy flit-cycles):\n";
+        for (int i = 0; i < top_n &&
+                        i < static_cast<int>(order.size()); ++i) {
+            int r = order[static_cast<std::size_t>(i)];
+            const StallBreakdown &s =
+                routers[static_cast<std::size_t>(r)];
+            if (s.creditStalls + s.vaConflicts == 0)
+                break;
+            std::snprintf(buf, sizeof(buf),
+                          "  router %2d: %8llu | %8llu | %8llu | %10llu\n",
+                          r,
+                          static_cast<unsigned long long>(s.creditStalls),
+                          static_cast<unsigned long long>(s.vaConflicts),
+                          static_cast<unsigned long long>(s.saGrants),
+                          static_cast<unsigned long long>(
+                              s.occupancyFlitCycles));
+            out += buf;
+        }
+    }
+
+    for (const PortIssue &iss : issues) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %s: router %d port %d (%d flits buffered, "
+            "%llu credit stalls this interval)\n",
+            iss.kind == PortIssue::Kind::CreditStarved
+                ? "CREDIT-STARVED"
+                : "ZERO-PROGRESS",
+            iss.router, iss.port, iss.buffered,
+            static_cast<unsigned long long>(iss.creditStalls));
+        out += buf;
+    }
+    return out;
+}
+
+HealthMonitor::HealthMonitor(HealthOptions opts) : opts_(opts) {}
+
+const HealthReport &
+HealthMonitor::probe(const HealthSample &sample, const MetricRegistry *reg)
+{
+    HealthReport rep;
+    rep.cycle = sample.cycle;
+    rep.packetsInFlight = sample.packetsInFlight;
+    rep.sourceQueueDepth = sample.sourceQueueDepth;
+    if (havePrev_) {
+        rep.intervalCycles = sample.cycle - prev_.cycle;
+        rep.deliveredDelta =
+            sample.packetsDelivered - prev_.packetsDelivered;
+        rep.injectedDelta = sample.packetsInjected - prev_.packetsInjected;
+        rep.flitsDelta = sample.flitsDelivered - prev_.flitsDelivered;
+    }
+
+    // High-water marks persist across probes.
+    if (vcHighWater_.size() < sample.vcOccupancy.size())
+        vcHighWater_.resize(sample.vcOccupancy.size(), 0);
+    for (std::size_t i = 0; i < sample.vcOccupancy.size(); ++i)
+        vcHighWater_[i] = std::max(vcHighWater_[i], sample.vcOccupancy[i]);
+
+    if (reg) {
+        const auto &grants = reg->values(Ctr::XbarGrants);
+        const auto &reads = reg->values(Ctr::BufferReads);
+        const auto &stalls = reg->values(Ctr::CreditStalls);
+        std::vector<std::uint64_t> conflicts =
+            reg->perRouter(Ctr::VaConflicts);
+        std::vector<std::uint64_t> occ =
+            reg->perRouter(Ctr::OccupancyFlitCycles);
+
+        if (haveRegPrev_ && havePrev_) {
+            rep.hasRegistryDeltas = true;
+            std::vector<std::uint64_t> d_grants =
+                delta(grants, prevGrants_);
+            std::vector<std::uint64_t> d_reads = delta(reads, prevReads_);
+            std::vector<std::uint64_t> d_stalls =
+                delta(stalls, prevStalls_);
+            std::vector<std::uint64_t> d_conflicts =
+                delta(conflicts, prevVaConflicts_);
+            std::vector<std::uint64_t> d_occ = delta(occ, prevOccupancy_);
+
+            rep.routers.resize(
+                static_cast<std::size_t>(sample.routers));
+            for (int r = 0; r < sample.routers; ++r) {
+                StallBreakdown &s =
+                    rep.routers[static_cast<std::size_t>(r)];
+                s.vaConflicts =
+                    d_conflicts[static_cast<std::size_t>(r)];
+                s.occupancyFlitCycles =
+                    d_occ[static_cast<std::size_t>(r)];
+                for (int p = 0; p < sample.ports; ++p) {
+                    auto idx = static_cast<std::size_t>(
+                        r * sample.ports + p);
+                    s.saGrants += d_grants[idx];
+                    s.bufferReads += d_reads[idx];
+                    s.creditStalls += d_stalls[idx];
+                }
+            }
+
+            // Port-level detectors: a port that held flits across the
+            // whole interval and made zero reads is stuck; a port
+            // whose SA kept stalling on credits and never won a grant
+            // is credit-starved (its upstream buffers are what the
+            // occupancy map shows filling).
+            for (int r = 0; r < sample.routers; ++r) {
+                for (int p = 0; p < sample.ports; ++p) {
+                    auto idx = static_cast<std::size_t>(
+                        r * sample.ports + p);
+                    int now_occ = sample.portOccupancy(r, p);
+                    int then_occ = prev_.portOccupancy(r, p);
+                    if (now_occ > 0 && then_occ > 0 &&
+                        d_reads[idx] == 0) {
+                        PortIssue iss;
+                        iss.kind = PortIssue::Kind::ZeroProgress;
+                        iss.router = r;
+                        iss.port = p;
+                        iss.buffered = now_occ;
+                        iss.creditStalls = d_stalls[idx];
+                        rep.issues.push_back(iss);
+                    } else if (d_stalls[idx] > 0 && d_grants[idx] == 0) {
+                        PortIssue iss;
+                        iss.kind = PortIssue::Kind::CreditStarved;
+                        iss.router = r;
+                        iss.port = p;
+                        iss.buffered = now_occ;
+                        iss.creditStalls = d_stalls[idx];
+                        rep.issues.push_back(iss);
+                    }
+                }
+            }
+        }
+
+        prevGrants_ = grants;
+        prevReads_ = reads;
+        prevStalls_ = stalls;
+        prevVaConflicts_ = std::move(conflicts);
+        prevOccupancy_ = std::move(occ);
+        haveRegPrev_ = true;
+    } else {
+        haveRegPrev_ = false;
+    }
+
+    prev_ = sample;
+    havePrev_ = true;
+    ++probes_;
+    report_ = std::move(rep);
+    return report_;
+}
+
+int
+HealthMonitor::maxVcHighWater(int *router, int *port, int *vc) const
+{
+    int best = 0;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < vcHighWater_.size(); ++i) {
+        if (vcHighWater_[i] > best) {
+            best = vcHighWater_[i];
+            best_i = i;
+        }
+    }
+    if (!vcHighWater_.empty() && prev_.ports > 0 && prev_.vcs > 0) {
+        auto i = static_cast<int>(best_i);
+        if (vc)
+            *vc = i % prev_.vcs;
+        if (port)
+            *port = (i / prev_.vcs) % prev_.ports;
+        if (router)
+            *router = i / (prev_.vcs * prev_.ports);
+    }
+    return best;
+}
+
+std::string
+HealthMonitor::progressLine(const HealthSample &sample)
+{
+    double now_wall = wallSeconds();
+    if (startWall_ < 0.0) {
+        startWall_ = now_wall;
+        startCycle_ = sample.cycle;
+    }
+
+    double cyc_rate = 0.0;
+    double flit_rate = 0.0;
+    if (lastWall_ >= 0.0 && now_wall > lastWall_) {
+        double dt = now_wall - lastWall_;
+        cyc_rate = static_cast<double>(sample.cycle - lastCycle_) / dt;
+        flit_rate =
+            static_cast<double>(sample.flitsDelivered - lastFlits_) / dt;
+    }
+    lastWall_ = now_wall;
+    lastCycle_ = sample.cycle;
+    lastFlits_ = sample.flitsDelivered;
+
+    char cyc_s[32];
+    char flit_s[32];
+    siRate(cyc_s, sizeof(cyc_s), cyc_rate);
+    siRate(flit_s, sizeof(flit_s), flit_rate);
+
+    char buf[256];
+    std::string out;
+    if (opts_.targetCycles > 0) {
+        double pct = 100.0 * static_cast<double>(sample.cycle) /
+                     static_cast<double>(opts_.targetCycles);
+        std::snprintf(buf, sizeof(buf), "cycle %llu/%llu %.0f%%",
+                      static_cast<unsigned long long>(sample.cycle),
+                      static_cast<unsigned long long>(opts_.targetCycles),
+                      pct);
+    } else {
+        std::snprintf(buf, sizeof(buf), "cycle %llu",
+                      static_cast<unsigned long long>(sample.cycle));
+    }
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  " | delivered %llu | in-flight %zu | %sflit/s | %scyc/s",
+                  static_cast<unsigned long long>(sample.packetsDelivered),
+                  sample.packetsInFlight, flit_s, cyc_s);
+    out += buf;
+
+    if (opts_.targetCycles > sample.cycle) {
+        // ETA from the average rate since the monitor started; steadier
+        // than the instantaneous rate on bursty hosts.
+        double elapsed = now_wall - startWall_;
+        auto done = static_cast<double>(sample.cycle - startCycle_);
+        if (elapsed > 0.0 && done > 0.0) {
+            double rate = done / elapsed;
+            double eta = static_cast<double>(opts_.targetCycles -
+                                             sample.cycle) /
+                         rate;
+            if (eta >= 60.0)
+                std::snprintf(buf, sizeof(buf), " | ETA %dm%02ds",
+                              static_cast<int>(eta) / 60,
+                              static_cast<int>(eta) % 60);
+            else
+                std::snprintf(buf, sizeof(buf), " | ETA %.0fs", eta);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+} // namespace hnoc

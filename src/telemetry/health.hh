@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Online health monitoring for long simulations: periodic probes that
+ * turn raw telemetry into per-router stall breakdowns, detectors for
+ * credit-starved and zero-progress ports, per-VC occupancy high-water
+ * marks, and a live progress line (cycle, delivered, in-flight,
+ * flits/sec, ETA) for multi-minute harness runs.
+ *
+ * The monitor consumes `HealthSample` snapshots — filled by
+ * Network::healthSample() so the telemetry library never links against
+ * the NoC — plus (optionally) the attached MetricRegistry, whose
+ * counter deltas between probes drive the stall/starvation detectors.
+ * The companion credit/buffer-conservation auditor walks live channel
+ * state and therefore lives on the network side
+ * (Network::auditCreditConservation); docs/OBSERVABILITY.md catalogs
+ * all probes together.
+ */
+
+#ifndef HNOC_TELEMETRY_HEALTH_HH
+#define HNOC_TELEMETRY_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+class MetricRegistry;
+
+/** Point-in-time network state snapshot (Network::healthSample). */
+struct HealthSample
+{
+    Cycle cycle = 0;
+    std::uint64_t packetsInjected = 0;
+    std::uint64_t packetsDelivered = 0;
+    std::uint64_t flitsDelivered = 0;
+    std::size_t packetsInFlight = 0;
+    std::size_t sourceQueueDepth = 0;
+
+    /** @name Dimensions of the flat vectors below */
+    ///@{
+    int routers = 0;
+    int ports = 0;
+    int vcs = 0;
+    ///@}
+
+    /** Buffered flits per router. */
+    std::vector<int> bufferOccupancy;
+    /** Buffered flits per input VC, index (r · ports + p) · vcs + v. */
+    std::vector<int> vcOccupancy;
+
+    int
+    portOccupancy(int r, int p) const
+    {
+        int n = 0;
+        for (int v = 0; v < vcs; ++v)
+            n += vcOccupancy[static_cast<std::size_t>(
+                (r * ports + p) * vcs + v)];
+        return n;
+    }
+};
+
+/** Per-router pipeline activity deltas over one probe interval. */
+struct StallBreakdown
+{
+    std::uint64_t saGrants = 0;      ///< switch-allocator grants
+    std::uint64_t bufferReads = 0;   ///< flits that left input buffers
+    std::uint64_t creditStalls = 0;  ///< SA requests blocked on credits
+    std::uint64_t vaConflicts = 0;   ///< failed VC allocations
+    std::uint64_t occupancyFlitCycles = 0;
+};
+
+/** A port flagged by the progress detectors. */
+struct PortIssue
+{
+    enum class Kind
+    {
+        CreditStarved, ///< credit stalls but zero grants all interval
+        ZeroProgress,  ///< buffered flits, zero buffer reads all interval
+    };
+
+    Kind kind = Kind::ZeroProgress;
+    int router = -1;
+    int port = -1;
+    int buffered = 0;                ///< flits waiting at the port now
+    std::uint64_t creditStalls = 0;  ///< stall events this interval
+};
+
+/** Result of one HealthMonitor::probe(). */
+struct HealthReport
+{
+    Cycle cycle = 0;
+    Cycle intervalCycles = 0;
+    std::uint64_t deliveredDelta = 0;
+    std::uint64_t injectedDelta = 0;
+    std::uint64_t flitsDelta = 0;
+    std::size_t packetsInFlight = 0;
+    std::size_t sourceQueueDepth = 0;
+
+    /** True when a registry was attached for delta computation. */
+    bool hasRegistryDeltas = false;
+    /** Per-router breakdowns (empty without a registry). */
+    std::vector<StallBreakdown> routers;
+    /** Detector hits (empty without a registry or on first probe). */
+    std::vector<PortIssue> issues;
+
+    /** Multi-line human-readable rendering. */
+    std::string text(int top_n = 4) const;
+};
+
+/** Knobs for HealthMonitor. */
+struct HealthOptions
+{
+    /** Total cycles the run intends to simulate (ETA basis; 0 = no
+     *  ETA on progress lines). */
+    Cycle targetCycles = 0;
+};
+
+/**
+ * Tracks probes over a run: registry counter deltas, per-VC occupancy
+ * high-water marks, and wall-clock throughput for progress lines.
+ * One monitor per network/run; not thread-safe.
+ */
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(HealthOptions opts = {});
+
+    /**
+     * Ingest a snapshot (and optionally the attached registry) and
+     * compute deltas against the previous probe. The first probe
+     * establishes the baseline and reports no issues.
+     */
+    const HealthReport &probe(const HealthSample &sample,
+                              const MetricRegistry *reg = nullptr);
+
+    const HealthReport &last() const { return report_; }
+    std::uint64_t probes() const { return probes_; }
+
+    /** Per-VC occupancy high-water marks seen across all probes,
+     *  indexed like HealthSample::vcOccupancy. */
+    const std::vector<int> &vcHighWater() const { return vcHighWater_; }
+
+    /** Highest single-VC occupancy seen, with its location. */
+    int maxVcHighWater(int *router = nullptr, int *port = nullptr,
+                       int *vc = nullptr) const;
+
+    /**
+     * One-line live progress string:
+     *   cycle 40000/100000 40% | delivered 12034 | in-flight 182 |
+     *   2.31 Mflit/s | 1.18 Mcyc/s | ETA 51s
+     * Rates come from wall-clock time between calls (monotonic
+     * clock); the first call reports rates as 0.
+     */
+    std::string progressLine(const HealthSample &sample);
+
+  private:
+    HealthOptions opts_;
+    HealthReport report_;
+    std::uint64_t probes_ = 0;
+
+    HealthSample prev_;
+    bool havePrev_ = false;
+
+    /** Registry counter snapshots at the previous probe. */
+    std::vector<std::uint64_t> prevGrants_;      // per (r,p)
+    std::vector<std::uint64_t> prevReads_;       // per (r,p)
+    std::vector<std::uint64_t> prevStalls_;      // per (r,p)
+    std::vector<std::uint64_t> prevVaConflicts_; // per router
+    std::vector<std::uint64_t> prevOccupancy_;   // per router
+    bool haveRegPrev_ = false;
+
+    std::vector<int> vcHighWater_;
+
+    /** Wall-clock anchors for progressLine(). */
+    double startWall_ = -1.0;
+    Cycle startCycle_ = 0;
+    double lastWall_ = -1.0;
+    Cycle lastCycle_ = 0;
+    std::uint64_t lastFlits_ = 0;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_TELEMETRY_HEALTH_HH

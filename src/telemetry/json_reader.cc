@@ -1,0 +1,386 @@
+#include "telemetry/json_reader.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hnoc
+{
+
+namespace
+{
+
+/** Recursive-descent parser over one document. */
+class Parser
+{
+  public:
+    Parser(std::string_view doc, std::string *error)
+        : begin_(doc.data()), p_(doc.data()),
+          end_(doc.data() + doc.size()), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        if (p_ != end_)
+            return fail("trailing content after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (error_ && error_->empty()) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf), "byte %zu: %s",
+                          static_cast<std::size_t>(p_ - begin_), why);
+            *error_ = buf;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                             *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *s)
+    {
+        const char *q = p_;
+        while (*s) {
+            if (q == end_ || *q != *s)
+                return fail("bad literal");
+            ++q;
+            ++s;
+        }
+        p_ = q;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (p_ == end_ || *p_ != '"')
+            return fail("expected string");
+        ++p_;
+        out.clear();
+        while (p_ < end_ && *p_ != '"') {
+            char c = *p_++;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ == end_)
+                return fail("truncated escape");
+            char e = *p_++;
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (end_ - p_ < 4)
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // Our emitters only escape ASCII control characters;
+                // decode the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        if (p_ == end_)
+            return fail("unterminated string");
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (p_ == end_)
+            return fail("unexpected end of document");
+        switch (*p_) {
+          case '{': {
+            out.type = JsonValue::Type::Object;
+            ++p_;
+            skipWs();
+            if (p_ < end_ && *p_ == '}') {
+                ++p_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (p_ == end_ || *p_ != ':')
+                    return fail("expected ':' after object key");
+                ++p_;
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.object.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (p_ == end_)
+                    return fail("unterminated object");
+                if (*p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                if (*p_ == '}') {
+                    ++p_;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+          }
+          case '[': {
+            out.type = JsonValue::Type::Array;
+            ++p_;
+            skipWs();
+            if (p_ < end_ && *p_ == ']') {
+                ++p_;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!value(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipWs();
+                if (p_ == end_)
+                    return fail("unterminated array");
+                if (*p_ == ',') {
+                    ++p_;
+                    continue;
+                }
+                if (*p_ == ']') {
+                    ++p_;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+          }
+          case '"':
+            out.type = JsonValue::Type::String;
+            return string(out.string);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+          default: {
+            // Numbers: delegate to strtod but reject what JSON does
+            // not allow (nan, inf, hex, leading '+').
+            char c = *p_;
+            if (c != '-' && (c < '0' || c > '9'))
+                return fail("unexpected character");
+            char *after = nullptr;
+            out.type = JsonValue::Type::Number;
+            out.number = std::strtod(p_, &after);
+            if (after == p_ || after > end_)
+                return fail("malformed number");
+            p_ = after;
+            return true;
+          }
+        }
+    }
+
+    const char *begin_;
+    const char *p_;
+    const char *end_;
+    std::string *error_;
+};
+
+const std::vector<JsonValue> kEmptyArray;
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+double
+JsonValue::numAt(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number : fallback;
+}
+
+std::string
+JsonValue::strAt(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string : std::string();
+}
+
+bool
+JsonValue::boolAt(std::string_view key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean : fallback;
+}
+
+const std::vector<JsonValue> &
+JsonValue::arrayAt(std::string_view key) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isArray() ? v->array : kEmptyArray;
+}
+
+std::vector<double>
+JsonValue::numbersAt(std::string_view key) const
+{
+    std::vector<double> out;
+    const JsonValue *v = find(key);
+    if (!v || !v->isArray())
+        return out;
+    out.reserve(v->array.size());
+    for (const JsonValue &e : v->array)
+        out.push_back(e.isNumber() ? e.number : 0.0);
+    return out;
+}
+
+bool
+parseJson(std::string_view doc, JsonValue &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(doc, error).parse(out);
+}
+
+namespace
+{
+
+bool
+readFile(const std::string &path, std::string &out, std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out, std::string *error)
+{
+    std::string data;
+    if (!readFile(path, data, error))
+        return false;
+    if (!parseJson(data, out, error)) {
+        if (error)
+            *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJsonLines(std::string_view doc, std::vector<JsonValue> &out,
+               std::string *error)
+{
+    std::size_t start = 0;
+    std::size_t line_no = 1;
+    while (start < doc.size()) {
+        std::size_t nl = doc.find('\n', start);
+        std::string_view line = nl == std::string_view::npos
+                                    ? doc.substr(start)
+                                    : doc.substr(start, nl - start);
+        start = nl == std::string_view::npos ? doc.size() : nl + 1;
+        bool blank = true;
+        for (char c : line)
+            if (c != ' ' && c != '\t' && c != '\r')
+                blank = false;
+        if (!blank) {
+            JsonValue v;
+            std::string line_err;
+            if (!parseJson(line, v, &line_err)) {
+                if (error)
+                    *error = "line " + std::to_string(line_no) + ": " +
+                             line_err;
+                return false;
+            }
+            out.push_back(std::move(v));
+        }
+        ++line_no;
+    }
+    return true;
+}
+
+bool
+parseJsonLinesFile(const std::string &path, std::vector<JsonValue> &out,
+                   std::string *error)
+{
+    std::string data;
+    if (!readFile(path, data, error))
+        return false;
+    if (!parseJsonLines(data, out, error)) {
+        if (error)
+            *error = path + ": " + *error;
+        return false;
+    }
+    return true;
+}
+
+} // namespace hnoc

@@ -1,0 +1,106 @@
+# End-to-end pipeline test driven by CTest:
+#   hnoc_cli (two seeds, JSON run reports + flit log + audit/progress)
+#     -> hnoc_inspect summary / top / heatmap / flitlog / diff
+# Invoked as:
+#   cmake -DHNOC_CLI=... -DHNOC_INSPECT=... -DWORK_DIR=... -P inspect_e2e.cmake
+# Fails (FATAL_ERROR) on any non-zero exit or missing expected output.
+
+foreach(var HNOC_CLI HNOC_INSPECT WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "inspect_e2e: ${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Keep the runs short; the inspector doesn't care about statistical
+# quality, only that the documents are well-formed and comparable.
+set(ENV{HNOC_SIM_SCALE} "0.1")
+
+function(run_step name)
+    execute_process(
+        COMMAND ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "inspect_e2e: ${name} failed (exit ${rc})\n"
+            "command: ${ARGN}\nstdout:\n${out}\nstderr:\n${err}")
+    endif()
+    set(STEP_OUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Two runs differing only in seed: same labels, slightly different
+# numbers — exactly what `hnoc_inspect diff` is for. The first run also
+# exercises the audit and progress instrumentation and the flit log.
+run_step("cli seed 1" "${HNOC_CLI}"
+    --layout Baseline --pattern uniform --rate 0.02 --seed 1
+    --audit=500 --progress=5000
+    --json "${WORK_DIR}/run_a.json"
+    --flitlog "${WORK_DIR}/run_a.jsonl")
+run_step("cli seed 2" "${HNOC_CLI}"
+    --layout Baseline --pattern uniform --rate 0.02 --seed 2
+    --json "${WORK_DIR}/run_b.json")
+
+foreach(f run_a.json run_b.json run_a.jsonl)
+    if(NOT EXISTS "${WORK_DIR}/${f}")
+        message(FATAL_ERROR "inspect_e2e: expected ${f} was not written")
+    endif()
+endforeach()
+
+run_step("inspect summary" "${HNOC_INSPECT}" summary "${WORK_DIR}/run_a.json")
+if(NOT STEP_OUT MATCHES "hnoc-run-report-v1")
+    message(FATAL_ERROR "inspect_e2e: summary lacks schema line:\n${STEP_OUT}")
+endif()
+
+run_step("inspect top" "${HNOC_INSPECT}" top "${WORK_DIR}/run_a.json" -k 5)
+if(NOT STEP_OUT MATCHES "router")
+    message(FATAL_ERROR "inspect_e2e: top lists no routers:\n${STEP_OUT}")
+endif()
+
+run_step("inspect heatmap"
+    "${HNOC_INSPECT}" heatmap "${WORK_DIR}/run_a.json" -m buffer)
+run_step("inspect flitlog" "${HNOC_INSPECT}" flitlog "${WORK_DIR}/run_a.jsonl")
+
+# Seed-different runs must diff without error (exit 0 by default even
+# when deltas exceed the threshold; --fail-over is the gating mode).
+run_step("inspect diff" "${HNOC_INSPECT}" diff
+    "${WORK_DIR}/run_a.json" "${WORK_DIR}/run_b.json" -t 0.0)
+if(NOT STEP_OUT MATCHES "accepted")
+    message(FATAL_ERROR "inspect_e2e: diff shows no metrics:\n${STEP_OUT}")
+endif()
+
+# Induce a watchdog trip: with a 2-cycle window the first deliveries
+# (~50 cycles out) are "late", so the watchdog fires during warmup and
+# dumps a postmortem — which hnoc_inspect must then load and render.
+run_step("cli induced trip" "${HNOC_CLI}"
+    --layout Baseline --pattern uniform --rate 0.02 --seed 1
+    --watchdog=2 --postmortem "${WORK_DIR}/trip_postmortem.json")
+if(NOT EXISTS "${WORK_DIR}/trip_postmortem.json")
+    message(FATAL_ERROR "inspect_e2e: watchdog trip wrote no postmortem")
+endif()
+
+run_step("inspect postmortem"
+    "${HNOC_INSPECT}" postmortem "${WORK_DIR}/trip_postmortem.json")
+if(NOT STEP_OUT MATCHES "hnoc-postmortem-v1")
+    message(FATAL_ERROR
+        "inspect_e2e: postmortem output lacks schema:\n${STEP_OUT}")
+endif()
+
+# A malformed document must be a clean, nonzero-exit error.
+file(WRITE "${WORK_DIR}/broken.json" "{\"schema\": ")
+execute_process(
+    COMMAND "${HNOC_INSPECT}" summary "${WORK_DIR}/broken.json"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET
+    ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "inspect_e2e: malformed JSON must not exit 0")
+endif()
+if(NOT err MATCHES "byte")
+    message(FATAL_ERROR
+        "inspect_e2e: parse error should cite a byte offset:\n${err}")
+endif()
+
+message(STATUS "inspect_e2e: all steps passed")

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * End-to-end postmortem tests: an induced stall trips the watchdog,
+ * which writes an `hnoc-postmortem-v1` document; the strict telemetry
+ * reader must parse it and find the pipeline snapshot, conservation
+ * verdict, flight-recorder tail, and telemetry registry inside. Also
+ * pins the HNOC_JSON_DIR redirect and the explicit-request path
+ * (Network::postmortemJson without a watchdog).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "heteronoc/layout.hh"
+#include "noc/watchdog.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/json_reader.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+/** Load the network until flits occupy router buffers. */
+void
+loadNetwork(Network &net, Cycle cycles, double rate, std::uint64_t seed)
+{
+    Rng rng(seed);
+    int nodes = net.config().numNodes();
+    for (Cycle t = 0; t < cycles; ++t) {
+        for (NodeId n = 0; n < nodes; ++n) {
+            if (rng.uniform() < rate) {
+                auto dst = static_cast<NodeId>(
+                    rng.below(static_cast<std::uint64_t>(nodes - 1)));
+                if (dst >= n)
+                    ++dst;
+                net.enqueuePacket(n, dst, net.dataPacketFlits());
+            }
+        }
+        net.step();
+    }
+}
+
+TEST(Postmortem, ExplicitDumpRoundTrips)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    FlightRecorder fr(1u << 12);
+    net.attachFlightRecorder(&fr);
+    auto reg = net.makeMetricRegistry(500);
+    net.attachTelemetry(reg.get());
+
+    loadNetwork(net, 250, 0.04, 41);
+    ASSERT_GT(fr.totalRecorded(), 0u);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(net.postmortemJson("unit test"), doc, &err))
+        << err;
+
+    // Header.
+    EXPECT_EQ(doc.strAt("schema"), "hnoc-postmortem-v1");
+    EXPECT_EQ(doc.strAt("reason"), "unit test");
+    EXPECT_DOUBLE_EQ(doc.numAt("cycle"),
+                     static_cast<double>(net.now()));
+    EXPECT_DOUBLE_EQ(doc.numAt("packets_injected"),
+                     static_cast<double>(net.packetsInjected()));
+    EXPECT_DOUBLE_EQ(doc.numAt("packets_in_flight"),
+                     static_cast<double>(net.packetsInFlight()));
+
+    // Config block.
+    const JsonValue *cfg = doc.find("config");
+    ASSERT_NE(cfg, nullptr);
+    EXPECT_EQ(cfg->strAt("topology"), "mesh");
+    EXPECT_DOUBLE_EQ(cfg->numAt("routers"), 64.0);
+    EXPECT_DOUBLE_EQ(cfg->numAt("grid_cols"), 8.0);
+    EXPECT_DOUBLE_EQ(cfg->numAt("buffer_depth"), 5.0);
+
+    // Pipeline snapshot: one entry per router; occupancy in the
+    // document must match the live network, and any listed input VC
+    // must be occupied or active (idle VCs are elided).
+    const std::vector<JsonValue> &routers = doc.arrayAt("routers");
+    ASSERT_EQ(routers.size(), 64u);
+    int listed_vcs = 0;
+    for (const JsonValue &r : routers) {
+        EXPECT_GE(r.numAt("occupancy"), 0.0);
+        for (const JsonValue &vc : r.arrayAt("input_vcs")) {
+            EXPECT_TRUE(vc.numAt("occupancy") > 0.0 ||
+                        vc.boolAt("active"));
+            ++listed_vcs;
+        }
+    }
+    EXPECT_GT(listed_vcs, 0) << "a loaded network has non-idle VCs";
+
+    // A healthy network's dump must carry a passing conservation audit.
+    const JsonValue *conservation = doc.find("conservation");
+    ASSERT_NE(conservation, nullptr);
+    EXPECT_TRUE(conservation->boolAt("ok"));
+
+    // Flight-recorder and telemetry sections are attached.
+    const JsonValue *rec = doc.find("flight_recorder");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->arrayAt("events").size(), 0u);
+    EXPECT_DOUBLE_EQ(rec->numAt("recorded"),
+                     static_cast<double>(fr.totalRecorded()));
+    EXPECT_NE(doc.find("telemetry"), nullptr);
+
+    net.detachTelemetry();
+    net.attachFlightRecorder(nullptr);
+}
+
+TEST(Postmortem, WatchdogTripWritesParseableDump)
+{
+    // A 10-cycle watchdog window trips long before the ~50-cycle
+    // first delivery: the induced-stall path end to end.
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    FlightRecorder fr(1u << 10);
+    net.attachFlightRecorder(&fr);
+
+    std::string path = testing::TempDir() + "trip_postmortem.json";
+    std::remove(path.c_str());
+
+    ProgressWatchdog dog(10);
+    dog.setPostmortemPath(path);
+    net.enqueuePacket(0, 63, 6);
+    bool tripped = false;
+    for (int i = 0; i < 40 && !tripped; ++i) {
+        net.step();
+        tripped = !dog.check(net);
+    }
+    ASSERT_TRUE(tripped);
+    EXPECT_EQ(dog.trips(), 1u);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJsonFile(path, doc, &err)) << err;
+    EXPECT_EQ(doc.strAt("schema"), "hnoc-postmortem-v1");
+    EXPECT_EQ(doc.strAt("reason"), "watchdog trip");
+    EXPECT_GE(doc.numAt("packets_in_flight"), 1.0);
+    const JsonValue *rec = doc.find("flight_recorder");
+    ASSERT_NE(rec, nullptr);
+    // The ring holds the packet's whole short history, starting with
+    // its injection.
+    const std::vector<JsonValue> &events = rec->arrayAt("events");
+    ASSERT_GT(events.size(), 0u);
+    EXPECT_EQ(events[0].strAt("ev"), "inject");
+
+    std::remove(path.c_str());
+    net.attachFlightRecorder(nullptr);
+}
+
+TEST(Postmortem, HonorsJsonDirRedirect)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    std::string dir = testing::TempDir();
+    while (!dir.empty() && dir.back() == '/')
+        dir.pop_back();
+    ASSERT_EQ(setenv("HNOC_JSON_DIR", dir.c_str(), 1), 0);
+
+    std::string redirected = dir + "/redirected_pm.json";
+    std::remove(redirected.c_str());
+    // Ask for a path in a directory that does not exist; the redirect
+    // must strip it and land the file in HNOC_JSON_DIR.
+    EXPECT_TRUE(net.writePostmortem("/nonexistent/redirected_pm.json",
+                                    "redirect test"));
+    unsetenv("HNOC_JSON_DIR");
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJsonFile(redirected, doc, &err)) << err;
+    EXPECT_EQ(doc.strAt("reason"), "redirect test");
+    std::remove(redirected.c_str());
+}
+
+} // namespace
+} // namespace hnoc

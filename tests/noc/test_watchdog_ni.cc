@@ -61,6 +61,57 @@ TEST(Watchdog, TripsWhenDeliveryStops)
                             "~50-cycle delivery";
 }
 
+TEST(Watchdog, OneWarningPerStalledWindow)
+{
+    // A persistent stall must warn once per elapsed window, not once
+    // per check() call: the trip restarts the window.
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    ProgressWatchdog dog(10);
+    net.enqueuePacket(0, 63, 6);
+
+    std::vector<Cycle> trip_cycles;
+    for (int i = 0; i < 45; ++i) {
+        net.step();
+        if (!dog.check(net))
+            trip_cycles.push_back(net.now());
+    }
+    // ~45 cycles before delivery with a 10-cycle window: a re-warn
+    // storm would produce tens of trips; windowed warning produces a
+    // handful, each at least one full window apart.
+    ASSERT_GE(trip_cycles.size(), 2u);
+    EXPECT_LE(trip_cycles.size(), 5u);
+    for (std::size_t i = 1; i < trip_cycles.size(); ++i)
+        EXPECT_GT(trip_cycles[i] - trip_cycles[i - 1], 10u)
+            << "trips " << i - 1 << " and " << i;
+    EXPECT_EQ(dog.trips(), trip_cycles.size());
+}
+
+TEST(Watchdog, TripDiagnosticsIncludeTelemetrySummary)
+{
+    Network net(makeLayoutConfig(LayoutKind::Baseline));
+    auto reg = net.makeMetricRegistry(1000);
+    net.attachTelemetry(reg.get());
+
+    ProgressWatchdog dog(10);
+    net.enqueuePacket(0, 63, 6);
+    bool tripped = false;
+    for (int i = 0; i < 40 && !tripped; ++i) {
+        net.step();
+        tripped = !dog.check(net);
+    }
+    ASSERT_TRUE(tripped);
+    EXPECT_EQ(dog.trips(), 1u);
+
+    // The captured snapshot carries both the occupancy dump and the
+    // registry's hot-spot summary.
+    const std::string &diag = dog.lastDiagnostics();
+    EXPECT_FALSE(diag.empty());
+    EXPECT_NE(diag.find("telemetry:"), std::string::npos) << diag;
+    EXPECT_NE(diag.find("hottest routers"), std::string::npos) << diag;
+
+    net.detachTelemetry();
+}
+
 TEST(NetworkInterface, SourceQueueDrainsInOrder)
 {
     // Two packets from the same node to the same destination must

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the strict telemetry JSON reader (json_reader.hh): the
+ * grammar itself (accept/reject, escape handling, full-document
+ * consumption), the byte-positioned error messages, the JsonValue
+ * lookup helpers the tooling leans on, and the JSONL/file variants.
+ * This is the promoted home of the MiniJsonParser self-test that used
+ * to live inside test_trace.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_reader.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+// ------------------------------------------------------- the grammar --
+
+TEST(JsonReader, ParsesTheSixValueTypes)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(
+        "{\"a\":[1,2.5,-3],\"s\":\"x\\ny\",\"t\":true,\"f\":false,"
+        "\"n\":null,\"o\":{\"k\":7}}",
+        v));
+    ASSERT_TRUE(v.isObject());
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_TRUE(v.find("a")->isArray());
+    EXPECT_EQ(v.find("a")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->array[1].number, 2.5);
+    EXPECT_DOUBLE_EQ(v.find("a")->array[2].number, -3.0);
+    EXPECT_EQ(v.strAt("s"), "x\ny");
+    EXPECT_TRUE(v.boolAt("t"));
+    EXPECT_FALSE(v.boolAt("f", true));
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_DOUBLE_EQ(v.find("o")->numAt("k"), 7.0);
+}
+
+TEST(JsonReader, RejectsMalformedDocuments)
+{
+    // Malformed documents must be rejected, or round-trip tests
+    // against this parser prove nothing.
+    JsonValue v;
+    EXPECT_FALSE(parseJson("{\"a\":1,}", v));
+    EXPECT_FALSE(parseJson("[1 2]", v));
+    EXPECT_FALSE(parseJson("{\"a\":nan}", v));
+    EXPECT_FALSE(parseJson("{} trailing", v));
+    EXPECT_FALSE(parseJson("{\"a\"1}", v));
+    EXPECT_FALSE(parseJson("\"unterminated", v));
+    EXPECT_FALSE(parseJson("tru", v));
+    EXPECT_FALSE(parseJson("", v));
+    EXPECT_FALSE(parseJson("{\"a\":\"\x01\"}", v));
+    EXPECT_FALSE(parseJson("{\"a\":\"\\q\"}", v));
+    EXPECT_FALSE(parseJson("[1,2", v));
+}
+
+TEST(JsonReader, UnicodeEscapes)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson("\"a\\u0041\\u000ab\"", v));
+    EXPECT_EQ(v.string, "aA\nb");
+    EXPECT_FALSE(parseJson("\"\\u12\"", v));
+    EXPECT_FALSE(parseJson("\"\\u12zz\"", v));
+}
+
+TEST(JsonReader, ErrorsCarryBytePositions)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":1,}", v, &err));
+    EXPECT_NE(err.find("byte "), std::string::npos) << err;
+
+    err.clear();
+    EXPECT_FALSE(parseJson("{} x", v, &err));
+    EXPECT_NE(err.find("trailing content"), std::string::npos) << err;
+
+    // A successful parse clears any stale error text.
+    ASSERT_TRUE(parseJson("true", v, &err));
+    EXPECT_TRUE(err.empty());
+    EXPECT_TRUE(v.isBool());
+    EXPECT_TRUE(v.boolean);
+}
+
+// ------------------------------------------------------ the helpers --
+
+TEST(JsonReader, LookupHelperFallbacks)
+{
+    JsonValue v;
+    ASSERT_TRUE(parseJson(
+        "{\"n\":3,\"s\":\"hi\",\"a\":[1,2,3],\"mixed\":[1,\"x\"]}", v));
+
+    EXPECT_DOUBLE_EQ(v.numAt("n"), 3.0);
+    EXPECT_DOUBLE_EQ(v.numAt("missing"), -1.0);
+    EXPECT_DOUBLE_EQ(v.numAt("missing", 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(v.numAt("s", 5.0), 5.0); // wrong type -> fallback
+
+    EXPECT_EQ(v.strAt("s"), "hi");
+    EXPECT_EQ(v.strAt("missing"), "");
+    EXPECT_EQ(v.strAt("n"), "");
+
+    EXPECT_EQ(v.arrayAt("a").size(), 3u);
+    EXPECT_TRUE(v.arrayAt("missing").empty());
+
+    std::vector<double> nums = v.numbersAt("a");
+    ASSERT_EQ(nums.size(), 3u);
+    EXPECT_DOUBLE_EQ(nums[2], 3.0);
+    // Non-numeric elements read as 0; a missing member reads empty.
+    std::vector<double> mixed = v.numbersAt("mixed");
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_DOUBLE_EQ(mixed[0], 1.0);
+    EXPECT_DOUBLE_EQ(mixed[1], 0.0);
+    EXPECT_TRUE(v.numbersAt("missing").empty());
+}
+
+// -------------------------------------------------------- JSONL mode --
+
+TEST(JsonReader, JsonLines)
+{
+    std::vector<JsonValue> lines;
+    ASSERT_TRUE(parseJsonLines(
+        "{\"t\":1}\n\n{\"t\":2}\n{\"t\":3}\n", lines));
+    ASSERT_EQ(lines.size(), 3u); // blank line skipped
+    EXPECT_DOUBLE_EQ(lines[1].numAt("t"), 2.0);
+
+    std::string err;
+    lines.clear();
+    EXPECT_FALSE(parseJsonLines("{\"t\":1}\n{bad}\n", lines, &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+}
+
+// --------------------------------------------------------- file mode --
+
+class JsonReaderFileTest : public ::testing::Test
+{
+  protected:
+    std::string
+    writeTemp(const std::string &name, const std::string &contents)
+    {
+        std::string path = testing::TempDir() + name;
+        std::ofstream f(path, std::ios::trunc);
+        f << contents;
+        f.close();
+        paths_.push_back(path);
+        return path;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : paths_)
+            std::remove(p.c_str());
+    }
+
+    std::vector<std::string> paths_;
+};
+
+TEST_F(JsonReaderFileTest, ParseJsonFile)
+{
+    std::string path = writeTemp("jr_doc.json", "{\"ok\":true}");
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJsonFile(path, v, &err)) << err;
+    EXPECT_TRUE(v.boolAt("ok"));
+
+    // Missing file: clear error naming the path.
+    EXPECT_FALSE(parseJsonFile("/nonexistent/x.json", v, &err));
+    EXPECT_NE(err.find("/nonexistent/x.json"), std::string::npos) << err;
+
+    // Malformed file: error prefixed with the path.
+    std::string bad = writeTemp("jr_bad.json", "{\"a\":}");
+    EXPECT_FALSE(parseJsonFile(bad, v, &err));
+    EXPECT_NE(err.find(bad), std::string::npos) << err;
+    EXPECT_NE(err.find("byte "), std::string::npos) << err;
+}
+
+TEST_F(JsonReaderFileTest, ParseJsonLinesFile)
+{
+    std::string path =
+        writeTemp("jr_log.jsonl", "{\"ev\":\"arr\"}\n{\"ev\":\"dep\"}\n");
+    std::vector<JsonValue> lines;
+    std::string err;
+    ASSERT_TRUE(parseJsonLinesFile(path, lines, &err)) << err;
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].strAt("ev"), "arr");
+    EXPECT_EQ(lines[1].strAt("ev"), "dep");
+}
+
+} // namespace
+} // namespace hnoc

@@ -1,24 +1,23 @@
 /**
  * @file
  * TraceObserver tests: the Chrome-trace JSON round-trip (emit, then
- * parse with a small in-test JSON parser and validate the event
- * structure), the per-packet latency decomposition, the JSONL flit
- * log, and the event/packet caps. The parser accepts exactly the
- * JSON grammar, so these tests also pin down that the emitter never
- * produces malformed documents (trailing commas, bad escapes, NaN
- * literals).
+ * parse with the strict telemetry JsonValue parser and validate the
+ * event structure), the per-packet latency decomposition, the JSONL
+ * flit log, and the event/packet caps. The parser accepts exactly the
+ * JSON grammar (see tests/telemetry/test_json_reader.cc), so these
+ * tests also pin down that the emitter never produces malformed
+ * documents (trailing commas, bad escapes, NaN literals).
  */
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "noc/flit.hh"
 #include "noc/network.hh"
 #include "noc/sim_harness.hh"
+#include "telemetry/json_reader.hh"
 #include "telemetry/trace.hh"
 
 namespace hnoc
@@ -26,278 +25,7 @@ namespace hnoc
 namespace
 {
 
-// ------------------------------------------------- mini JSON parser --
-
-/** A parsed JSON value: tagged union over the six JSON types. */
-struct Jv
-{
-    enum class T
-    {
-        Null,
-        Bool,
-        Num,
-        Str,
-        Arr,
-        Obj
-    };
-
-    T t = T::Null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::vector<Jv> arr;
-    std::vector<std::pair<std::string, Jv>> obj;
-
-    const Jv *
-    find(const std::string &key) const
-    {
-        for (const auto &kv : obj)
-            if (kv.first == key)
-                return &kv.second;
-        return nullptr;
-    }
-
-    /** Numeric field lookup; fails the test when absent. */
-    double
-    numAt(const std::string &key) const
-    {
-        const Jv *v = find(key);
-        EXPECT_NE(v, nullptr) << "missing key " << key;
-        if (!v || v->t != T::Num)
-            return -1.0;
-        return v->num;
-    }
-
-    std::string
-    strAt(const std::string &key) const
-    {
-        const Jv *v = find(key);
-        EXPECT_NE(v, nullptr) << "missing key " << key;
-        return v && v->t == T::Str ? v->str : std::string();
-    }
-};
-
-/** Strict recursive-descent parser over a whole document. */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &doc)
-        : p_(doc.c_str()), end_(doc.c_str() + doc.size())
-    {
-    }
-
-    /** @return true iff the document parsed and was fully consumed. */
-    bool
-    parse(Jv &out)
-    {
-        bool ok = value(out);
-        skipWs();
-        return ok && p_ == end_;
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
-                             *p_ == '\r'))
-            ++p_;
-    }
-
-    bool
-    literal(const char *s)
-    {
-        const char *q = p_;
-        while (*s) {
-            if (q == end_ || *q != *s)
-                return false;
-            ++q;
-            ++s;
-        }
-        p_ = q;
-        return true;
-    }
-
-    bool
-    string(std::string &out)
-    {
-        if (p_ == end_ || *p_ != '"')
-            return false;
-        ++p_;
-        out.clear();
-        while (p_ < end_ && *p_ != '"') {
-            char c = *p_++;
-            if (static_cast<unsigned char>(c) < 0x20)
-                return false; // raw control char: invalid JSON
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (p_ == end_)
-                return false;
-            char e = *p_++;
-            switch (e) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'b': out += '\b'; break;
-              case 'f': out += '\f'; break;
-              case 'n': out += '\n'; break;
-              case 'r': out += '\r'; break;
-              case 't': out += '\t'; break;
-              case 'u': {
-                if (end_ - p_ < 4)
-                    return false;
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = *p_++;
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return false;
-                }
-                out += static_cast<char>(code & 0x7f);
-                break;
-              }
-              default:
-                return false;
-            }
-        }
-        if (p_ == end_)
-            return false;
-        ++p_; // closing quote
-        return true;
-    }
-
-    bool
-    value(Jv &out)
-    {
-        skipWs();
-        if (p_ == end_)
-            return false;
-        switch (*p_) {
-          case '{': {
-            out.t = Jv::T::Obj;
-            ++p_;
-            skipWs();
-            if (p_ < end_ && *p_ == '}') {
-                ++p_;
-                return true;
-            }
-            for (;;) {
-                skipWs();
-                std::string key;
-                if (!string(key))
-                    return false;
-                skipWs();
-                if (p_ == end_ || *p_ != ':')
-                    return false;
-                ++p_;
-                Jv v;
-                if (!value(v))
-                    return false;
-                out.obj.emplace_back(std::move(key), std::move(v));
-                skipWs();
-                if (p_ == end_)
-                    return false;
-                if (*p_ == ',') {
-                    ++p_;
-                    continue;
-                }
-                if (*p_ == '}') {
-                    ++p_;
-                    return true;
-                }
-                return false;
-            }
-          }
-          case '[': {
-            out.t = Jv::T::Arr;
-            ++p_;
-            skipWs();
-            if (p_ < end_ && *p_ == ']') {
-                ++p_;
-                return true;
-            }
-            for (;;) {
-                Jv v;
-                if (!value(v))
-                    return false;
-                out.arr.push_back(std::move(v));
-                skipWs();
-                if (p_ == end_)
-                    return false;
-                if (*p_ == ',') {
-                    ++p_;
-                    continue;
-                }
-                if (*p_ == ']') {
-                    ++p_;
-                    return true;
-                }
-                return false;
-            }
-          }
-          case '"':
-            out.t = Jv::T::Str;
-            return string(out.str);
-          case 't':
-            out.t = Jv::T::Bool;
-            out.b = true;
-            return literal("true");
-          case 'f':
-            out.t = Jv::T::Bool;
-            out.b = false;
-            return literal("false");
-          case 'n':
-            out.t = Jv::T::Null;
-            return literal("null");
-          default: {
-            char *after = nullptr;
-            out.t = Jv::T::Num;
-            out.num = std::strtod(p_, &after);
-            if (after == p_ || after > end_)
-                return false;
-            p_ = after;
-            return true;
-          }
-        }
-    }
-
-    const char *p_;
-    const char *end_;
-};
-
-bool
-parseJson(const std::string &doc, Jv &out)
-{
-    return JsonParser(doc).parse(out);
-}
-
-TEST(MiniJsonParser, SelfTest)
-{
-    Jv v;
-    ASSERT_TRUE(parseJson(
-        "{\"a\":[1,2.5,-3],\"s\":\"x\\ny\",\"t\":true,\"n\":null}", v));
-    ASSERT_EQ(v.t, Jv::T::Obj);
-    ASSERT_NE(v.find("a"), nullptr);
-    EXPECT_EQ(v.find("a")->arr.size(), 3u);
-    EXPECT_DOUBLE_EQ(v.find("a")->arr[1].num, 2.5);
-    EXPECT_EQ(v.strAt("s"), "x\ny");
-    EXPECT_TRUE(v.find("t")->b);
-    EXPECT_EQ(v.find("n")->t, Jv::T::Null);
-    // Malformed documents must be rejected, or the round-trip tests
-    // below prove nothing.
-    EXPECT_FALSE(parseJson("{\"a\":1,}", v));
-    EXPECT_FALSE(parseJson("[1 2]", v));
-    EXPECT_FALSE(parseJson("{\"a\":nan}", v));
-    EXPECT_FALSE(parseJson("{} trailing", v));
-}
+using Jv = JsonValue;
 
 // ------------------------------------------------ synthetic journey --
 
@@ -343,13 +71,13 @@ TEST(TraceObserver, SyntheticJourneyDecomposesLatency)
     ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
     const Jv *events = doc.find("traceEvents");
     ASSERT_NE(events, nullptr);
-    ASSERT_EQ(events->t, Jv::T::Arr);
+    ASSERT_TRUE(events->isArray());
 
     int spans_b = 0;
     int spans_e = 0;
     int slices = 0;
     std::vector<std::string> thread_names;
-    for (const Jv &ev : events->arr) {
+    for (const Jv &ev : events->array) {
         std::string ph = ev.strAt("ph");
         if (ph == "M") {
             if (ev.strAt("name") == "thread_name")
@@ -422,7 +150,7 @@ TEST(TraceObserver, EndToEndChromeTraceRoundTrips)
     std::size_t spans_b = 0;
     std::size_t spans_e = 0;
     std::size_t slices = 0;
-    for (const Jv &ev : events->arr) {
+    for (const Jv &ev : events->array) {
         std::string ph = ev.strAt("ph");
         EXPECT_NE(ev.find("pid"), nullptr);
         if (ph == "b")
@@ -531,7 +259,7 @@ TEST(TraceObserver, ResetClearsAllState)
     ASSERT_TRUE(parseJson(obs.chromeTraceJson(), doc));
     // Only the process_name metadata event remains.
     ASSERT_NE(doc.find("traceEvents"), nullptr);
-    EXPECT_EQ(doc.find("traceEvents")->arr.size(), 1u);
+    EXPECT_EQ(doc.find("traceEvents")->array.size(), 1u);
 }
 
 } // namespace

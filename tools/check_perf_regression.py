@@ -9,11 +9,19 @@ hot loop versus the OFF build by more than the threshold.
         --benchmark BM_NetworkStepBaseline --max-regression-pct 2.0
 
 Exit status: 0 within threshold, 1 regression, 2 usage/data error.
+Run with --self-test (no other arguments) to exercise the parsing and
+comparison logic without pytest; CTest invokes this.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
+
+
+class DataError(Exception):
+    """A benchmark file is missing, malformed, or lacks the series."""
 
 
 def best_time(path, name):
@@ -25,20 +33,184 @@ def best_time(path, name):
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, ValueError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
-    times = [
-        b["real_time"]
-        for b in doc.get("benchmarks", [])
-        if b.get("run_name", b.get("name")) == name
-        and b.get("run_type", "iteration") != "aggregate"
-    ]
+    except OSError as e:
+        raise DataError(
+            f"cannot read {path}: {e} "
+            f"(did the benchmark step run and write --benchmark_out?)"
+        )
+    except ValueError as e:
+        raise DataError(
+            f"{path} is not valid JSON: {e} "
+            f"(truncated benchmark run? re-run with --benchmark_out)"
+        )
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("benchmarks"), list
+    ):
+        raise DataError(
+            f"{path}: expected a google-benchmark JSON object with a "
+            f"'benchmarks' array (got {type(doc).__name__})"
+        )
+    times = []
+    for b in doc["benchmarks"]:
+        if not isinstance(b, dict):
+            continue
+        if b.get("run_name", b.get("name")) != name:
+            continue
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        t = b.get("real_time")
+        if not isinstance(t, (int, float)):
+            raise DataError(
+                f"{path}: benchmark '{name}' entry has no numeric "
+                f"real_time field"
+            )
+        times.append(t)
     if not times:
-        sys.exit(f"error: no '{name}' runs in {path}")
+        known = sorted(
+            {
+                b.get("run_name", b.get("name", "?"))
+                for b in doc["benchmarks"]
+                if isinstance(b, dict)
+            }
+        )
+        raise DataError(
+            f"no '{name}' runs in {path}; file contains: "
+            f"{', '.join(known) if known else '(no benchmarks at all)'}"
+        )
     return min(times)
 
 
+def compare(baseline, candidate, benchmark, max_regression_pct, out=sys.stdout):
+    """Core comparison; returns the process exit code."""
+    base = best_time(baseline, benchmark)
+    cand = best_time(candidate, benchmark)
+    delta_pct = (cand - base) / base * 100.0
+    print(
+        f"{benchmark}: baseline {base:.1f} ns, "
+        f"candidate {cand:.1f} ns, delta {delta_pct:+.2f}% "
+        f"(limit +{max_regression_pct:.2f}%)",
+        file=out,
+    )
+    if delta_pct > max_regression_pct:
+        print("FAIL: hot-path regression over threshold", file=sys.stderr)
+        return 1
+    print("OK", file=out)
+    return 0
+
+
+# --------------------------------------------------------- self-test --
+
+
+def self_test():
+    """Pytest-free checks of the parsing and comparison logic."""
+    checks = []
+
+    def check(name, got, want):
+        checks.append((name, got, want))
+        status = "ok" if got == want else "FAIL"
+        print(f"  {status}: {name} (got {got!r}, want {want!r})")
+
+    def bench_file(tmpdir, fname, entries):
+        path = os.path.join(tmpdir, fname)
+        with open(path, "w") as f:
+            json.dump({"benchmarks": entries}, f)
+        return path
+
+    def expect_data_error(name, fn, needle):
+        try:
+            fn()
+        except DataError as e:
+            check(name, needle in str(e), True)
+        else:
+            check(name, "no DataError raised", DataError)
+
+    entry = lambda name, t, **kw: dict(
+        {"name": name, "run_name": name, "real_time": t}, **kw
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        devnull = open(os.devnull, "w")
+
+        # Minimum across repetitions, aggregates ignored.
+        path = bench_file(
+            tmp,
+            "a.json",
+            [
+                entry("BM_X", 120.0),
+                entry("BM_X", 100.0),
+                entry("BM_X", 999.0, run_type="aggregate"),
+                entry("BM_Y", 5.0),
+            ],
+        )
+        check("min over repetitions", best_time(path, "BM_X"), 100.0)
+
+        # Within / over threshold.
+        base = bench_file(tmp, "base.json", [entry("BM_X", 100.0)])
+        ok = bench_file(tmp, "ok.json", [entry("BM_X", 101.0)])
+        bad = bench_file(tmp, "bad.json", [entry("BM_X", 110.0)])
+        fast = bench_file(tmp, "fast.json", [entry("BM_X", 90.0)])
+        check(
+            "within threshold passes",
+            compare(base, ok, "BM_X", 2.0, out=devnull),
+            0,
+        )
+        check(
+            "regression fails",
+            compare(base, bad, "BM_X", 2.0, out=devnull),
+            1,
+        )
+        check(
+            "improvement passes",
+            compare(base, fast, "BM_X", 2.0, out=devnull),
+            0,
+        )
+
+        # Error paths: message must say what is wrong and where.
+        missing = os.path.join(tmp, "missing.json")
+        expect_data_error(
+            "missing file named",
+            lambda: best_time(missing, "BM_X"),
+            "missing.json",
+        )
+        trunc = os.path.join(tmp, "trunc.json")
+        with open(trunc, "w") as f:
+            f.write('{"benchmarks": [')
+        expect_data_error(
+            "malformed JSON explained",
+            lambda: best_time(trunc, "BM_X"),
+            "not valid JSON",
+        )
+        not_bench = os.path.join(tmp, "notbench.json")
+        with open(not_bench, "w") as f:
+            json.dump([1, 2, 3], f)
+        expect_data_error(
+            "wrong shape explained",
+            lambda: best_time(not_bench, "BM_X"),
+            "'benchmarks' array",
+        )
+        expect_data_error(
+            "unknown series lists known ones",
+            lambda: best_time(base, "BM_Missing"),
+            "BM_X",
+        )
+        no_time = bench_file(
+            tmp, "notime.json", [{"name": "BM_X", "run_name": "BM_X"}]
+        )
+        expect_data_error(
+            "missing real_time explained",
+            lambda: best_time(no_time, "BM_X"),
+            "real_time",
+        )
+        devnull.close()
+
+    failed = [c for c in checks if c[1] != c[2]]
+    print(f"self-test: {len(checks) - len(failed)}/{len(checks)} passed")
+    return 1 if failed else 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", help="benchmark JSON of the reference build")
     ap.add_argument("candidate", help="benchmark JSON of the build under test")
@@ -46,19 +218,16 @@ def main():
     ap.add_argument("--max-regression-pct", type=float, default=2.0)
     args = ap.parse_args()
 
-    base = best_time(args.baseline, args.benchmark)
-    cand = best_time(args.candidate, args.benchmark)
-    delta_pct = (cand - base) / base * 100.0
-    print(
-        f"{args.benchmark}: baseline {base:.1f} ns, "
-        f"candidate {cand:.1f} ns, delta {delta_pct:+.2f}% "
-        f"(limit +{args.max_regression_pct:.2f}%)"
-    )
-    if delta_pct > args.max_regression_pct:
-        print("FAIL: hot-path regression over threshold", file=sys.stderr)
-        return 1
-    print("OK")
-    return 0
+    try:
+        return compare(
+            args.baseline,
+            args.candidate,
+            args.benchmark,
+            args.max_regression_pct,
+        )
+    except DataError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

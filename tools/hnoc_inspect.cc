@@ -1,0 +1,548 @@
+/**
+ * @file
+ * hnoc_inspect: offline analysis of hnoc JSON artifacts.
+ *
+ * Loads `hnoc-run-report-v1` documents (sim_harness::writeRunReport /
+ * hnoc_cli --json), `hnoc-postmortem-v1` dumps (watchdog trips,
+ * Network::writePostmortem) and JSONL flit logs (TraceObserver), and
+ * answers the questions that come up when a run looks wrong: how did
+ * the points behave, which routers were congested, what changed
+ * between two runs, and what was the pipeline doing when it stalled.
+ * See docs/OBSERVABILITY.md for a walkthrough.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_reader.hh"
+
+using hnoc::JsonValue;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: hnoc_inspect <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  summary <report.json>          per-point overview of a run "
+        "report\n"
+        "  top <report.json> [-k N]       top-N congested routers\n"
+        "  heatmap <report.json> [-m buffer|link]\n"
+        "                                 ASCII utilization heat map\n"
+        "  diff <a.json> <b.json> [-t PCT] [--fail-over]\n"
+        "                                 compare two run reports; "
+        "deltas over\n"
+        "                                 PCT%% are flagged (default "
+        "5%%)\n"
+        "  postmortem <dump.json> [-n N]  summarize an "
+        "hnoc-postmortem-v1 dump,\n"
+        "                                 printing the last N recorder "
+        "events\n"
+        "  flitlog <trace.jsonl> [-k N]   statistics over a JSONL flit "
+        "log\n");
+    return 1;
+}
+
+/** Load one JSON document or exit(1) with a clear message. */
+JsonValue
+load(const std::string &path)
+{
+    JsonValue doc;
+    std::string err;
+    if (!hnoc::parseJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "hnoc_inspect: %s\n", err.c_str());
+        std::exit(1);
+    }
+    return doc;
+}
+
+void
+requireSchema(const JsonValue &doc, const char *want,
+              const std::string &path)
+{
+    std::string got = doc.strAt("schema");
+    if (got != want) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s: expected schema \"%s\", found "
+                     "\"%s\"\n",
+                     path.c_str(), want, got.c_str());
+        std::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- summary
+
+int
+cmdSummary(const std::string &path)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+
+    std::printf("%s: %s (%s)\n", doc.strAt("tool").c_str(),
+                doc.strAt("title").c_str(), doc.strAt("schema").c_str());
+    const auto &points = doc.arrayAt("points");
+    std::printf("%zu point(s)\n\n", points.size());
+    std::printf("%-24s %9s %9s %10s %10s %8s %5s\n", "label", "offered",
+                "accepted", "avg ns", "p95 ns", "power W", "sat");
+    for (const JsonValue &p : points) {
+        std::printf("%-24s %9.4f %9.4f %10.1f %10.1f %8.3f %5s\n",
+                    p.strAt("label").c_str(), p.numAt("offered_rate", 0),
+                    p.numAt("accepted_rate", 0),
+                    p.numAt("avg_latency_ns", 0),
+                    p.numAt("p95_latency_ns", 0),
+                    p.numAt("network_power_w", 0),
+                    p.boolAt("saturated") ? "YES" : "no");
+    }
+
+    // Delivery accounting across all points.
+    double created = 0;
+    double delivered = 0;
+    for (const JsonValue &p : points) {
+        created += p.numAt("tracked_created", 0);
+        delivered += p.numAt("tracked_delivered", 0);
+    }
+    std::printf("\ntracked packets: %.0f created, %.0f delivered\n",
+                created, delivered);
+    return 0;
+}
+
+// -------------------------------------------------------------------- top
+
+/** Per-router utilization of a report: merged registry if present,
+ *  else the first point's buffer_util_pct. */
+std::vector<double>
+routerUtil(const JsonValue &doc, const char *metric)
+{
+    std::string key = std::string(metric) + "_util_pct";
+    if (const JsonValue *regs = doc.find("registries"))
+        if (const JsonValue *merged = regs->find("merged"))
+            if (const JsonValue *derived = merged->find("derived")) {
+                std::vector<double> v = derived->numbersAt(key);
+                if (!v.empty())
+                    return v;
+            }
+    const auto &points = doc.arrayAt("points");
+    if (!points.empty())
+        return points.front().numbersAt(key);
+    return {};
+}
+
+int
+gridCols(const JsonValue &doc, std::size_t routers)
+{
+    if (const JsonValue *regs = doc.find("registries"))
+        if (const JsonValue *merged = regs->find("merged"))
+            if (const JsonValue *dims = merged->find("dims")) {
+                int cols = static_cast<int>(dims->numAt("grid_cols", 0));
+                if (cols > 0)
+                    return cols;
+            }
+    int cols = 1;
+    while (static_cast<std::size_t>(cols) * static_cast<std::size_t>(cols)
+           < routers)
+        ++cols;
+    return cols;
+}
+
+int
+cmdTop(const std::string &path, int k)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+
+    std::vector<double> buf = routerUtil(doc, "buffer");
+    std::vector<double> link = routerUtil(doc, "link");
+    if (buf.empty()) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s carries no per-router "
+                     "utilization data\n",
+                     path.c_str());
+        return 1;
+    }
+    std::vector<int> order(buf.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = static_cast<int>(i);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return buf[static_cast<std::size_t>(a)] >
+               buf[static_cast<std::size_t>(b)];
+    });
+
+    std::printf("top %d congested routers (by buffer utilization)\n", k);
+    std::printf("%6s %12s %12s\n", "router", "buffer %", "link %");
+    for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+        auto r = static_cast<std::size_t>(order[static_cast<std::size_t>(i)]);
+        std::printf("%6zu %12.2f %12.2f\n", r, buf[r],
+                    r < link.size() ? link[r] : 0.0);
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------- heatmap
+
+int
+cmdHeatmap(const std::string &path, const char *metric)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+
+    std::vector<double> util = routerUtil(doc, metric);
+    if (util.empty()) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s carries no per-router "
+                     "utilization data\n",
+                     path.c_str());
+        return 1;
+    }
+    int cols = gridCols(doc, util.size());
+    double peak = 0.0;
+    for (double v : util)
+        peak = std::max(peak, v);
+
+    // Darker glyph = busier router; scale is relative to the peak.
+    static const char kRamp[] = " .:-=+*#%@";
+    const int levels = static_cast<int>(std::strlen(kRamp)) - 1;
+    std::printf("%s utilization heat map (peak %.2f%%, '%c' = peak)\n",
+                metric, peak, kRamp[levels]);
+    for (std::size_t r = 0; r < util.size(); ++r) {
+        int level =
+            peak > 0.0
+                ? static_cast<int>(std::lround(util[r] / peak * levels))
+                : 0;
+        std::printf(" %c", kRamp[std::clamp(level, 0, levels)]);
+        if ((r + 1) % static_cast<std::size_t>(cols) == 0)
+            std::printf("\n");
+    }
+    if (util.size() % static_cast<std::size_t>(cols) != 0)
+        std::printf("\n");
+    std::printf("\nrow-major, %d columns; values are percent of the "
+                "busiest router\n",
+                cols);
+    return 0;
+}
+
+// ------------------------------------------------------------------- diff
+
+struct DiffMetric
+{
+    const char *key;
+    const char *label;
+};
+
+int
+cmdDiff(const std::string &path_a, const std::string &path_b,
+        double threshold_pct, bool fail_over)
+{
+    JsonValue a = load(path_a);
+    JsonValue b = load(path_b);
+    requireSchema(a, "hnoc-run-report-v1", path_a);
+    requireSchema(b, "hnoc-run-report-v1", path_b);
+
+    std::map<std::string, const JsonValue *> b_points;
+    for (const JsonValue &p : b.arrayAt("points"))
+        b_points[p.strAt("label")] = &p;
+
+    static const DiffMetric kMetrics[] = {
+        {"accepted_rate", "accepted"},
+        {"avg_latency_ns", "avg ns"},
+        {"p95_latency_ns", "p95 ns"},
+        {"network_power_w", "power W"},
+    };
+
+    std::printf("diff: %s -> %s (flag over %.1f%%)\n\n", path_a.c_str(),
+                path_b.c_str(), threshold_pct);
+    std::printf("%-24s %-10s %12s %12s %9s\n", "label", "metric", "a",
+                "b", "delta");
+    int flagged = 0;
+    int compared = 0;
+    for (const JsonValue &pa : a.arrayAt("points")) {
+        std::string label = pa.strAt("label");
+        auto it = b_points.find(label);
+        if (it == b_points.end()) {
+            std::printf("%-24s only in %s\n", label.c_str(),
+                        path_a.c_str());
+            continue;
+        }
+        ++compared;
+        for (const DiffMetric &m : kMetrics) {
+            double va = pa.numAt(m.key, 0);
+            double vb = it->second->numAt(m.key, 0);
+            double pct = va != 0.0 ? 100.0 * (vb - va) / va
+                                   : (vb != 0.0 ? 100.0 : 0.0);
+            bool over = std::fabs(pct) > threshold_pct;
+            if (over)
+                ++flagged;
+            std::printf("%-24s %-10s %12.4f %12.4f %+8.2f%%%s\n",
+                        label.c_str(), m.label, va, vb, pct,
+                        over ? "  <-- over threshold" : "");
+        }
+        b_points.erase(it);
+    }
+    for (const auto &[label, p] : b_points) {
+        (void)p;
+        std::printf("%-24s only in %s\n", label.c_str(), path_b.c_str());
+    }
+    std::printf("\n%d point(s) compared, %d metric delta(s) over "
+                "%.1f%%\n",
+                compared, flagged, threshold_pct);
+    return fail_over && flagged > 0 ? 2 : 0;
+}
+
+// ------------------------------------------------------------- postmortem
+
+int
+cmdPostmortem(const std::string &path, int tail)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-postmortem-v1", path);
+
+    std::printf("postmortem: %s (%s)\n", doc.strAt("reason").c_str(),
+                doc.strAt("schema").c_str());
+    std::printf("cycle %.0f | injected %.0f | delivered %.0f | in "
+                "flight %.0f | queued %.0f\n",
+                doc.numAt("cycle", 0), doc.numAt("packets_injected", 0),
+                doc.numAt("packets_delivered", 0),
+                doc.numAt("packets_in_flight", 0),
+                doc.numAt("source_queue_depth", 0));
+    std::printf("last delivery at cycle %.0f\n",
+                doc.numAt("last_delivery_cycle", 0));
+    if (const JsonValue *cfg = doc.find("config"))
+        std::printf("config: %s, %.0f routers x %.0f ports, buffer "
+                    "depth %.0f\n",
+                    cfg->strAt("topology").c_str(),
+                    cfg->numAt("routers", 0), cfg->numAt("ports", 0),
+                    cfg->numAt("buffer_depth", 0));
+
+    if (const JsonValue *cons = doc.find("conservation")) {
+        if (cons->boolAt("ok"))
+            std::printf("conservation audit: OK\n");
+        else
+            std::printf("conservation audit: FAILED — %s\n",
+                        cons->strAt("error").c_str());
+    }
+
+    // Routers still holding flits, busiest first.
+    std::vector<std::pair<double, const JsonValue *>> stuck;
+    for (const JsonValue &r : doc.arrayAt("routers")) {
+        double occ = r.numAt("occupancy", 0);
+        if (occ > 0)
+            stuck.emplace_back(occ, &r);
+    }
+    std::stable_sort(stuck.begin(), stuck.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.first > y.first;
+                     });
+    std::printf("\n%zu router(s) holding flits:\n", stuck.size());
+    for (const auto &[occ, r] : stuck) {
+        std::printf("  router %.0f: %.0f flit(s)\n", r->numAt("id", 0),
+                    occ);
+        for (const JsonValue &vc : r->arrayAt("input_vcs")) {
+            if (vc.numAt("occupancy", 0) == 0)
+                continue;
+            std::printf("    in port %.0f vc %.0f: %.0f flit(s), "
+                        "%s, out port %.0f vc %.0f, head since "
+                        "cycle %.0f, pkt %.0f\n",
+                        vc.numAt("port", 0), vc.numAt("vc", 0),
+                        vc.numAt("occupancy", 0),
+                        vc.boolAt("active") ? "routed" : "awaiting RC",
+                        vc.numAt("out_port", 0), vc.numAt("out_vc", 0),
+                        vc.numAt("head_since", 0), vc.numAt("pkt", 0));
+        }
+    }
+
+    const auto &queues = doc.arrayAt("source_queues");
+    if (!queues.empty()) {
+        std::printf("\nnon-empty source queues:\n");
+        for (const JsonValue &q : queues)
+            std::printf("  node %.0f: %.0f packet(s)\n",
+                        q.numAt("node", 0), q.numAt("depth", 0));
+    }
+
+    if (const JsonValue *fr = doc.find("flight_recorder")) {
+        const auto &events = fr->arrayAt("events");
+        std::printf("\nflight recorder: %.0f recorded, %.0f "
+                    "overwritten, %zu held\n",
+                    fr->numAt("recorded", 0), fr->numAt("overwritten", 0),
+                    events.size());
+        std::size_t start =
+            events.size() > static_cast<std::size_t>(tail)
+                ? events.size() - static_cast<std::size_t>(tail)
+                : 0;
+        if (start > 0)
+            std::printf("(showing last %d)\n", tail);
+        for (std::size_t i = start; i < events.size(); ++i) {
+            const JsonValue &e = events[i];
+            std::printf("  t=%-8.0f %-12s r=%-3.0f p=%-2.0f vc=%-2.0f",
+                        e.numAt("t", 0), e.strAt("ev").c_str(),
+                        e.numAt("r", 0), e.numAt("p", 0),
+                        e.numAt("vc", 0));
+            if (e.find("pkt"))
+                std::printf(" pkt=%.0f", e.numAt("pkt", 0));
+            if (e.boolAt("head"))
+                std::printf(" head");
+            std::printf("\n");
+        }
+    } else {
+        std::printf("\n(no flight recorder attached at dump time)\n");
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------- flitlog
+
+int
+cmdFlitlog(const std::string &path, int k)
+{
+    std::vector<JsonValue> events;
+    std::string err;
+    if (!hnoc::parseJsonLinesFile(path, events, &err)) {
+        std::fprintf(stderr, "hnoc_inspect: %s\n", err.c_str());
+        return 1;
+    }
+    if (events.empty()) {
+        std::printf("%s: empty flit log\n", path.c_str());
+        return 0;
+    }
+
+    double t_min = 0.0;
+    double t_max = 0.0;
+    bool first = true;
+    std::map<int, std::uint64_t> arrivals;
+    std::map<std::string, std::uint64_t> kinds;
+    for (const JsonValue &e : events) {
+        double t = e.numAt("t", 0);
+        if (first || t < t_min)
+            t_min = t;
+        if (first || t > t_max)
+            t_max = t;
+        first = false;
+        ++kinds[e.strAt("ev")];
+        if (e.strAt("ev") == "arr")
+            ++arrivals[static_cast<int>(e.numAt("r", -1))];
+    }
+
+    std::printf("%zu event(s) over cycles %.0f..%.0f\n", events.size(),
+                t_min, t_max);
+    for (const auto &[kind, n] : kinds)
+        std::printf("  %-6s %llu\n", kind.c_str(),
+                    static_cast<unsigned long long>(n));
+
+    std::vector<std::pair<std::uint64_t, int>> busy;
+    for (const auto &[r, n] : arrivals)
+        busy.emplace_back(n, r);
+    std::stable_sort(busy.begin(), busy.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first > b.first;
+                     });
+    std::printf("top %d routers by flit arrivals:\n", k);
+    for (int i = 0; i < k && i < static_cast<int>(busy.size()); ++i)
+        std::printf("  router %-3d %llu\n", busy[static_cast<std::size_t>(i)].second,
+                    static_cast<unsigned long long>(
+                        busy[static_cast<std::size_t>(i)].first));
+    return 0;
+}
+
+/** Parse "-k N" style int option at argv[i]; advances i. */
+bool
+intOpt(int argc, char **argv, int &i, const char *name, int &out)
+{
+    if (std::strcmp(argv[i], name) != 0)
+        return false;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "hnoc_inspect: %s needs a value\n", name);
+        std::exit(1);
+    }
+    out = std::atoi(argv[++i]);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "summary") {
+        if (argc < 3)
+            return usage();
+        return cmdSummary(argv[2]);
+    }
+    if (cmd == "top") {
+        if (argc < 3)
+            return usage();
+        int k = 5;
+        for (int i = 3; i < argc; ++i)
+            if (!intOpt(argc, argv, i, "-k", k))
+                return usage();
+        return cmdTop(argv[2], k);
+    }
+    if (cmd == "heatmap") {
+        if (argc < 3)
+            return usage();
+        const char *metric = "buffer";
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "-m") == 0 && i + 1 < argc) {
+                metric = argv[++i];
+            } else {
+                return usage();
+            }
+        }
+        if (std::strcmp(metric, "buffer") != 0 &&
+            std::strcmp(metric, "link") != 0) {
+            std::fprintf(stderr,
+                         "hnoc_inspect: -m takes buffer or link\n");
+            return 1;
+        }
+        return cmdHeatmap(argv[2], metric);
+    }
+    if (cmd == "diff") {
+        if (argc < 4)
+            return usage();
+        double threshold = 5.0;
+        bool fail_over = false;
+        for (int i = 4; i < argc; ++i) {
+            if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+                threshold = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--fail-over") == 0) {
+                fail_over = true;
+            } else {
+                return usage();
+            }
+        }
+        return cmdDiff(argv[2], argv[3], threshold, fail_over);
+    }
+    if (cmd == "postmortem") {
+        if (argc < 3)
+            return usage();
+        int tail = 32;
+        for (int i = 3; i < argc; ++i)
+            if (!intOpt(argc, argv, i, "-n", tail))
+                return usage();
+        return cmdPostmortem(argv[2], tail);
+    }
+    if (cmd == "flitlog") {
+        if (argc < 3)
+            return usage();
+        int k = 5;
+        for (int i = 3; i < argc; ++i)
+            if (!intOpt(argc, argv, i, "-k", k))
+                return usage();
+        return cmdFlitlog(argv[2], k);
+    }
+    std::fprintf(stderr, "hnoc_inspect: unknown command \"%s\"\n",
+                 cmd.c_str());
+    return usage();
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON into a compact perf-trajectory snapshot.
+
+    make_perf_trajectory.py BENCH_micro.json -o BENCH_trajectory.json \
+        [--off off.json] [--meta key=value ...]
+
+Reads one --benchmark_out file (the HNOC_TELEMETRY=ON build) and writes
+`hnoc-perf-trajectory-v1` JSON: per-benchmark median/min real_time over
+repetitions, plus — when --off supplies the HNOC_TELEMETRY=OFF run of
+the same suite — the telemetry hot-path overhead percentage that the CI
+regression gate enforces. The output is small and stable, meant to be
+committed or archived per PR so perf history survives CI log rotation.
+
+Exit status: 0 on success, 2 on missing/malformed input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_series(path):
+    """Map benchmark run_name -> list of per-repetition real_time."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.stderr.write(f"error: cannot read {path}: {e}\n")
+        sys.exit(2)
+    except ValueError as e:
+        sys.stderr.write(f"error: {path} is not valid JSON: {e}\n")
+        sys.exit(2)
+    runs = doc.get("benchmarks") if isinstance(doc, dict) else None
+    if not isinstance(runs, list):
+        sys.stderr.write(
+            f"error: {path}: expected google-benchmark JSON with a "
+            f"'benchmarks' array\n"
+        )
+        sys.exit(2)
+    series = {}
+    for b in runs:
+        if not isinstance(b, dict):
+            continue
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        t = b.get("real_time")
+        if not isinstance(t, (int, float)):
+            continue
+        series.setdefault(b.get("run_name", b.get("name", "?")), []).append(
+            float(t)
+        )
+    if not series:
+        sys.stderr.write(f"error: no benchmark iterations in {path}\n")
+        sys.exit(2)
+    return series
+
+
+def summarize(series):
+    return {
+        name: {
+            "median_ns": statistics.median(times),
+            "min_ns": min(times),
+            "repetitions": len(times),
+        }
+        for name, times in sorted(series.items())
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("bench_json", help="--benchmark_out of the ON build")
+    ap.add_argument("-o", "--output", default="BENCH_trajectory.json")
+    ap.add_argument(
+        "--off",
+        help="--benchmark_out of the HNOC_TELEMETRY=OFF build; enables "
+        "the telemetry_overhead_pct field",
+    )
+    ap.add_argument(
+        "--hot-benchmark",
+        default="BM_NetworkStepBaseline",
+        help="series used for the ON-vs-OFF overhead percentage",
+    )
+    ap.add_argument(
+        "--meta",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="extra metadata entries (e.g. --meta commit=$GITHUB_SHA)",
+    )
+    args = ap.parse_args()
+
+    on = load_series(args.bench_json)
+    out = {
+        "schema": "hnoc-perf-trajectory-v1",
+        "source": args.bench_json,
+        "benchmarks": summarize(on),
+    }
+
+    if args.off:
+        off = load_series(args.off)
+        hot = args.hot_benchmark
+        if hot not in on or hot not in off:
+            sys.stderr.write(
+                f"error: '{hot}' missing from "
+                f"{args.bench_json if hot not in on else args.off}; "
+                f"cannot compute telemetry overhead\n"
+            )
+            sys.exit(2)
+        base = min(off[hot])
+        cand = min(on[hot])
+        out["telemetry_overhead"] = {
+            "benchmark": hot,
+            "off_min_ns": base,
+            "on_min_ns": cand,
+            "overhead_pct": (cand - base) / base * 100.0,
+        }
+
+    meta = {}
+    for kv in args.meta:
+        key, sep, value = kv.partition("=")
+        if not sep:
+            sys.stderr.write(f"error: --meta wants KEY=VALUE, got '{kv}'\n")
+            sys.exit(2)
+        meta[key] = value
+    if meta:
+        out["meta"] = meta
+
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    n = len(out["benchmarks"])
+    overhead = out.get("telemetry_overhead", {}).get("overhead_pct")
+    tail = f", telemetry overhead {overhead:+.2f}%" if overhead is not None else ""
+    print(f"{args.output}: {n} benchmark(s){tail}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
