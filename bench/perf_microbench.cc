@@ -104,6 +104,75 @@ BM_NetworkStepFullTrace(benchmark::State &state)
 BENCHMARK(BM_NetworkStepFullTrace);
 
 /**
+ * Cycles/second at a fixed offered load under a chosen scheduler —
+ * the active-set vs always-step A/B that records the scheduling
+ * speedup in BENCH_trajectory.json. Loads (in flits/node/cycle,
+ * divided by the 9-flit data packet to get the injection rate):
+ * low = 0.02, mid = 0.2, saturation = offered far beyond acceptance
+ * with an in-flight cap so over-saturation cannot grow memory without
+ * bound (the cap models a finite-window client, identically for both
+ * schedulers).
+ */
+void
+stepLoad(benchmark::State &state, LayoutKind kind, double pkt_rate,
+         bool always_step, std::size_t max_in_flight = 0)
+{
+    NetworkConfig cfg = makeLayoutConfig(kind);
+    cfg.alwaysStep = always_step;
+    Network net(cfg);
+    TrafficGenerator gen(TrafficPattern::UniformRandom, 64, 8, 7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (NodeId n = 0; n < 64; ++n) {
+            if (gen.shouldInject(n, pkt_rate, now)) {
+                if (max_in_flight && net.packetsInFlight() >= max_in_flight)
+                    continue;
+                NodeId dst = gen.pickDest(n);
+                if (dst != INVALID_NODE)
+                    net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+            }
+        }
+        net.step();
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(net.packetsDelivered());
+}
+
+// 0.02 flits/node/cycle on 9-flit data packets.
+constexpr double kLowPktRate = 0.02 / 9.0;
+// 0.2 flits/node/cycle.
+constexpr double kMidPktRate = 0.2 / 9.0;
+// Far past saturation; acceptance is throughput-limited.
+constexpr double kSatPktRate = 0.2;
+constexpr std::size_t kSatInFlightCap = 400;
+
+BENCHMARK_CAPTURE(stepLoad, mesh_low_active, LayoutKind::Baseline,
+                  kLowPktRate, false);
+BENCHMARK_CAPTURE(stepLoad, mesh_low_always, LayoutKind::Baseline,
+                  kLowPktRate, true);
+BENCHMARK_CAPTURE(stepLoad, mesh_mid_active, LayoutKind::Baseline,
+                  kMidPktRate, false);
+BENCHMARK_CAPTURE(stepLoad, mesh_mid_always, LayoutKind::Baseline,
+                  kMidPktRate, true);
+BENCHMARK_CAPTURE(stepLoad, mesh_sat_active, LayoutKind::Baseline,
+                  kSatPktRate, false, kSatInFlightCap);
+BENCHMARK_CAPTURE(stepLoad, mesh_sat_always, LayoutKind::Baseline,
+                  kSatPktRate, true, kSatInFlightCap);
+BENCHMARK_CAPTURE(stepLoad, hetero_low_active, LayoutKind::DiagonalBL,
+                  kLowPktRate, false);
+BENCHMARK_CAPTURE(stepLoad, hetero_low_always, LayoutKind::DiagonalBL,
+                  kLowPktRate, true);
+BENCHMARK_CAPTURE(stepLoad, hetero_mid_active, LayoutKind::DiagonalBL,
+                  kMidPktRate, false);
+BENCHMARK_CAPTURE(stepLoad, hetero_mid_always, LayoutKind::DiagonalBL,
+                  kMidPktRate, true);
+BENCHMARK_CAPTURE(stepLoad, hetero_sat_active, LayoutKind::DiagonalBL,
+                  kSatPktRate, false, kSatInFlightCap);
+BENCHMARK_CAPTURE(stepLoad, hetero_sat_always, LayoutKind::DiagonalBL,
+                  kSatPktRate, true, kSatInFlightCap);
+
+/**
  * Cycles/second of an idle network: no injection, so every router's
  * routeCompute should skip all ports via the rcPending fast path.
  */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Active-set scheduling hook shared by routers, channels, and NIs.
+ *
+ * The Network maintains one dense busy bitmap per component kind
+ * (indexed by component id, scanned in index order so iteration stays
+ * canonical) plus a population counter for the all-idle fast path.
+ * Each component owns an ActivitySlot bound to its bitmap cell and
+ * flips it on its own idle/busy transitions:
+ *
+ *  - a channel is busy while its flit or credit pipe is non-empty;
+ *  - a router is busy while any input VC holds a flit (RC, VA, SA and
+ *    occupancy sampling are all provably no-ops otherwise — see
+ *    DESIGN.md "Active-set cycle scheduling");
+ *  - an NI is busy while its source queue or an in-progress packet
+ *    stream has work.
+ *
+ * The flags are exact, not heuristic: a wakeup is just the producer
+ * side of an event (flit send, credit send, packet enqueue) marking
+ * the consumer's slot busy before the consumer's next scan.
+ */
+
+#ifndef HNOC_NOC_ACTIVE_SET_HH
+#define HNOC_NOC_ACTIVE_SET_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hnoc
+{
+
+/** One component's cell in the Network's dense busy bitmap. */
+class ActivitySlot
+{
+  public:
+    /** Bind to @p flag inside the bitmap and the shared @p count of
+     *  set flags. The storage must outlive the slot and never move. */
+    void
+    bind(std::uint8_t *flag, std::size_t *count)
+    {
+        flag_ = flag;
+        count_ = count;
+    }
+
+    /** Mark busy (idempotent). No-op while unbound. */
+    void
+    markBusy()
+    {
+        if (flag_ && *flag_ == 0) {
+            *flag_ = 1;
+            ++*count_;
+        }
+    }
+
+    /** Mark idle (idempotent). No-op while unbound. */
+    void
+    markIdle()
+    {
+        if (flag_ && *flag_ != 0) {
+            *flag_ = 0;
+            --*count_;
+        }
+    }
+
+  private:
+    std::uint8_t *flag_ = nullptr;
+    std::size_t *count_ = nullptr;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_ACTIVE_SET_HH

@@ -6,17 +6,24 @@
  * the network flit width) is the number of flits it can carry per cycle.
  * Wide 256 b channels in HeteroNoC carry two combined 128 b flits per
  * cycle (§3.2). Delivery is a simple constant-delay pipe.
+ *
+ * Both pipes are fixed-capacity ring buffers sized from the channel's
+ * rate and latency: at most max(lanes, 2) entries enter per cycle and
+ * every entry is drained within delay + 1 cycles of being sent (the
+ * Network scans every non-idle channel every cycle), so
+ * max(lanes, 2) * (delay + 2) slots can never overflow. The steady
+ * state therefore allocates nothing.
  */
 
 #ifndef HNOC_NOC_CHANNEL_HH
 #define HNOC_NOC_CHANNEL_HH
 
 #include <cstdint>
-#include <deque>
-#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/ring_buffer.hh"
+#include "noc/active_set.hh"
 #include "noc/flit.hh"
 #include "telemetry/metrics.hh"
 
@@ -37,7 +44,9 @@ class Channel
     Channel(int id, int width_bits, int lanes, int flit_delay,
             int credit_delay)
         : id_(id), widthBits_(width_bits), lanes_(lanes),
-          flitDelay_(flit_delay), creditDelay_(credit_delay)
+          flitDelay_(flit_delay), creditDelay_(credit_delay),
+          flitPipe_(pipeCapacity(lanes, flit_delay)),
+          creditPipe_(pipeCapacity(lanes, credit_delay))
     {}
 
     int id() const { return id_; }
@@ -69,14 +78,18 @@ class Channel
             if (paired)
                 telemetry_->add(Ctr::LinkPaired, telRouter_, telPort_);
         }
-        flitPipe_.emplace_back(now + static_cast<Cycle>(flitDelay_), flit);
+        flitPipe_.push_back(
+            {now + static_cast<Cycle>(flitDelay_), flit});
+        slot_.markBusy();
     }
 
     /** Send a credit for @p vc back to the channel's driver. */
     void
     sendCredit(VcId vc, Cycle now)
     {
-        creditPipe_.emplace_back(now + static_cast<Cycle>(creditDelay_), vc);
+        creditPipe_.push_back(
+            {now + static_cast<Cycle>(creditDelay_), vc});
+        slot_.markBusy();
     }
 
     /** Collect flits arriving at @p now. @return count delivered. */
@@ -84,11 +97,13 @@ class Channel
     deliverFlits(Cycle now, std::vector<Flit> &out)
     {
         int n = 0;
-        while (!flitPipe_.empty() && flitPipe_.front().first <= now) {
-            out.push_back(flitPipe_.front().second);
+        while (!flitPipe_.empty() && flitPipe_.front().at <= now) {
+            out.push_back(flitPipe_.front().flit);
             flitPipe_.pop_front();
             ++n;
         }
+        if (idle())
+            slot_.markIdle();
         return n;
     }
 
@@ -97,11 +112,13 @@ class Channel
     deliverCredits(Cycle now, std::vector<VcId> &out)
     {
         int n = 0;
-        while (!creditPipe_.empty() && creditPipe_.front().first <= now) {
-            out.push_back(creditPipe_.front().second);
+        while (!creditPipe_.empty() && creditPipe_.front().at <= now) {
+            out.push_back(creditPipe_.front().vc);
             creditPipe_.pop_front();
             ++n;
         }
+        if (idle())
+            slot_.markIdle();
         return n;
     }
 
@@ -111,6 +128,15 @@ class Channel
         return flitPipe_.empty() && creditPipe_.empty();
     }
 
+    /** Bind this channel's cell in the Network's active-set bitmap. */
+    void
+    bindActivitySlot(std::uint8_t *flag, std::size_t *count)
+    {
+        slot_.bind(flag, count);
+        if (!idle())
+            slot_.markBusy();
+    }
+
     /** @name In-flight introspection (conservation audit) */
     ///@{
     /** Flits for @p vc currently in the forward pipe. */
@@ -118,8 +144,8 @@ class Channel
     pipeFlits(VcId vc) const
     {
         int n = 0;
-        for (const auto &e : flitPipe_)
-            if (e.second.vc == vc)
+        for (std::size_t i = 0; i < flitPipe_.size(); ++i)
+            if (flitPipe_[i].flit.vc == vc)
                 ++n;
         return n;
     }
@@ -129,8 +155,8 @@ class Channel
     pipeCredits(VcId vc) const
     {
         int n = 0;
-        for (const auto &e : creditPipe_)
-            if (e.second == vc)
+        for (std::size_t i = 0; i < creditPipe_.size(); ++i)
+            if (creditPipe_[i].vc == vc)
                 ++n;
         return n;
     }
@@ -175,14 +201,37 @@ class Channel
     }
 
   private:
+    struct TimedFlit
+    {
+        Cycle at = 0;
+        Flit flit;
+    };
+
+    struct TimedCredit
+    {
+        Cycle at = 0;
+        VcId vc = 0;
+    };
+
+    /** Occupancy bound: <= max(lanes, 2) sends per cycle, each drained
+     *  within delay + 1 cycles (+1 slack for the same-cycle window). */
+    static std::size_t
+    pipeCapacity(int lanes, int delay)
+    {
+        int rate = lanes > 2 ? lanes : 2;
+        return static_cast<std::size_t>(rate) *
+               static_cast<std::size_t>(delay + 2);
+    }
+
     int id_;
     int widthBits_;
     int lanes_;
     int flitDelay_;
     int creditDelay_;
 
-    std::deque<std::pair<Cycle, Flit>> flitPipe_;
-    std::deque<std::pair<Cycle, VcId>> creditPipe_;
+    RingBuffer<TimedFlit> flitPipe_;
+    RingBuffer<TimedCredit> creditPipe_;
+    ActivitySlot slot_;
 
     MetricRegistry *telemetry_ = nullptr;
     int telRouter_ = -1;

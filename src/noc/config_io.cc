@@ -157,6 +157,7 @@ configToString(const NetworkConfig &c)
         << (c.saPolicy == SaPolicy::OldestFirst ? "oldest-first"
                                                 : "round-robin")
         << '\n';
+    out << "always_step=" << (c.alwaysStep ? 1 : 0) << '\n';
     out << "pipeline_stages=" << c.pipelineStages << '\n';
     out << "link_latency=" << c.linkLatency << '\n';
     out << "clock_ghz=" << c.clockGHz << '\n';
@@ -221,6 +222,8 @@ configFromString(const std::string &text)
         else if (key == "sa_policy")
             c.saPolicy = val == "oldest-first" ? SaPolicy::OldestFirst
                                                : SaPolicy::RoundRobin;
+        else if (key == "always_step")
+            c.alwaysStep = std::stoi(val) != 0;
         else if (key == "pipeline_stages")
             c.pipelineStages = std::stoi(val);
         else if (key == "link_latency")

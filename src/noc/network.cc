@@ -12,6 +12,19 @@
 namespace hnoc
 {
 
+namespace
+{
+
+/** HNOC_ALWAYS_STEP=1 forces the exhaustive per-cycle loop. */
+bool
+alwaysStepFromEnv()
+{
+    const char *v = std::getenv("HNOC_ALWAYS_STEP");
+    return v && *v && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
 Network::Network(const NetworkConfig &config)
     : config_(config), topo_(Topology::create(config)),
       routing_(RoutingAlgorithm::create(config_, *topo_))
@@ -36,7 +49,22 @@ Network::Network(const NetworkConfig &config)
         clockGHz_ = FrequencyModel::networkFrequencyGHz(max_vcs);
     }
 
+    alwaysStep_ = config_.alwaysStep || alwaysStepFromEnv();
+
     build();
+
+    // Bind every component's ActivitySlot into the dense busy bitmaps.
+    // The bitmaps are sized exactly once here; the slots keep raw
+    // pointers into them, so they must never reallocate.
+    endBusy_.assign(ends_.size(), 0);
+    routerBusy_.assign(routers_.size(), 0);
+    niBusy_.assign(nis_.size(), 0);
+    for (std::size_t i = 0; i < ends_.size(); ++i)
+        ends_[i].chan->bindActivitySlot(&endBusy_[i], &busyEnds_);
+    for (std::size_t i = 0; i < routers_.size(); ++i)
+        routers_[i]->bindActivitySlot(&routerBusy_[i], &busyRouters_);
+    for (std::size_t i = 0; i < nis_.size(); ++i)
+        nis_[i]->bindActivitySlot(&niBusy_[i], &busyNis_);
 }
 
 Network::~Network() = default;
@@ -480,10 +508,17 @@ Network::step()
     if (client_)
         client_->preCycle(*this, now);
 
-    // Phase A: channel delivery (flits, then credits).
-    for (ChannelEnds &e : ends_) {
-        if (e.chan->idle())
+    // Phase A: channel delivery (flits, then credits). Active-set
+    // scheduling visits only channels whose busy byte is set — the
+    // byte tracks !idle() exactly (set on send, cleared when the last
+    // pipe entry drains) — and scans them in index order, so delivery
+    // order (and thus floating-point accumulation order in client
+    // callbacks) matches the exhaustive loop bit for bit.
+    for (std::size_t i = 0, n = ends_.size();
+         i < n && (alwaysStep_ || busyEnds_ > 0); ++i) {
+        if (alwaysStep_ ? ends_[i].chan->idle() : endBusy_[i] == 0)
             continue;
+        ChannelEnds &e = ends_[i];
         scratchFlits_.clear();
         if (e.chan->deliverFlits(now, scratchFlits_)) {
             if (e.sinkIsRouter) {
@@ -541,13 +576,30 @@ Network::step()
         }
     }
 
-    // Phase B: router pipelines.
-    for (auto &r : routers_)
-        r->step(now);
+    // Phase B: router pipelines. A skipped router holds no flits, so
+    // RC/VA/SA and the occupancy sample are all no-ops and its
+    // round-robin pointers (pure functions of the cycle number) need
+    // no stepping to advance.
+    if (alwaysStep_) {
+        for (auto &r : routers_)
+            r->step(now);
+    } else if (busyRouters_ > 0) {
+        for (std::size_t i = 0, n = routers_.size(); i < n; ++i)
+            if (routerBusy_[i])
+                routers_[i]->step(now);
+    }
 
-    // Phase C: NI injection.
-    for (auto &ni : nis_)
-        ni->stepInject(now);
+    // Phase C: NI injection. A skipped NI has an empty source queue
+    // and no mid-packet stream, so stepInject would fall straight
+    // through.
+    if (alwaysStep_) {
+        for (auto &ni : nis_)
+            ni->stepInject(now);
+    } else if (busyNis_ > 0) {
+        for (std::size_t i = 0, n = nis_.size(); i < n; ++i)
+            if (niBusy_[i])
+                nis_[i]->stepInject(now);
+    }
 
     if (kTelemetryEnabled && telemetry_)
         telemetry_->tick(now);
@@ -640,11 +692,18 @@ Network::powerReport() const
 {
     PowerBreakdown total;
     int ports = topo_->portsPerRouter();
+    // Routers no longer count their own stepped cycles (idle cycles
+    // may be skipped); the power model's time denominator is the
+    // measurement window, identical to what the exhaustive loop
+    // accumulated one cycle at a time.
+    Cycle window = measuredCycles();
     for (RouterId r = 0; r < topo_->numRouters(); ++r) {
         auto model = RouterPowerModel::calibrated(
             config_.physParamsOf(r, ports), clockGHz_);
-        total += model.power(
-            routers_[static_cast<std::size_t>(r)]->activity());
+        RouterActivity act =
+            routers_[static_cast<std::size_t>(r)]->activity();
+        act.cycles = window;
+        total += model.power(act);
     }
     return total;
 }

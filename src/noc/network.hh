@@ -70,6 +70,14 @@ class Network
     /** Install the packet producer/consumer. */
     void setClient(NetworkClient *client) { client_ = client; }
 
+    /**
+     * @return true when the exhaustive per-cycle loop is in force
+     * (config alwaysStep or the HNOC_ALWAYS_STEP environment escape
+     * hatch) instead of active-set scheduling. Results are
+     * bit-identical either way; the escape hatch exists to prove it.
+     */
+    bool alwaysStep() const { return alwaysStep_; }
+
     /** Install a flit-event observer on every router (nullptr clears). */
     void setObserver(NetworkObserver *observer);
 
@@ -245,6 +253,21 @@ class Network
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<ChannelEnds> ends_;
     std::vector<Channel *> wideChannels_;
+
+    /**
+     * Active-set state: one dense busy byte per component, flipped by
+     * the components themselves (via bound ActivitySlots) and scanned
+     * in index order so iteration stays canonical. The byte vectors
+     * are sized once in build() and never reallocate — the slots hold
+     * raw pointers into them. Counters give the all-idle fast path.
+     */
+    std::vector<std::uint8_t> endBusy_;
+    std::vector<std::uint8_t> routerBusy_;
+    std::vector<std::uint8_t> niBusy_;
+    std::size_t busyEnds_ = 0;
+    std::size_t busyRouters_ = 0;
+    std::size_t busyNis_ = 0;
+    bool alwaysStep_ = false;
 
     NetworkClient *client_ = nullptr;
     NetworkObserver *observer_ = nullptr;

@@ -123,6 +123,14 @@ struct NetworkConfig
     /** Switch-allocator arbitration policy. */
     SaPolicy saPolicy = SaPolicy::RoundRobin;
 
+    /**
+     * Force the exhaustive per-cycle loop instead of active-set
+     * scheduling (also switchable via the HNOC_ALWAYS_STEP
+     * environment variable). Results are bit-identical either way;
+     * this is the escape hatch for A/B-ing the scheduler.
+     */
+    bool alwaysStep = false;
+
     /** Router pipeline depth in cycles (2-stage, §4). */
     int pipelineStages = 2;
     /** Channel traversal latency in cycles. */

@@ -15,8 +15,15 @@ NetworkInterface::stepInject(Cycle now)
     int sent = 0;
     int vcs = static_cast<int>(streams_.size());
 
+    // The VC round-robin pointer used to advance by one every stepped
+    // cycle from zero, i.e. it always equalled now % vcs; deriving it
+    // from the cycle number keeps the rotation identical when idle
+    // cycles are skipped.
+    unsigned rr_vc =
+        static_cast<unsigned>(now % static_cast<Cycle>(vcs));
+
     for (int k = 0; k < vcs && sent < lanes; ++k) {
-        VcId vc = static_cast<VcId>((rrVc_ + static_cast<unsigned>(k)) %
+        VcId vc = static_cast<VcId>((rr_vc + static_cast<unsigned>(k)) %
                                     static_cast<unsigned>(vcs));
         Stream &s = streams_[static_cast<std::size_t>(vc)];
         if (!s.pkt) {
@@ -25,6 +32,7 @@ NetworkInterface::stepInject(Cycle now)
             s.pkt = sourceQueue_.front();
             sourceQueue_.pop_front();
             s.nextSeq = 0;
+            ++activeStreams_;
         }
 
         // A wide local channel (big-router node) can carry two flits
@@ -60,10 +68,12 @@ NetworkInterface::stepInject(Cycle now)
             if (s.nextSeq >= pkt->numFlits) {
                 s.pkt = nullptr;
                 s.nextSeq = 0;
+                --activeStreams_;
             }
         }
     }
-    rrVc_ = (rrVc_ + 1) % static_cast<unsigned>(vcs);
+    if (!busy())
+        slot_.markIdle();
 }
 
 Packet *

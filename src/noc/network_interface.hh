@@ -7,15 +7,26 @@
  * port, and one packet stream per VC (wormhole: flits of a packet stay
  * in order on one VC). Ejection side: an always-consuming sink that
  * immediately returns credits (the "consumption assumption").
+ *
+ * The source queue is a growable ring buffer whose backing store is
+ * retained across drain/refill cycles, so the steady state enqueues
+ * and dequeues without touching the heap.
+ *
+ * Active-set scheduling: the NI is busy while the source queue holds a
+ * packet or any per-VC stream is mid-packet. stepInject on an NI
+ * outside that state is provably a no-op (every VC falls through), and
+ * the VC round-robin pointer is a pure function of the cycle number,
+ * so skipping such cycles is bit-identical to stepping them.
  */
 
 #ifndef HNOC_NOC_NETWORK_INTERFACE_HH
 #define HNOC_NOC_NETWORK_INTERFACE_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
+#include "noc/active_set.hh"
 #include "noc/channel.hh"
 #include "noc/flit.hh"
 #include "power/router_power.hh"
@@ -29,7 +40,10 @@ class Network;
 class NetworkInterface
 {
   public:
-    NetworkInterface(NodeId node, Network *net) : node_(node), net_(net) {}
+    NetworkInterface(NodeId node, Network *net)
+        : node_(node), net_(net),
+          sourceQueue_(kInitialQueueCapacity, /*growable=*/true)
+    {}
 
     /** Wire the injection channel toward the router's local port.
      *  @param intra_pairing allow two same-packet flits per cycle on
@@ -53,6 +67,7 @@ class NetworkInterface
     enqueue(Packet *pkt)
     {
         sourceQueue_.push_back(pkt);
+        slot_.markBusy();
     }
 
     /** Send up to lane-limit flits this cycle. */
@@ -70,6 +85,23 @@ class NetworkInterface
     Packet *receiveFlit(const Flit &flit, Cycle now);
 
     std::size_t sourceQueueDepth() const { return sourceQueue_.size(); }
+
+    /**
+     * @return true if stepInject this cycle can have any effect:
+     * a queued packet awaits a stream, or a stream is mid-packet
+     * (possibly stalled on credits — stalled streams stay busy so the
+     * credit return needs no wakeup hook of its own).
+     */
+    bool busy() const { return !sourceQueue_.empty() || activeStreams_ > 0; }
+
+    /** Bind this NI's cell in the Network's active-set bitmap. */
+    void
+    bindActivitySlot(std::uint8_t *flag, std::size_t *count)
+    {
+        slot_.bind(flag, count);
+        if (busy())
+            slot_.markBusy();
+    }
 
     /** Credits held toward the router's local input VC @p vc
      *  (conservation audit). */
@@ -89,14 +121,17 @@ class NetworkInterface
         int nextSeq = 0;
     };
 
+    static constexpr std::size_t kInitialQueueCapacity = 16;
+
     NodeId node_;
     Network *net_;
     Channel *inj_ = nullptr;
     Channel *ej_ = nullptr;
     std::vector<int> credits_;
     std::vector<Stream> streams_;
-    std::deque<Packet *> sourceQueue_;
-    unsigned rrVc_ = 0;
+    RingBuffer<Packet *> sourceQueue_;
+    int activeStreams_ = 0; ///< streams with a packet in flight
+    ActivitySlot slot_;
     RouterActivity *linkActivity_ = nullptr;
     bool intraPairing_ = true;
 };

@@ -16,8 +16,13 @@ Router::Router(RouterId id, int num_ports, int vcs, int buffer_depth,
       inputs_(static_cast<std::size_t>(num_ports)),
       outputs_(static_cast<std::size_t>(num_ports))
 {
-    for (auto &ip : inputs_)
+    for (auto &ip : inputs_) {
         ip.vcs.resize(static_cast<std::size_t>(vcs));
+        for (auto &ivc : ip.vcs)
+            ivc.fifo.reset(static_cast<std::size_t>(buffer_depth));
+    }
+    scratchGrants_.assign(static_cast<std::size_t>(num_ports), 0);
+    scratchOut_.assign(static_cast<std::size_t>(num_ports), INVALID_PORT);
 }
 
 void
@@ -51,6 +56,8 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
         ++ip.rcPending; // an idle VC just gained a head needing RC
     flit.arrivedAt = now;
     ivc.fifo.push_back(flit);
+    ++flitCount_;
+    slot_.markBusy();
     ++activity_.bufferWrites;
     if (kTelemetryEnabled && telemetry_)
         telemetry_->add(Ctr::BufferWrites, id_, p, flit.vc);
@@ -80,12 +87,15 @@ Router::step(Cycle now)
     vcAllocate(now);
     switchAllocate(now);
 
-    // Occupancy sample for the Fig 1/2 heat maps.
-    int occ = bufferOccupancy();
+    // Occupancy sample for the Fig 1/2 heat maps. A zero sample is a
+    // no-op on both accumulators, so skipping flitless cycles under
+    // active-set scheduling loses nothing.
+    int occ = flitCount_;
     occupancySum_ += occ;
     if (kTelemetryEnabled && telemetry_)
         telemetry_->occupancySample(id_, occ);
-    ++activity_.cycles;
+    if (flitCount_ == 0)
+        slot_.markIdle(); // drained every buffered flit this cycle
 }
 
 void
@@ -140,11 +150,15 @@ void
 Router::vcAllocate(Cycle now)
 {
     // Separable, output-side allocator: walk input VCs round-robin and
-    // hand each requester the first free admissible downstream VC.
+    // hand each requester the first free admissible downstream VC. The
+    // rotating pointer is a pure function of the cycle number (it used
+    // to advance by one every stepped cycle from zero), so skipping
+    // idle cycles leaves the priority sequence unchanged.
     int num_ports = numPorts();
     int total = num_ports * vcs_;
+    int ptr = static_cast<int>(now % static_cast<Cycle>(total));
     for (int k = 0; k < total; ++k) {
-        int idx = (static_cast<int>(vaRrPtr_) + k) % total;
+        int idx = (ptr + k) % total;
         InputVc &ivc = inputs_[static_cast<std::size_t>(idx / vcs_)]
                            .vcs[static_cast<std::size_t>(idx % vcs_)];
         if (!ivc.active || ivc.outVc != INVALID_VC)
@@ -172,7 +186,6 @@ Router::vcAllocate(Cycle now)
                               now, id_, idx / vcs_, idx % vcs_,
                               ivc.pkt ? ivc.pkt->id : 0);
     }
-    vaRrPtr_ = (vaRrPtr_ + 1) % static_cast<unsigned>(total);
 }
 
 void
@@ -184,9 +197,10 @@ Router::switchAllocate(Cycle now)
     // Per-input-port grant bookkeeping: at most two reads per input
     // port per cycle (the DSET split of §3.2), and when two, both must
     // feed the same output port (one v:1 arbiter per input, Fig 6).
-    std::vector<int> port_grants(static_cast<std::size_t>(num_ports), 0);
-    std::vector<PortId> port_out(static_cast<std::size_t>(num_ports),
-                                 INVALID_PORT);
+    // Member scratch vectors: assign() reuses their capacity, so the
+    // steady state allocates nothing.
+    scratchGrants_.assign(static_cast<std::size_t>(num_ports), 0);
+    scratchOut_.assign(static_cast<std::size_t>(num_ports), INVALID_PORT);
 
     for (PortId o = 0; o < num_ports; ++o) {
         OutputPort &op = outputs_[static_cast<std::size_t>(o)];
@@ -195,13 +209,24 @@ Router::switchAllocate(Cycle now)
         int capacity = op.lanes > 1 ? 2 : 1;
         int granted = 0;
 
+        // Rotating priority: the legacy pointer advanced by
+        // (granted + 1) per stepped cycle; splitting it into the
+        // implicit cycle count plus a grant-only offset makes it
+        // insensitive to skipped idle cycles (granted is zero on any
+        // cycle the router could have been skipped).
+        int ptr = static_cast<int>(
+            (static_cast<Cycle>(op.rrOffset) + now) %
+            static_cast<Cycle>(total));
+
         // Candidate visiting order: rotating priority, or oldest
-        // waiting head first (SaPolicy::OldestFirst).
-        scratchOrder_.clear();
-        for (int k = 0; k < total; ++k)
-            scratchOrder_.push_back(
-                (static_cast<int>(op.rrPtr) + k) % total);
-        if (saPolicy_ == SaPolicy::OldestFirst) {
+        // waiting head first (SaPolicy::OldestFirst). RoundRobin
+        // computes indices inline; OldestFirst materializes the order
+        // to sort it.
+        const bool oldest_first = saPolicy_ == SaPolicy::OldestFirst;
+        if (oldest_first) {
+            scratchOrder_.clear();
+            for (int k = 0; k < total; ++k)
+                scratchOrder_.push_back((ptr + k) % total);
             std::stable_sort(
                 scratchOrder_.begin(), scratchOrder_.end(),
                 [&](int a, int b) {
@@ -216,7 +241,9 @@ Router::switchAllocate(Cycle now)
         }
 
         for (int k = 0; k < total && granted < capacity; ++k) {
-            int idx = scratchOrder_[static_cast<std::size_t>(k)];
+            int idx = oldest_first
+                          ? scratchOrder_[static_cast<std::size_t>(k)]
+                          : (ptr + k) % total;
             PortId in_port = idx / vcs_;
             InputVc &ivc =
                 inputs_[static_cast<std::size_t>(in_port)]
@@ -236,17 +263,18 @@ Router::switchAllocate(Cycle now)
                                       ivc.pkt ? ivc.pkt->id : 0);
                 continue;
             }
-            int &pg = port_grants[static_cast<std::size_t>(in_port)];
+            int &pg = scratchGrants_[static_cast<std::size_t>(in_port)];
             if (pg >= 2)
                 continue;
             if (pg == 1 &&
-                port_out[static_cast<std::size_t>(in_port)] != o)
+                scratchOut_[static_cast<std::size_t>(in_port)] != o)
                 continue;
 
             // Grant: pop the flit and push it into the output channel.
             auto send_one = [&] {
                 Flit flit = ivc.fifo.front();
                 ivc.fifo.pop_front();
+                --flitCount_;
                 --ov.credits;
                 flit.vc = ivc.outVc;
                 op.chan->sendFlit(flit, now);
@@ -254,7 +282,7 @@ Router::switchAllocate(Cycle now)
                     observer_->onFlitDepart(id_, o, flit, now);
 
                 ++pg;
-                port_out[static_cast<std::size_t>(in_port)] = o;
+                scratchOut_[static_cast<std::size_t>(in_port)] = o;
                 ++granted;
                 ++activity_.bufferReads;
                 ++activity_.xbarTraversals;
@@ -309,18 +337,9 @@ Router::switchAllocate(Cycle now)
                 send_one();
             }
         }
-        op.rrPtr = (op.rrPtr + granted + 1) % static_cast<unsigned>(total);
+        op.rrOffset = (op.rrOffset + static_cast<unsigned>(granted)) %
+                      static_cast<unsigned>(total);
     }
-}
-
-int
-Router::bufferOccupancy() const
-{
-    int n = 0;
-    for (const auto &ip : inputs_)
-        for (const auto &ivc : ip.vcs)
-            n += static_cast<int>(ivc.fifo.size());
-    return n;
 }
 
 Router::InputVcView
@@ -336,16 +355,6 @@ Router::inputVcView(PortId p, VcId v) const
     view.headSince = ivc.headSince;
     view.pkt = ivc.pkt ? ivc.pkt->id : 0;
     return view;
-}
-
-bool
-Router::hasBufferedFlits() const
-{
-    for (const auto &ip : inputs_)
-        for (const auto &ivc : ip.vcs)
-            if (!ivc.fifo.empty())
-                return true;
-    return false;
 }
 
 } // namespace hnoc

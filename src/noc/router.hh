@@ -9,15 +9,24 @@
  * wide output channels that accept two combined flits per cycle from
  * two different VCs (same or different input ports — Fig 4 cases (c),
  * (d); §3.3 cases (a), (b)).
+ *
+ * Active-set scheduling: the router exposes busy() — true while any
+ * input VC holds a flit — and the Network steps only busy routers.
+ * This is exact, not heuristic: RC, VA, SA, telemetry and occupancy
+ * sampling are all no-ops on a flitless router, and the round-robin
+ * pointers are derived from the cycle number (plus a grant offset that
+ * only moves on granting, i.e. busy, cycles) so arbitration state
+ * advances identically whether idle cycles are stepped or skipped.
  */
 
 #ifndef HNOC_NOC_ROUTER_HH
 #define HNOC_NOC_ROUTER_HH
 
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
+#include "noc/active_set.hh"
 #include "noc/channel.hh"
 #include "noc/flit.hh"
 #include "noc/network_config.hh"
@@ -64,13 +73,30 @@ class Router
     /** Run RC / VA / SA / ST for this cycle. */
     void step(Cycle now);
 
+    /**
+     * @return true if stepping this cycle can have any effect. Exactly
+     * the flit-holding condition: every pipeline stage requires a
+     * buffered flit to act (an active-but-empty VC merely waits for
+     * its next flit, which re-marks the router busy on arrival).
+     */
+    bool busy() const { return flitCount_ > 0; }
+
+    /** Bind this router's cell in the Network's active-set bitmap. */
+    void
+    bindActivitySlot(std::uint8_t *flag, std::size_t *count)
+    {
+        slot_.bind(flag, count);
+        if (busy())
+            slot_.markBusy();
+    }
+
     /** @name Statistics */
     ///@{
     RouterActivity &activity() { return activity_; }
     const RouterActivity &activity() const { return activity_; }
 
     /** @return flits currently buffered (for occupancy stats). */
-    int bufferOccupancy() const;
+    int bufferOccupancy() const { return flitCount_; }
 
     /** @return total buffer slots. */
     int
@@ -85,7 +111,7 @@ class Router
     ///@}
 
     /** @return true if any input VC holds a flit (watchdog helper). */
-    bool hasBufferedFlits() const;
+    bool hasBufferedFlits() const { return flitCount_ > 0; }
 
     /** Install a flit-event observer (nullptr to clear). */
     void setObserver(NetworkObserver *observer) { observer_ = observer; }
@@ -154,7 +180,7 @@ class Router
   private:
     struct InputVc
     {
-        std::deque<Flit> fifo;
+        RingBuffer<Flit> fifo; ///< fixed capacity = buffer depth
         bool active = false;       ///< owns a route (head seen, not drained)
         PortId outPort = INVALID_PORT;
         VcId outVc = INVALID_VC;   ///< INVALID until VA succeeds
@@ -186,7 +212,15 @@ class Router
         Channel *chan = nullptr;
         std::vector<OutVcState> vcs; ///< sized to the downstream VC count
         int lanes = 1;
-        unsigned rrPtr = 0; ///< round-robin pointer over (inPort, vc)
+        /**
+         * Round-robin state. The legacy always-step pointer advanced
+         * by (granted + 1) per cycle; the cycle-count part is now
+         * implicit (ptr = (rrOffset + now) % total), so only the
+         * grant-driven part needs storage — and grants only happen on
+         * stepped (busy) cycles, keeping the sequence identical when
+         * idle cycles are skipped.
+         */
+        unsigned rrOffset = 0;
     };
 
     void routeCompute(Cycle now);
@@ -206,14 +240,17 @@ class Router
 
     std::vector<InputPort> inputs_;
     std::vector<OutputPort> outputs_;
-    unsigned vaRrPtr_ = 0;
+    int flitCount_ = 0; ///< total buffered flits across all input VCs
+    ActivitySlot slot_;
 
     RouterActivity activity_;
     double occupancySum_ = 0.0;
     NetworkObserver *observer_ = nullptr;
     MetricRegistry *telemetry_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
-    std::vector<int> scratchOrder_; ///< per-cycle SA visiting order
+    std::vector<int> scratchOrder_;   ///< SA visiting order (OldestFirst)
+    std::vector<int> scratchGrants_;  ///< per-input-port grants this cycle
+    std::vector<PortId> scratchOut_;  ///< per-input-port granted output
 };
 
 } // namespace hnoc

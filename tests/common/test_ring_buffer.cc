@@ -1,0 +1,141 @@
+/**
+ * @file
+ * RingBuffer unit tests: wraparound, full/empty edges, overflow
+ * policies, capacity rounding, and the config-driven sizing used by
+ * the NoC hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> rb(4);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_FALSE(rb.full());
+    EXPECT_EQ(rb.size(), 0u);
+    EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(RingBuffer<int>(1).capacity(), 1u);
+    EXPECT_EQ(RingBuffer<int>(2).capacity(), 2u);
+    EXPECT_EQ(RingBuffer<int>(3).capacity(), 4u);
+    EXPECT_EQ(RingBuffer<int>(5).capacity(), 8u);
+    EXPECT_EQ(RingBuffer<int>(8).capacity(), 8u);
+    EXPECT_EQ(RingBuffer<int>(9).capacity(), 16u);
+    // Degenerate request still yields a usable ring.
+    EXPECT_EQ(RingBuffer<int>(0).capacity(), 1u);
+}
+
+TEST(RingBuffer, FifoOrderAcrossWraparound)
+{
+    RingBuffer<int> rb(4);
+    // Cycle the head around the backing store several times.
+    for (int round = 0; round < 10; ++round) {
+        rb.push_back(3 * round);
+        rb.push_back(3 * round + 1);
+        rb.push_back(3 * round + 2);
+        EXPECT_EQ(rb.size(), 3u);
+        EXPECT_EQ(rb.front(), 3 * round);
+        rb.pop_front();
+        EXPECT_EQ(rb.front(), 3 * round + 1);
+        rb.pop_front();
+        EXPECT_EQ(rb.front(), 3 * round + 2);
+        rb.pop_front();
+        EXPECT_TRUE(rb.empty());
+    }
+}
+
+TEST(RingBuffer, IndexingIsFrontRelative)
+{
+    RingBuffer<int> rb(4);
+    rb.push_back(0);
+    rb.push_back(1);
+    rb.pop_front(); // head no longer at slot 0
+    rb.push_back(2);
+    rb.push_back(3);
+    rb.push_back(4); // wraps physically
+    ASSERT_EQ(rb.size(), 4u);
+    EXPECT_TRUE(rb.full());
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], static_cast<int>(i) + 1);
+}
+
+TEST(RingBuffer, FixedOverflowIsFatal)
+{
+    RingBuffer<int> rb(2);
+    rb.push_back(1);
+    rb.push_back(2);
+    EXPECT_TRUE(rb.full());
+    EXPECT_DEATH(rb.push_back(3), "ring buffer overflow");
+}
+
+TEST(RingBuffer, GrowablePreservesOrderAcrossGrowth)
+{
+    RingBuffer<int> rb(2, /*growable=*/true);
+    // Offset the head first so growth has to linearize a wrapped ring.
+    rb.push_back(-1);
+    rb.pop_front();
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.size(), 100u);
+    EXPECT_GE(rb.capacity(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, GrowableRetainsStorageAfterDrain)
+{
+    RingBuffer<int> rb(2, /*growable=*/true);
+    for (int i = 0; i < 50; ++i)
+        rb.push_back(i);
+    std::size_t grown = rb.capacity();
+    while (!rb.empty())
+        rb.pop_front();
+    // The pooled backing store survives the drain: refilling to the
+    // same depth must not grow again.
+    for (int i = 0; i < 50; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), grown);
+}
+
+TEST(RingBuffer, ClearEmptiesWithoutReleasingCapacity)
+{
+    RingBuffer<int> rb(8);
+    rb.push_back(1);
+    rb.push_back(2);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 8u);
+    rb.push_back(7);
+    EXPECT_EQ(rb.front(), 7);
+}
+
+TEST(RingBuffer, ResetResizesFromConfigValues)
+{
+    // The VC FIFO pattern: default-constructed member, sized later
+    // from the configured buffer depth.
+    RingBuffer<int> rb;
+    EXPECT_EQ(rb.capacity(), 0u);
+    rb.reset(5);
+    EXPECT_EQ(rb.capacity(), 8u);
+    for (int i = 0; i < 5; ++i)
+        rb.push_back(i);
+    rb.reset(3);
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), 4u);
+}
+
+} // namespace
+} // namespace hnoc

@@ -20,6 +20,7 @@
 #include "noc/watchdog.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/json_reader.hh"
+#include "telemetry/metrics.hh"
 
 namespace hnoc
 {
@@ -48,6 +49,9 @@ loadNetwork(Network &net, Cycle cycles, double rate, std::uint64_t seed)
 
 TEST(Postmortem, ExplicitDumpRoundTrips)
 {
+    if (!kTelemetryEnabled)
+        GTEST_SKIP() << "flight-recorder hooks compiled out "
+                        "(HNOC_TELEMETRY=OFF)";
     Network net(makeLayoutConfig(LayoutKind::Baseline));
     FlightRecorder fr(1u << 12);
     net.attachFlightRecorder(&fr);
@@ -115,6 +119,9 @@ TEST(Postmortem, ExplicitDumpRoundTrips)
 
 TEST(Postmortem, WatchdogTripWritesParseableDump)
 {
+    if (!kTelemetryEnabled)
+        GTEST_SKIP() << "flight-recorder hooks compiled out "
+                        "(HNOC_TELEMETRY=OFF)";
     // A 10-cycle watchdog window trips long before the ~50-cycle
     // first delivery: the induced-stall path end to end.
     Network net(makeLayoutConfig(LayoutKind::Baseline));

@@ -39,6 +39,7 @@ expectConfigsEqual(const NetworkConfig &a, const NetworkConfig &b)
     EXPECT_EQ(a.escapeThreshold, b.escapeThreshold);
     EXPECT_EQ(a.intraPacketPairing, b.intraPacketPairing);
     EXPECT_EQ(a.saPolicy, b.saPolicy);
+    EXPECT_EQ(a.alwaysStep, b.alwaysStep);
     EXPECT_EQ(a.pipelineStages, b.pipelineStages);
     EXPECT_EQ(a.linkLatency, b.linkLatency);
     EXPECT_DOUBLE_EQ(a.clockGHz, b.clockGHz);
@@ -57,6 +58,7 @@ TEST(ConfigIo, RoundTripHeterogeneous)
     cfg.tableRoutedNodes = {0, 7, 56, 63};
     cfg.saPolicy = SaPolicy::OldestFirst;
     cfg.intraPacketPairing = false;
+    cfg.alwaysStep = true;
     expectConfigsEqual(cfg, configFromString(configToString(cfg)));
 }
 

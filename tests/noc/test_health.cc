@@ -138,6 +138,8 @@ TEST(HealthMonitor, ProbeDeltasAndHighWaterMarks)
 
 TEST(HealthMonitor, RegistryDeltasBreakDownStalls)
 {
+    if (!kTelemetryEnabled)
+        GTEST_SKIP() << "hot-path hooks compiled out (HNOC_TELEMETRY=OFF)";
     Network net(makeLayoutConfig(LayoutKind::Baseline));
     auto reg = net.makeMetricRegistry(1000);
     net.attachTelemetry(reg.get());

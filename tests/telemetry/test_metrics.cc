@@ -195,6 +195,8 @@ tinyOptions()
 
 TEST(MetricRegistry, ParallelMultiSeedMergeIsBitIdenticalToSerial)
 {
+    if (!kTelemetryEnabled)
+        GTEST_SKIP() << "hot-path hooks compiled out (HNOC_TELEMETRY=OFF)";
     NetworkConfig cfg; // baseline 8x8
     const int seeds = 4;
 
@@ -229,6 +231,8 @@ TEST(MetricRegistry, ParallelMultiSeedMergeIsBitIdenticalToSerial)
 
 TEST(MetricRegistry, RegistryMatchesNetworkCounters)
 {
+    if (!kTelemetryEnabled)
+        GTEST_SKIP() << "hot-path hooks compiled out (HNOC_TELEMETRY=OFF)";
     NetworkConfig cfg;
     SimPointOptions opts = tinyOptions();
     SimPointResult res =

@@ -8,6 +8,26 @@ hot loop versus the OFF build by more than the threshold.
     check_perf_regression.py baseline.json candidate.json \
         --benchmark BM_NetworkStepBaseline --max-regression-pct 2.0
 
+Cross-benchmark mode compares two different series (possibly from the
+same file), which is how CI gates the active-set scheduler against the
+always-step escape hatch:
+
+    # saturation: active-set must not regress past the threshold
+    check_perf_regression.py on.json on.json \
+        --benchmark 'stepLoad/mesh_sat_always' \
+        --candidate-benchmark 'stepLoad/mesh_sat_active' \
+        --max-regression-pct 2.0
+
+    # low load: active-set must be at least 2x faster
+    check_perf_regression.py on.json on.json \
+        --benchmark 'stepLoad/mesh_low_always' \
+        --candidate-benchmark 'stepLoad/mesh_low_active' \
+        --min-speedup 2.0
+
+Either input may also be an `hnoc-perf-trajectory-v1` snapshot (the
+distilled file make_perf_trajectory.py writes), so a committed
+BENCH_trajectory.json can serve as the recorded baseline.
+
 Exit status: 0 within threshold, 1 regression, 2 usage/data error.
 Run with --self-test (no other arguments) to exercise the parsing and
 comparison logic without pytest; CTest invokes this.
@@ -29,6 +49,9 @@ def best_time(path, name):
 
     The minimum across repetitions is the standard low-noise estimate
     for a CPU-bound loop: noise only ever adds time.
+
+    Also accepts an `hnoc-perf-trajectory-v1` snapshot, whose
+    benchmarks map already records the per-series minimum.
     """
     try:
         with open(path) as f:
@@ -43,6 +66,25 @@ def best_time(path, name):
             f"{path} is not valid JSON: {e} "
             f"(truncated benchmark run? re-run with --benchmark_out)"
         )
+    if (
+        isinstance(doc, dict)
+        and doc.get("schema") == "hnoc-perf-trajectory-v1"
+    ):
+        series = doc.get("benchmarks")
+        if not isinstance(series, dict):
+            raise DataError(
+                f"{path}: trajectory snapshot has no 'benchmarks' map"
+            )
+        entry = series.get(name)
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("min_ns"), (int, float)
+        ):
+            known = ", ".join(sorted(series)) or "(none)"
+            raise DataError(
+                f"no '{name}' series in trajectory {path}; file "
+                f"contains: {known}"
+            )
+        return entry["min_ns"]
     if not isinstance(doc, dict) or not isinstance(
         doc.get("benchmarks"), list
     ):
@@ -80,13 +122,45 @@ def best_time(path, name):
     return min(times)
 
 
-def compare(baseline, candidate, benchmark, max_regression_pct, out=sys.stdout):
-    """Core comparison; returns the process exit code."""
+def compare(
+    baseline,
+    candidate,
+    benchmark,
+    max_regression_pct,
+    out=sys.stdout,
+    candidate_benchmark=None,
+    min_speedup=None,
+):
+    """Core comparison; returns the process exit code.
+
+    With `candidate_benchmark`, the candidate file is read at that
+    series instead of `benchmark` (cross-benchmark A/B). With
+    `min_speedup`, the gate is baseline/candidate >= min_speedup
+    instead of the regression-percentage bound.
+    """
+    cand_name = candidate_benchmark or benchmark
     base = best_time(baseline, benchmark)
-    cand = best_time(candidate, benchmark)
+    cand = best_time(candidate, cand_name)
+    label = (
+        benchmark
+        if cand_name == benchmark
+        else f"{benchmark} -> {cand_name}"
+    )
+    if min_speedup is not None:
+        speedup = base / cand
+        print(
+            f"{label}: baseline {base:.1f} ns, candidate {cand:.1f} ns, "
+            f"speedup {speedup:.2f}x (required >= {min_speedup:.2f}x)",
+            file=out,
+        )
+        if speedup < min_speedup:
+            print("FAIL: speedup below required minimum", file=sys.stderr)
+            return 1
+        print("OK", file=out)
+        return 0
     delta_pct = (cand - base) / base * 100.0
     print(
-        f"{benchmark}: baseline {base:.1f} ns, "
+        f"{label}: baseline {base:.1f} ns, "
         f"candidate {cand:.1f} ns, delta {delta_pct:+.2f}% "
         f"(limit +{max_regression_pct:.2f}%)",
         file=out,
@@ -165,6 +239,78 @@ def self_test():
             0,
         )
 
+        # Cross-benchmark A/B within one file: candidate read at a
+        # different series name.
+        ab = bench_file(
+            tmp,
+            "ab.json",
+            [entry("BM_Slow", 100.0), entry("BM_Fast", 40.0)],
+        )
+        check(
+            "cross-benchmark improvement passes",
+            compare(
+                ab, ab, "BM_Slow", 2.0,
+                out=devnull, candidate_benchmark="BM_Fast",
+            ),
+            0,
+        )
+        check(
+            "cross-benchmark regression fails",
+            compare(
+                ab, ab, "BM_Fast", 2.0,
+                out=devnull, candidate_benchmark="BM_Slow",
+            ),
+            1,
+        )
+
+        # Speedup gate: 100/40 = 2.5x.
+        check(
+            "speedup gate met",
+            compare(
+                ab, ab, "BM_Slow", 2.0,
+                out=devnull, candidate_benchmark="BM_Fast",
+                min_speedup=2.0,
+            ),
+            0,
+        )
+        check(
+            "speedup gate missed",
+            compare(
+                ab, ab, "BM_Slow", 2.0,
+                out=devnull, candidate_benchmark="BM_Fast",
+                min_speedup=3.0,
+            ),
+            1,
+        )
+
+        # Trajectory-v1 snapshots as inputs (recorded baselines).
+        traj = os.path.join(tmp, "traj.json")
+        with open(traj, "w") as f:
+            json.dump(
+                {
+                    "schema": "hnoc-perf-trajectory-v1",
+                    "benchmarks": {
+                        "BM_X": {
+                            "median_ns": 105.0,
+                            "min_ns": 100.0,
+                            "repetitions": 7,
+                        }
+                    },
+                },
+                f,
+            )
+        check("trajectory min_ns read", best_time(traj, "BM_X"), 100.0)
+        check(
+            "trajectory baseline vs raw candidate",
+            compare(traj, ok, "BM_X", 2.0, out=devnull),
+            0,
+        )
+        expect_data_error(
+            "trajectory unknown series lists known ones",
+            lambda: best_time(traj, "BM_Missing"),
+            "BM_X",
+        )
+
         # Error paths: message must say what is wrong and where.
         missing = os.path.join(tmp, "missing.json")
         expect_data_error(
@@ -215,7 +361,18 @@ def main():
     ap.add_argument("baseline", help="benchmark JSON of the reference build")
     ap.add_argument("candidate", help="benchmark JSON of the build under test")
     ap.add_argument("--benchmark", default="BM_NetworkStepBaseline")
+    ap.add_argument(
+        "--candidate-benchmark",
+        help="series name to read from the candidate file when it "
+        "differs from --benchmark (cross-benchmark A/B)",
+    )
     ap.add_argument("--max-regression-pct", type=float, default=2.0)
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        help="require baseline/candidate >= this factor instead of the "
+        "regression bound (e.g. 2.0 for the active-set low-load gate)",
+    )
     args = ap.parse_args()
 
     try:
@@ -224,6 +381,8 @@ def main():
             args.candidate,
             args.benchmark,
             args.max_regression_pct,
+            candidate_benchmark=args.candidate_benchmark,
+            min_speedup=args.min_speedup,
         )
     except DataError as e:
         print(f"error: {e}", file=sys.stderr)

@@ -8,8 +8,11 @@ Reads one --benchmark_out file (the HNOC_TELEMETRY=ON build) and writes
 `hnoc-perf-trajectory-v1` JSON: per-benchmark median/min real_time over
 repetitions, plus — when --off supplies the HNOC_TELEMETRY=OFF run of
 the same suite — the telemetry hot-path overhead percentage that the CI
-regression gate enforces. The output is small and stable, meant to be
-committed or archived per PR so perf history survives CI log rotation.
+regression gate enforces. When the input contains stepLoad A/B pairs
+(`stepLoad/<case>_active` vs `stepLoad/<case>_always`), a
+`scheduler_speedup` map records the active-set speedup per case. The
+output is small and stable, meant to be committed or archived per PR so
+perf history survives CI log rotation.
 
 Exit status: 0 on success, 2 on missing/malformed input.
 """
@@ -67,6 +70,30 @@ def summarize(series):
     }
 
 
+def scheduler_speedups(series):
+    """Active-set vs always-step speedup per stepLoad case.
+
+    Pairs `stepLoad/<case>_active` with `stepLoad/<case>_always` on
+    per-repetition minima; cases missing either half are skipped.
+    """
+    speedups = {}
+    for name, times in series.items():
+        if not name.startswith("stepLoad/") or not name.endswith("_active"):
+            continue
+        case = name[len("stepLoad/") : -len("_active")]
+        always = series.get(f"stepLoad/{case}_always")
+        if not always:
+            continue
+        active_ns = min(times)
+        always_ns = min(always)
+        speedups[case] = {
+            "active_min_ns": active_ns,
+            "always_min_ns": always_ns,
+            "speedup": always_ns / active_ns,
+        }
+    return speedups
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_json", help="--benchmark_out of the ON build")
@@ -96,6 +123,9 @@ def main():
         "source": args.bench_json,
         "benchmarks": summarize(on),
     }
+    speedups = scheduler_speedups(on)
+    if speedups:
+        out["scheduler_speedup"] = speedups
 
     if args.off:
         off = load_series(args.off)
@@ -132,6 +162,8 @@ def main():
     n = len(out["benchmarks"])
     overhead = out.get("telemetry_overhead", {}).get("overhead_pct")
     tail = f", telemetry overhead {overhead:+.2f}%" if overhead is not None else ""
+    if speedups:
+        tail += f", {len(speedups)} scheduler speedup pair(s)"
     print(f"{args.output}: {n} benchmark(s){tail}")
     return 0
 
