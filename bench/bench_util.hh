@@ -8,8 +8,10 @@
 #ifndef HNOC_BENCH_BENCH_UTIL_HH
 #define HNOC_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,34 @@ inline Cycle
 scaled(Cycle c)
 {
     return static_cast<Cycle>(static_cast<double>(c) * simScale());
+}
+
+/** True when argv carries --adaptive (fig benches, sweeps). */
+inline bool
+parseAdaptiveFlag(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--adaptive") == 0)
+            return true;
+    return false;
+}
+
+/** Switch @p opts to adaptive windows when @p adaptive is set. */
+inline void
+applyAdaptive(SimPointOptions &opts, bool adaptive)
+{
+    if (adaptive)
+        opts.control.mode = SimControlMode::Adaptive;
+}
+
+/** Total simulated cycles across a set of sim points. */
+inline std::uint64_t
+totalSimulatedCycles(const std::vector<SimPointResult> &points)
+{
+    std::uint64_t total = 0;
+    for (const auto &p : points)
+        total += p.simulatedCycles;
+    return total;
 }
 
 /** Result of one CMP timing run. */
@@ -293,7 +323,8 @@ runLayoutPoints(const std::vector<LayoutKind> &kinds,
 inline void
 runSyntheticComparison(TrafficPattern pattern,
                        const std::vector<double> &rates,
-                       const std::string &report_path = "")
+                       const std::string &report_path = "",
+                       bool adaptive = false)
 {
     using Curve = LayoutCurve;
 
@@ -301,9 +332,14 @@ runSyntheticComparison(TrafficPattern pattern,
     opts.warmupCycles = 6000;
     opts.measureCycles = 15000;
     opts.drainCycles = 30000;
+    applyAdaptive(opts, adaptive);
 
+    auto wall_start = std::chrono::steady_clock::now();
     std::vector<Curve> curves =
         runLayoutSweeps(allLayouts(), pattern, rates, opts);
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
 
     if (!report_path.empty()) {
         std::vector<std::string> labels;
@@ -399,6 +435,40 @@ runSyntheticComparison(TrafficPattern pattern,
             std::printf("%9.1f", p.networkPowerW);
         std::printf("\n");
     }
+
+    // Per-point simulated cycles: the cost side of the adaptive vs
+    // reference trade (docs/EXPERIMENTS.md "Adaptive vs reference
+    // windows"). Markers: c = CI-converged, m = measure ceiling,
+    // a = saturation fast-abort. Wall time goes to stderr so stdout
+    // stays byte-identical across thread counts.
+    std::uint64_t total_cycles = 0;
+    std::printf("\n(d) Simulated cycles per point (%s windows):\n",
+                adaptive ? "adaptive" : "reference");
+    std::printf("%-12s", "inj rate");
+    for (double r : rates)
+        std::printf("%9.4f", r);
+    std::printf("\n");
+    for (const Curve &c : curves) {
+        std::printf("%-12s", layoutName(c.kind).c_str());
+        for (const auto &p : c.points) {
+            char mark = ' ';
+            if (p.stopReason == StopReason::CiConverged)
+                mark = 'c';
+            else if (p.stopReason == StopReason::MeasureCeiling)
+                mark = 'm';
+            else if (p.stopReason == StopReason::SaturationAbort)
+                mark = 'a';
+            std::printf("%8llu%c",
+                        static_cast<unsigned long long>(
+                            p.simulatedCycles),
+                        mark);
+            total_cycles += p.simulatedCycles;
+        }
+        std::printf("\n");
+    }
+    std::printf("total simulated cycles: %llu\n",
+                static_cast<unsigned long long>(total_cycles));
+    std::fprintf(stderr, "sweep wall time: %.2f s\n", wall_s);
 }
 
 } // namespace hnoc::bench

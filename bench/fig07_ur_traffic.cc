@@ -21,14 +21,15 @@ using namespace hnoc;
 using namespace hnoc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool adaptive = parseAdaptiveFlag(argc, argv);
     printHeader("Figure 7",
                 "UR traffic: load-latency, throughput/latency summary, "
                 "power");
     runSyntheticComparison(TrafficPattern::UniformRandom,
                            {0.004, 0.012, 0.020, 0.028, 0.036, 0.044,
                             0.052, 0.060, 0.068},
-                           "FIG07_report.json");
+                           "FIG07_report.json", adaptive);
     return 0;
 }

@@ -11,7 +11,7 @@ using namespace hnoc;
 using namespace hnoc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 8",
                 "latency and power breakdowns, UR traffic @ 0.036 "
@@ -22,6 +22,7 @@ main()
     opts.warmupCycles = 6000;
     opts.measureCycles = 15000;
     opts.drainCycles = 30000;
+    applyAdaptive(opts, parseAdaptiveFlag(argc, argv));
 
     struct Run
     {
@@ -66,5 +67,8 @@ main()
                     100.0 * r.res.power.buffers / base_power,
                     100.0 * r.res.networkPowerW / base_power);
     }
+    std::printf("\ntotal simulated cycles: %llu\n",
+                static_cast<unsigned long long>(
+                    totalSimulatedCycles(results)));
     return 0;
 }

@@ -14,13 +14,14 @@ using namespace hnoc;
 using namespace hnoc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool adaptive = parseAdaptiveFlag(argc, argv);
     printHeader("Figure 9",
                 "nearest-neighbor traffic: the HeteroNoC anomaly");
     runSyntheticComparison(TrafficPattern::NearestNeighbor,
                            {0.0125, 0.025, 0.0375, 0.05, 0.0625, 0.075,
                             0.0875, 0.1, 0.1125},
-                           "FIG09_report.json");
+                           "FIG09_report.json", adaptive);
     return 0;
 }

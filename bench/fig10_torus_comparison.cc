@@ -12,11 +12,15 @@ using namespace hnoc;
 using namespace hnoc::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     printHeader("Figure 10",
                 "mesh vs torus: latency reduction per application "
                 "(Diagonal+BL vs baseline)");
+    if (parseAdaptiveFlag(argc, argv))
+        std::printf("(--adaptive: applies to the open-loop network "
+                    "sweeps only; the closed-loop CMP timing runs "
+                    "below keep their fixed windows)\n");
 
     NetworkConfig mesh_base = makeLayoutConfig(LayoutKind::Baseline);
     NetworkConfig mesh_het = makeLayoutConfig(LayoutKind::DiagonalBL);

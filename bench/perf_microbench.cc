@@ -250,6 +250,61 @@ BM_SweepLoadParallel(benchmark::State &state)
 BENCHMARK(BM_SweepLoadParallel)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Adaptive vs reference windows on the fig07 UR load sweep (Baseline
+ * layout): the perf-trajectory probe for the simulation controller.
+ * User counters carry the gate inputs: total simulated cycles,
+ * pre-saturation mean latency, and the count of saturation-region
+ * points (saturated, or accepted < 95 % of offered — the same rule
+ * preSaturationAvgLatencyNs applies), so check_perf_regression.py can
+ * assert >= 40 % cycle savings with <= 1 % latency drift and identical
+ * saturation classification between the two variants.
+ */
+void
+adaptiveSweep(benchmark::State &state, bool adaptive)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    const std::vector<double> rates = {0.004, 0.012, 0.020, 0.028,
+                                       0.036, 0.044, 0.052, 0.060,
+                                       0.068};
+    SimPointOptions opts;
+    opts.warmupCycles = 6000;
+    opts.measureCycles = 15000;
+    opts.drainCycles = 30000;
+    if (adaptive)
+        opts.control.mode = SimControlMode::Adaptive;
+
+    std::uint64_t cycles = 0;
+    double presat = 0.0;
+    std::uint64_t sat_points = 0;
+    for (auto _ : state) {
+        auto curve = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                                     rates, opts);
+        cycles = 0;
+        sat_points = 0;
+        for (const auto &p : curve) {
+            cycles += p.simulatedCycles;
+            if (p.saturated ||
+                (p.offeredRate > 0.0 &&
+                 p.acceptedRate < 0.95 * p.offeredRate))
+                ++sat_points;
+        }
+        presat = preSaturationAvgLatencyNs(curve);
+        benchmark::DoNotOptimize(curve.data());
+    }
+    state.counters["simulated_cycles"] =
+        benchmark::Counter(static_cast<double>(cycles));
+    state.counters["presat_latency_ns"] = benchmark::Counter(presat);
+    state.counters["saturated_points"] =
+        benchmark::Counter(static_cast<double>(sat_points));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(rates.size()));
+}
+BENCHMARK_CAPTURE(adaptiveSweep, fig07_ur_reference, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(adaptiveSweep, fig07_ur_adaptive, true)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_PowerModelCalibration(benchmark::State &state)
 {

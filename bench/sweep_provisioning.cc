@@ -18,13 +18,15 @@ using namespace hnoc::bench;
 namespace
 {
 
+bool g_adaptive = false;
+
 void
 bufferDepthSweep()
 {
     std::printf("\n(a) Buffer-depth sweep, Diagonal+BL, UR @ 0.03 "
                 "(paper fixes depth 5):\n");
-    std::printf("%8s %12s %12s %10s\n", "depth", "latency(ns)",
-                "power(W)", "sat pkt");
+    std::printf("%8s %12s %12s %10s %12s\n", "depth", "latency(ns)",
+                "power(W)", "sat pkt", "sim cycles");
     for (int depth : {3, 4, 5, 6, 8}) {
         NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
         cfg.bufferDepth = depth;
@@ -32,11 +34,14 @@ bufferDepthSweep()
         opts.warmupCycles = 5000;
         opts.measureCycles = 10000;
         opts.drainCycles = 20000;
+        applyAdaptive(opts, g_adaptive);
         auto curve = sweepLoad(cfg, TrafficPattern::UniformRandom,
                                {0.03, 0.05, 0.065}, opts);
-        std::printf("%8d %12.1f %12.1f %10.4f\n", depth,
+        std::printf("%8d %12.1f %12.1f %10.4f %12llu\n", depth,
                     curve[0].avgLatencyNs, curve[0].networkPowerW,
-                    saturationThroughput(curve));
+                    saturationThroughput(curve),
+                    static_cast<unsigned long long>(
+                        totalSimulatedCycles(curve)));
     }
 }
 
@@ -67,6 +72,7 @@ vcSplitSweep()
         opts.warmupCycles = 5000;
         opts.measureCycles = 10000;
         opts.drainCycles = 20000;
+        applyAdaptive(opts, g_adaptive);
         auto res =
             runOpenLoop(cfg, TrafficPattern::UniformRandom, opts);
         int total = 48 * s.small + 16 * s.big;
@@ -96,8 +102,9 @@ analyticVcTable()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_adaptive = parseAdaptiveFlag(argc, argv);
     printHeader("Provisioning sweeps",
                 "buffer depth, VC splits, analytic VC scaling");
     bufferDepthSweep();

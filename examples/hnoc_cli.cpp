@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -56,7 +58,15 @@ usage(int code)
         "  --flitlog FILE write the compact JSONL flit event log\n"
         "                 (single --rate only)\n"
         "  --config FILE  load a saved network configuration\n"
-        "  --dump-config FILE  save the effective configuration\n\n"
+        "  --dump-config FILE  save the effective configuration\n"
+        "  --adaptive[=T] adaptive windows (docs/EXPERIMENTS.md):\n"
+        "                 detect warmup, stop measuring once the\n"
+        "                 relative CI of mean latency is <= T\n"
+        "                 (default 0.02), fast-abort saturated points;\n"
+        "                 the fixed windows become ceilings\n"
+        "  --sim-options FILE  load sim/window options saved with\n"
+        "                 --dump-sim-options (overrides --adaptive)\n"
+        "  --dump-sim-options FILE  save the effective sim options\n\n"
         "diagnostics:\n"
         "  --postmortem FILE  arm a forward-progress watchdog with a\n"
         "                 flight recorder; on a stall, dump an\n"
@@ -135,7 +145,11 @@ main(int argc, char **argv)
     std::string cmp_workload;
     std::string config_path;
     std::string dump_config_path;
+    std::string sim_options_path;
+    std::string dump_sim_options_path;
     std::string postmortem_path;
+    bool adaptive = false;
+    double ci_target = 0.02;
     Cycle progress_every = 0;
     Cycle audit_every = 0;
     Cycle watchdog_window = 0;
@@ -186,6 +200,17 @@ main(int argc, char **argv)
             config_path = next();
         else if (arg == "--dump-config")
             dump_config_path = next();
+        else if (arg == "--adaptive")
+            adaptive = true;
+        else if (arg.rfind("--adaptive=", 0) == 0) {
+            adaptive = true;
+            ci_target = std::atof(arg.c_str() + 11);
+            if (ci_target <= 0.0)
+                fatal("--adaptive=T wants a positive CI target");
+        } else if (arg == "--sim-options")
+            sim_options_path = next();
+        else if (arg == "--dump-sim-options")
+            dump_sim_options_path = next();
         else if (arg == "--cmp")
             cmp_workload = next();
         else if (arg == "--mc")
@@ -249,6 +274,24 @@ main(int argc, char **argv)
         fatal("--trace/--flitlog need a single --rate, not a sweep");
 
     SimPointOptions opts;
+    if (adaptive) {
+        opts.control.mode = SimControlMode::Adaptive;
+        opts.control.ciTarget = ci_target;
+    }
+    if (!sim_options_path.empty()) {
+        std::ifstream in(sim_options_path);
+        if (!in)
+            fatal("cannot open %s", sim_options_path.c_str());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        opts = simOptionsFromString(buf.str()); // overrides the flags
+    }
+    if (!dump_sim_options_path.empty()) {
+        std::ofstream out(dump_sim_options_path);
+        if (!out)
+            fatal("cannot write %s", dump_sim_options_path.c_str());
+        out << simOptionsToString(opts);
+    }
     opts.seed = seed;
     opts.collectMetrics = !json_path.empty();
     opts.progressEvery = progress_every;
@@ -268,7 +311,7 @@ main(int argc, char **argv)
     std::vector<SimPointResult> results;
     Table t({"rate", "accepted", "latency(ns)", "queue(ns)",
              "block(ns)", "transfer(ns)", "power(W)", "combine",
-             "saturated"});
+             "saturated", "cycles", "stop"});
     for (double r : rates) {
         opts.injectionRate = r;
         SimPointResult res = runOpenLoop(cfg, pattern, opts);
@@ -279,7 +322,9 @@ main(int argc, char **argv)
                Table::num(res.avgTransferNs, 1),
                Table::num(res.networkPowerW, 1),
                Table::num(res.combineRate, 2),
-               res.saturated ? "yes" : "no"});
+               res.saturated ? "yes" : "no",
+               std::to_string(res.simulatedCycles),
+               stopReasonName(res.stopReason)});
         labels.push_back(cfg.name + "@" + Table::num(r, 4));
         if (res.watchdogTrips > 0)
             std::fprintf(stderr,

@@ -51,6 +51,29 @@ RunningStat::stddev() const
 }
 
 double
+RunningStat::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
+RunningStat::relHalfWidth(double confidence) const
+{
+    if (count_ < 2 || mean_ == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return tStatCI(count_, sampleStddev(), confidence) /
+           std::fabs(mean_);
+}
+
+double
 RunningStat::min() const
 {
     return count_ ? min_
@@ -145,6 +168,104 @@ Histogram::percentile(double q) const
             return lo_ + (static_cast<double>(i) + 0.5) * width_;
     }
     return hi_;
+}
+
+namespace
+{
+
+/**
+ * Two-sided critical values of the t distribution for df 1..30; the
+ * tail (df > 30) interpolates linearly in 1/df down to the normal
+ * quantile at 1/df = 0. Values are the standard printed tables, so
+ * the stopping rules are reproducible from any statistics text.
+ */
+const double kT90[30] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+    1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+    1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+    1.701, 1.699, 1.697};
+const double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048,  2.045, 2.042};
+const double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+    3.169,  3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+    2.861,  2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+    2.763,  2.756, 2.750};
+
+} // namespace
+
+double
+tCriticalValue(double confidence, std::uint64_t df)
+{
+    const double *table;
+    double z; // normal quantile, the df -> infinity limit
+    if (confidence == 0.90) {
+        table = kT90;
+        z = 1.645;
+    } else if (confidence == 0.95) {
+        table = kT95;
+        z = 1.960;
+    } else if (confidence == 0.99) {
+        table = kT99;
+        z = 2.576;
+    } else {
+        panic("tCriticalValue: unsupported confidence %f "
+              "(use 0.90, 0.95 or 0.99)",
+              confidence);
+    }
+    if (df < 1)
+        df = 1;
+    if (df <= 30)
+        return table[df - 1];
+    // Interpolate in 1/df between the df=30 entry and the normal
+    // limit; matches the printed 40/60/120 rows to ~0.3%.
+    double f = (1.0 / static_cast<double>(df)) / (1.0 / 30.0);
+    return z + (table[29] - z) * f;
+}
+
+double
+tStatCI(std::uint64_t n, double sample_stddev, double confidence)
+{
+    if (n < 2)
+        return std::numeric_limits<double>::infinity();
+    return tCriticalValue(confidence, n - 1) * sample_stddev /
+           std::sqrt(static_cast<double>(n));
+}
+
+int
+steadyEpochCutoff(const std::vector<double> &series, double tol, int k)
+{
+    if (k < 1)
+        k = 1;
+    int run = 0;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+        double prev = series[i - 1];
+        double scale = std::max(std::fabs(prev), 1e-12);
+        if (std::fabs(series[i] - prev) <= tol * scale) {
+            if (++run >= k)
+                return static_cast<int>(i) - run + 1;
+        } else {
+            run = 0;
+        }
+    }
+    return -1;
+}
+
+EpochSeriesCi
+epochSeriesCi(const std::vector<double> &series, std::size_t cutoff,
+              double confidence)
+{
+    RunningStat s;
+    for (std::size_t i = cutoff; i < series.size(); ++i)
+        s.add(series[i]);
+    EpochSeriesCi out;
+    out.batches = s.count();
+    out.mean = s.mean();
+    out.relHalfWidth = s.relHalfWidth(confidence);
+    return out;
 }
 
 std::string

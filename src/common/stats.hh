@@ -41,6 +41,20 @@ class RunningStat
     /** @return population standard deviation. */
     double stddev() const;
 
+    /** @return unbiased sample variance, m2/(n-1) (0 when < 2). */
+    double sampleVariance() const;
+
+    /** @return unbiased sample standard deviation. */
+    double sampleStddev() const;
+
+    /**
+     * Relative half-width of the Student-t confidence interval of the
+     * mean: tStatCI(count, sampleStddev, confidence) / |mean|. The
+     * batch-means stopping rule compares this against its target.
+     * @return +inf when < 2 samples or the mean is 0.
+     */
+    double relHalfWidth(double confidence = 0.95) const;
+
     /** @return true when no samples have been accumulated. */
     bool empty() const { return count_ == 0; }
 
@@ -180,6 +194,52 @@ class UtilizationCounter
 /** Format a 2-D grid of values as an ASCII heat map (for Figs 1-2). */
 std::string formatHeatMap(const std::vector<double> &values, int cols,
                           const std::string &title);
+
+/** @name Confidence-interval / epoch-series helpers (sim_control,
+ *  hnoc_inspect) */
+///@{
+
+/**
+ * Two-sided Student-t critical value for @p confidence in {0.90,
+ * 0.95, 0.99} at @p df degrees of freedom (>= 1). Table-driven with
+ * 1/df interpolation beyond df 30 — deterministic across platforms.
+ * Unsupported confidence levels are fatal.
+ */
+double tCriticalValue(double confidence, std::uint64_t df);
+
+/**
+ * Half-width of the confidence interval of a mean estimated from
+ * @p n samples with sample standard deviation @p sample_stddev:
+ * t(conf, n-1) * s / sqrt(n). @return +inf when n < 2.
+ */
+double tStatCI(std::uint64_t n, double sample_stddev,
+               double confidence = 0.95);
+
+/**
+ * First index of @p series from which @p k consecutive values each
+ * stay within relative tolerance @p tol of their predecessor (the
+ * k-consecutive-epochs warmup rule applied offline to a recorded
+ * epoch series). @return index of the first stable value, or -1 when
+ * the series never stabilizes.
+ */
+int steadyEpochCutoff(const std::vector<double> &series, double tol,
+                      int k);
+
+/**
+ * Batch-means summary of the tail of an epoch series: mean and
+ * relative CI half-width of series[cutoff..] (cutoff from
+ * steadyEpochCutoff; pass 0 to use the whole series).
+ */
+struct EpochSeriesCi
+{
+    std::uint64_t batches = 0;
+    double mean = 0.0;
+    double relHalfWidth = 0.0; ///< +inf when < 2 batches
+};
+EpochSeriesCi epochSeriesCi(const std::vector<double> &series,
+                            std::size_t cutoff = 0,
+                            double confidence = 0.95);
+///@}
 
 } // namespace hnoc
 

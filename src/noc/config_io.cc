@@ -236,6 +236,97 @@ configFromString(const std::string &text)
     return c;
 }
 
+std::string
+simOptionsToString(const SimPointOptions &o)
+{
+    std::ostringstream out;
+    out.precision(17); // exact double round-trip
+    out << "injection_rate=" << o.injectionRate << '\n';
+    out << "warmup_cycles=" << o.warmupCycles << '\n';
+    out << "measure_cycles=" << o.measureCycles << '\n';
+    out << "drain_cycles=" << o.drainCycles << '\n';
+    out << "seed=" << o.seed << '\n';
+    out << "control_fraction=" << o.controlFraction << '\n';
+    out << "collect_metrics=" << (o.collectMetrics ? 1 : 0) << '\n';
+    out << "telemetry_epoch=" << o.telemetryEpoch << '\n';
+    out << "control_mode=" << simControlModeName(o.control.mode)
+        << '\n';
+    out << "min_warmup_cycles=" << o.control.minWarmupCycles << '\n';
+    out << "warmup_epochs=" << o.control.warmupEpochs << '\n';
+    out << "warmup_tolerance=" << o.control.warmupTolerance << '\n';
+    out << "ci_target=" << o.control.ciTarget << '\n';
+    out << "ci_confidence=" << o.control.ciConfidence << '\n';
+    out << "min_batches=" << o.control.minBatches << '\n';
+    out << "epochs_per_batch=" << o.control.epochsPerBatch << '\n';
+    out << "min_measure_cycles=" << o.control.minMeasureCycles << '\n';
+    out << "sat_epochs=" << o.control.satEpochs << '\n';
+    out << "sat_depth_per_node=" << o.control.satDepthPerNode << '\n';
+    out << "sat_growth_per_node=" << o.control.satGrowthPerNode
+        << '\n';
+    return out.str();
+}
+
+SimPointOptions
+simOptionsFromString(const std::string &text)
+{
+    SimPointOptions o;
+    std::stringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("sim options: malformed line '%s'", line.c_str());
+        std::string key = line.substr(0, eq);
+        std::string val = line.substr(eq + 1);
+
+        if (key == "injection_rate")
+            o.injectionRate = std::stod(val);
+        else if (key == "warmup_cycles")
+            o.warmupCycles = std::stoull(val);
+        else if (key == "measure_cycles")
+            o.measureCycles = std::stoull(val);
+        else if (key == "drain_cycles")
+            o.drainCycles = std::stoull(val);
+        else if (key == "seed")
+            o.seed = std::stoull(val);
+        else if (key == "control_fraction")
+            o.controlFraction = std::stod(val);
+        else if (key == "collect_metrics")
+            o.collectMetrics = std::stoi(val) != 0;
+        else if (key == "telemetry_epoch")
+            o.telemetryEpoch = std::stoull(val);
+        else if (key == "control_mode")
+            o.control.mode = simControlModeFromName(val);
+        else if (key == "min_warmup_cycles")
+            o.control.minWarmupCycles = std::stoull(val);
+        else if (key == "warmup_epochs")
+            o.control.warmupEpochs = std::stoi(val);
+        else if (key == "warmup_tolerance")
+            o.control.warmupTolerance = std::stod(val);
+        else if (key == "ci_target")
+            o.control.ciTarget = std::stod(val);
+        else if (key == "ci_confidence")
+            o.control.ciConfidence = std::stod(val);
+        else if (key == "min_batches")
+            o.control.minBatches = std::stoi(val);
+        else if (key == "epochs_per_batch")
+            o.control.epochsPerBatch = std::stoi(val);
+        else if (key == "min_measure_cycles")
+            o.control.minMeasureCycles = std::stoull(val);
+        else if (key == "sat_epochs")
+            o.control.satEpochs = std::stoi(val);
+        else if (key == "sat_depth_per_node")
+            o.control.satDepthPerNode = std::stod(val);
+        else if (key == "sat_growth_per_node")
+            o.control.satGrowthPerNode = std::stod(val);
+        else
+            fatal("sim options: unknown key '%s'", key.c_str());
+    }
+    return o;
+}
+
 bool
 saveConfig(const NetworkConfig &config, const std::string &path)
 {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "noc/network_config.hh"
+#include "noc/sim_harness.hh"
 
 namespace hnoc
 {
@@ -32,6 +33,20 @@ bool saveConfig(const NetworkConfig &config, const std::string &path);
 
 /** Load a configuration from @p path; fatal on I/O or parse errors. */
 NetworkConfig loadConfig(const std::string &path);
+
+/**
+ * Serialize the window and simulation-control knobs of @p opts to the
+ * same key=value format (doubles at full precision, so a round-trip
+ * is exact). Diagnostics (observer, recorder, watchdog) are runtime
+ * attachments and are not serialized.
+ */
+std::string simOptionsToString(const SimPointOptions &opts);
+
+/**
+ * Parse options previously produced by simOptionsToString. Unknown
+ * keys are fatal (catches typos and version skew).
+ */
+SimPointOptions simOptionsFromString(const std::string &text);
 
 } // namespace hnoc
 

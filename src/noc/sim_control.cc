@@ -1,0 +1,140 @@
+#include "noc/sim_control.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnoc
+{
+
+const char *
+stopReasonName(StopReason r)
+{
+    switch (r) {
+      case StopReason::FixedWindow:
+        return "fixed-window";
+      case StopReason::CiConverged:
+        return "ci-converged";
+      case StopReason::MeasureCeiling:
+        return "measure-ceiling";
+      case StopReason::SaturationAbort:
+        return "saturation-abort";
+    }
+    return "fixed-window";
+}
+
+StopReason
+stopReasonFromName(const std::string &s)
+{
+    if (s == "fixed-window")
+        return StopReason::FixedWindow;
+    if (s == "ci-converged")
+        return StopReason::CiConverged;
+    if (s == "measure-ceiling")
+        return StopReason::MeasureCeiling;
+    if (s == "saturation-abort")
+        return StopReason::SaturationAbort;
+    fatal("sim_control: unknown stop reason '%s'", s.c_str());
+}
+
+const char *
+simControlModeName(SimControlMode m)
+{
+    return m == SimControlMode::Adaptive ? "adaptive" : "reference";
+}
+
+SimControlMode
+simControlModeFromName(const std::string &s)
+{
+    if (s == "reference")
+        return SimControlMode::Reference;
+    if (s == "adaptive")
+        return SimControlMode::Adaptive;
+    fatal("sim_control: unknown control mode '%s'", s.c_str());
+}
+
+bool
+WarmupDetector::addEpoch(double mean_latency, std::uint64_t delivered)
+{
+    ++epochs_;
+    if (steady_)
+        return true;
+    if (delivered == 0) {
+        // No signal this epoch; a stall is not evidence of stability.
+        havePrev_ = false;
+        run_ = 0;
+        return false;
+    }
+    if (havePrev_) {
+        double scale = std::max(std::fabs(prevMean_), 1e-12);
+        if (std::fabs(mean_latency - prevMean_) <=
+            opts_.warmupTolerance * scale)
+            ++run_;
+        else
+            run_ = 0;
+    }
+    prevMean_ = mean_latency;
+    havePrev_ = true;
+    if (run_ >= opts_.warmupEpochs)
+        steady_ = true;
+    return steady_;
+}
+
+void
+BatchMeansController::addEpoch(double mean_latency,
+                               std::uint64_t delivered)
+{
+    batchLatencySum_ += mean_latency * static_cast<double>(delivered);
+    batchDelivered_ += delivered;
+    ++batchEpochs_;
+    if (batchEpochs_ < std::max(1, opts_.epochsPerBatch))
+        return;
+    // Close the batch; empty batches (a stalled network) carry no
+    // latency information and are dropped rather than recorded as 0.
+    if (batchDelivered_ > 0) {
+        stats_.add(batchLatencySum_ /
+                   static_cast<double>(batchDelivered_));
+        double hw = relHalfWidth();
+        history_.push_back(std::isfinite(hw) ? hw : -1.0);
+    }
+    batchLatencySum_ = 0.0;
+    batchDelivered_ = 0;
+    batchEpochs_ = 0;
+}
+
+bool
+BatchMeansController::converged() const
+{
+    if (stats_.count() <
+        static_cast<std::uint64_t>(std::max(2, opts_.minBatches)))
+        return false;
+    return relHalfWidth() <= opts_.ciTarget;
+}
+
+bool
+SaturationDetector::addEpoch(std::size_t queue_depth)
+{
+    if (saturated_)
+        return true;
+    if (havePrev_ && queue_depth > prev_) {
+        if (run_ == 0)
+            runStartDepth_ = prev_;
+        ++run_;
+    } else {
+        run_ = 0;
+    }
+    prev_ = queue_depth;
+    havePrev_ = true;
+    if (run_ >= opts_.satEpochs) {
+        double nodes = static_cast<double>(nodes_);
+        double depth = static_cast<double>(queue_depth);
+        double growth =
+            static_cast<double>(queue_depth - runStartDepth_);
+        if (depth >= opts_.satDepthPerNode * nodes &&
+            growth >= opts_.satGrowthPerNode * nodes)
+            saturated_ = true;
+    }
+    return saturated_;
+}
+
+} // namespace hnoc

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Adaptive simulation control: the three cooperating stopping policies
+ * that replace the fixed warmup/measure/drain windows of the open-loop
+ * harness (docs/REPRODUCING.md "Adaptive vs reference windows"):
+ *
+ *  1. warmup detection  — declare steady state when k consecutive
+ *     epoch-mean latencies stay within a relative tolerance of their
+ *     predecessor, instead of always paying the full fixed warmup;
+ *  2. batch-means early termination — end measurement once the
+ *     relative Student-t confidence interval of the per-epoch mean
+ *     latency falls below a target (default 2 % at 95 %), with a hard
+ *     floor and the fixed window as the ceiling;
+ *  3. saturation fast-abort — detect unbounded source-queue growth
+ *     within a few epochs, classify the point `saturated`, and skip
+ *     the remaining measurement plus the entire drain phase.
+ *
+ * Every decision is a pure function of simulated data sampled at
+ * telemetry-epoch boundaries (epoch latency means, source-queue
+ * depths), never of wall-clock time or thread scheduling, so adaptive
+ * runs remain bit-identical across 1/3/4 worker threads — the same
+ * invariant the active-set scheduler establishes for arbitration
+ * pointers. The detectors are standalone classes so the policies can
+ * be unit-tested on synthetic epoch series without running a network.
+ */
+
+#ifndef HNOC_NOC_SIM_CONTROL_HH
+#define HNOC_NOC_SIM_CONTROL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace hnoc
+{
+
+/** Window policy of one open-loop simulation point. */
+enum class SimControlMode : std::uint8_t
+{
+    Reference, ///< fixed warmup/measure/drain (the seed behavior)
+    Adaptive,  ///< stopping rules below; fixed windows become ceilings
+};
+
+/** Why the measurement phase of a point ended. */
+enum class StopReason : std::uint8_t
+{
+    FixedWindow,     ///< reference mode: ran the configured window
+    CiConverged,     ///< batch-means CI fell below the target
+    MeasureCeiling,  ///< adaptive, but the CI never converged
+    SaturationAbort, ///< queue-growth detector fired; point skipped
+};
+
+/** Stable short name ("fixed-window", "ci-converged", ...). */
+const char *stopReasonName(StopReason r);
+
+/** Inverse of stopReasonName; fatal on unknown names. */
+StopReason stopReasonFromName(const std::string &s);
+
+/** Stable short name of @p m ("reference" | "adaptive"). */
+const char *simControlModeName(SimControlMode m);
+
+/** Inverse of simControlModeName; fatal on unknown names. */
+SimControlMode simControlModeFromName(const std::string &s);
+
+/**
+ * Knobs of the adaptive controller. All cycle quantities are in
+ * simulated cycles and are scaled by HNOC_SIM_SCALE alongside the
+ * fixed windows; epoch length comes from
+ * SimPointOptions::telemetryEpoch.
+ */
+struct SimControlOptions
+{
+    SimControlMode mode = SimControlMode::Reference;
+
+    /** @name Warmup detection */
+    ///@{
+    /** Never end warmup before this many cycles. */
+    Cycle minWarmupCycles = 2000;
+    /** Steady after this many consecutive in-tolerance epochs. */
+    int warmupEpochs = 3;
+    /** Relative epoch-to-epoch mean-latency tolerance. */
+    double warmupTolerance = 0.05;
+    ///@}
+
+    /** @name Batch-means early termination */
+    ///@{
+    /** Stop once the relative CI half-width is at or below this. */
+    double ciTarget = 0.02;
+    /** Two-sided confidence level (0.90 | 0.95 | 0.99). */
+    double ciConfidence = 0.95;
+    /** Minimum closed batches before the CI rule may fire. */
+    int minBatches = 8;
+    /** Telemetry epochs aggregated into one batch mean. */
+    int epochsPerBatch = 1;
+    /** Never end measurement before this many cycles. */
+    Cycle minMeasureCycles = 4000;
+    ///@}
+
+    /** @name Saturation fast-abort */
+    ///@{
+    /** Consecutive epochs of strict source-queue growth required. */
+    int satEpochs = 4;
+    /** Abort only once total queue depth >= this many packets/node. */
+    double satDepthPerNode = 3.0;
+    /** ... and the growth over the run of epochs >= this per node. */
+    double satGrowthPerNode = 0.5;
+    ///@}
+};
+
+/**
+ * Warmup policy: steady state is declared after
+ * SimControlOptions::warmupEpochs consecutive epochs whose mean
+ * latency stays within warmupTolerance (relative) of the previous
+ * epoch's mean. Epochs with no deliveries carry no signal and reset
+ * the run.
+ */
+class WarmupDetector
+{
+  public:
+    explicit WarmupDetector(const SimControlOptions &opts)
+        : opts_(opts)
+    {}
+
+    /**
+     * Ingest one closed warmup epoch.
+     * @param mean_latency mean packet latency (cycles) in the epoch
+     * @param delivered packets delivered in the epoch
+     * @return true once steady state has been reached
+     */
+    bool addEpoch(double mean_latency, std::uint64_t delivered);
+
+    bool steady() const { return steady_; }
+    int epochsSeen() const { return epochs_; }
+
+  private:
+    SimControlOptions opts_;
+    double prevMean_ = 0.0;
+    bool havePrev_ = false;
+    int run_ = 0;
+    int epochs_ = 0;
+    bool steady_ = false;
+};
+
+/**
+ * Batch-means policy: per-epoch tracked-latency means are grouped
+ * into batches of epochsPerBatch epochs; measurement may stop once
+ * the relative Student-t CI half-width over the batch means is at or
+ * below ciTarget with at least minBatches batches closed. The
+ * half-width history doubles as the run report's convergence probe.
+ */
+class BatchMeansController
+{
+  public:
+    explicit BatchMeansController(const SimControlOptions &opts)
+        : opts_(opts)
+    {}
+
+    /**
+     * Ingest one closed measurement epoch.
+     * @param mean_latency mean tracked-packet latency (cycles)
+     * @param delivered tracked packets delivered in the epoch
+     */
+    void addEpoch(double mean_latency, std::uint64_t delivered);
+
+    /** @return closed batches so far. */
+    std::uint64_t batches() const { return stats_.count(); }
+
+    /** Relative CI half-width over batch means (+inf when < 2). */
+    double relHalfWidth() const
+    {
+        return stats_.relHalfWidth(opts_.ciConfidence);
+    }
+
+    /** @return true once the CI rule is satisfied. */
+    bool converged() const;
+
+    /** Half-width after each closed batch (convergence probe). */
+    const std::vector<double> &history() const { return history_; }
+
+  private:
+    SimControlOptions opts_;
+    RunningStat stats_;          ///< over closed batch means
+    std::vector<double> history_;
+    double batchLatencySum_ = 0.0;
+    std::uint64_t batchDelivered_ = 0;
+    int batchEpochs_ = 0;
+};
+
+/**
+ * Saturation policy: an open-loop point is saturated when its source
+ * queues grow without bound. The detector fires after satEpochs
+ * consecutive epochs of strictly increasing total queue depth, once
+ * the depth has reached satDepthPerNode packets per node and the
+ * growth across the run of epochs is at least satGrowthPerNode per
+ * node — conservative on purpose, so borderline points fall through
+ * to the ordinary measure + drain classification.
+ */
+class SaturationDetector
+{
+  public:
+    SaturationDetector(const SimControlOptions &opts, int nodes)
+        : opts_(opts), nodes_(nodes > 0 ? nodes : 1)
+    {}
+
+    /**
+     * Ingest the total source-queue depth at one epoch boundary.
+     * @return true once saturation has been detected (latches).
+     */
+    bool addEpoch(std::size_t queue_depth);
+
+    bool saturated() const { return saturated_; }
+
+  private:
+    SimControlOptions opts_;
+    int nodes_;
+    std::size_t prev_ = 0;
+    std::size_t runStartDepth_ = 0;
+    bool havePrev_ = false;
+    int run_ = 0;
+    bool saturated_ = false;
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_SIM_CONTROL_HH

@@ -1,6 +1,7 @@
 #include "noc/sim_harness.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -74,6 +75,15 @@ class OpenLoopClient : public NetworkClient
             if (now >= windowStart_ && now < windowEnd_)
                 ++deliveredInWindow_;
         }
+        if (epochStats_) {
+            auto lat = static_cast<double>(pkt.ejectedAt - pkt.createdAt);
+            epochAllSum_ += lat;
+            ++epochAllN_;
+            if (pkt.tag == 1) {
+                epochTrackedSum_ += lat;
+                ++epochTrackedN_;
+            }
+        }
         if (pkt.tag != 1)
             return;
         ++trackedDelivered_;
@@ -106,13 +116,44 @@ class OpenLoopClient : public NetworkClient
     }
 
     void
-    endMeasurement()
+    endMeasurement(Cycle now)
     {
         measuring_ = false;
         drainPhase_ = true;
+        // Adaptive runs stop mid-window; clamp so drain deliveries
+        // past the actual window end are not counted as accepted.
+        windowEnd_ = std::min(windowEnd_, now);
     }
 
     void stopInjecting() { injecting_ = false; }
+
+    /** Turn on per-epoch latency accumulation (adaptive mode only,
+     *  so the reference hot path keeps a single untaken branch). */
+    void enableEpochStats() { epochStats_ = true; }
+
+    /** Mean latency (cycles) and deliveries of the epoch just ended,
+     *  over all delivered packets; resets the accumulator. */
+    void
+    takeEpochAll(double &mean, std::uint64_t &delivered)
+    {
+        delivered = epochAllN_;
+        mean = delivered ? epochAllSum_ / static_cast<double>(delivered)
+                         : 0.0;
+        epochAllSum_ = 0.0;
+        epochAllN_ = 0;
+    }
+
+    /** Same for tracked (measurement-window) packets only. */
+    void
+    takeEpochTracked(double &mean, std::uint64_t &delivered)
+    {
+        delivered = epochTrackedN_;
+        mean = delivered
+                   ? epochTrackedSum_ / static_cast<double>(delivered)
+                   : 0.0;
+        epochTrackedSum_ = 0.0;
+        epochTrackedN_ = 0;
+    }
 
     bool
     allTrackedDelivered() const
@@ -133,6 +174,12 @@ class OpenLoopClient : public NetworkClient
     std::uint64_t trackedCreated_ = 0;
     std::uint64_t trackedDelivered_ = 0;
     std::uint64_t deliveredInWindow_ = 0;
+
+    bool epochStats_ = false;
+    double epochAllSum_ = 0.0;
+    std::uint64_t epochAllN_ = 0;
+    double epochTrackedSum_ = 0.0;
+    std::uint64_t epochTrackedN_ = 0;
 
     RunningStat latencyCycles_;
     RunningStat latencyNs_;
@@ -169,6 +216,10 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         static_cast<double>(opts.measureCycles) * simScale());
     opts.drainCycles = static_cast<Cycle>(
         static_cast<double>(opts.drainCycles) * simScale());
+    opts.control.minWarmupCycles = static_cast<Cycle>(
+        static_cast<double>(opts.control.minWarmupCycles) * simScale());
+    opts.control.minMeasureCycles = static_cast<Cycle>(
+        static_cast<double>(opts.control.minMeasureCycles) * simScale());
 
     Network net(config);
     OpenLoopClient client(pattern, config, opts);
@@ -226,6 +277,145 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         }
     };
 
+    if (opts.control.mode == SimControlMode::Adaptive) {
+        // ---- Adaptive path: the fixed windows become ceilings and
+        // the sim_control stopping rules end each phase. Every
+        // decision below reads only simulated state at epoch
+        // boundaries, so results are independent of thread count.
+        const SimControlOptions &ctl = opts.control;
+        Cycle epoch = opts.telemetryEpoch > 0 ? opts.telemetryEpoch
+                                              : 1000;
+        int nodes = config.numNodes();
+        client.enableEpochStats();
+
+        WarmupDetector warm(ctl);
+        SaturationDetector sat(ctl, nodes);
+        BatchMeansController bm(ctl);
+
+        SimPointResult res;
+        res.offeredRate = opts.injectionRate;
+
+        // Warmup: epoch-sized chunks until the latency series is
+        // steady (and the floor is paid), capped at warmupCycles.
+        // Saturated points never stabilize, so the queue-growth
+        // detector also watches warmup and aborts the point outright.
+        Cycle warmup_used = 0;
+        bool aborted = false;
+        while (warmup_used < opts.warmupCycles) {
+            Cycle chunk = std::min(epoch,
+                                   opts.warmupCycles - warmup_used);
+            run_phase(chunk);
+            warmup_used += chunk;
+            double mean = 0.0;
+            std::uint64_t delivered = 0;
+            client.takeEpochAll(mean, delivered);
+            bool steady = warm.addEpoch(mean, delivered);
+            if (sat.addEpoch(net.totalSourceQueueDepth())) {
+                aborted = true;
+                break;
+            }
+            if (steady && warmup_used >= ctl.minWarmupCycles)
+                break;
+        }
+        res.warmupCyclesUsed = warmup_used;
+
+        std::shared_ptr<MetricRegistry> reg;
+        Cycle window = 0;
+        Cycle drained = 0;
+        if (aborted) {
+            // Saturation during warmup: no measurement is possible,
+            // classify and return without paying measure or drain.
+            res.stopReason = StopReason::SaturationAbort;
+            res.saturated = true;
+        } else {
+            net.resetMeasurement();
+            if (opts.collectMetrics) {
+                reg = net.makeMetricRegistry(epoch);
+                net.attachTelemetry(reg.get());
+            }
+            client.beginMeasurement(net.now(), opts.measureCycles);
+
+            res.stopReason = StopReason::MeasureCeiling;
+            Cycle measure_used = 0;
+            while (measure_used < opts.measureCycles) {
+                Cycle chunk = std::min(
+                    epoch, opts.measureCycles - measure_used);
+                run_phase(chunk);
+                measure_used += chunk;
+                double mean = 0.0;
+                std::uint64_t delivered = 0;
+                client.takeEpochTracked(mean, delivered);
+                bm.addEpoch(mean, delivered);
+                if (sat.addEpoch(net.totalSourceQueueDepth())) {
+                    res.stopReason = StopReason::SaturationAbort;
+                    aborted = true;
+                    break;
+                }
+                if (measure_used >= ctl.minMeasureCycles &&
+                    bm.converged()) {
+                    res.stopReason = StopReason::CiConverged;
+                    break;
+                }
+            }
+            window = net.measuredCycles();
+
+            res.power = net.powerReport();
+            res.networkPowerW = res.power.total();
+            res.combineRate = net.combineRate();
+            res.bufferUtilPct = net.bufferUtilizationPercent();
+            res.linkUtilPct = net.linkUtilizationPercent();
+
+            if (reg)
+                net.detachTelemetry();
+            client.endMeasurement(net.now());
+
+            if (aborted) {
+                // Fast-abort: skip the drain entirely; the point is
+                // saturated and its stragglers would never finish.
+                res.saturated = true;
+            } else {
+                while (!client.allTrackedDelivered() &&
+                       drained < opts.drainCycles) {
+                    net.step();
+                    ++drained;
+                    if (instrumented && opts.watchdogWindow > 0)
+                        watchdog.check(net);
+                }
+                res.saturated = !client.allTrackedDelivered();
+                res.drainTruncated =
+                    drained >= opts.drainCycles && res.saturated;
+            }
+        }
+        res.watchdogTrips = watchdog.trips();
+        if (opts.flightRecorder)
+            net.attachFlightRecorder(nullptr);
+
+        if (window > 0) {
+            res.acceptedRate =
+                static_cast<double>(client.deliveredInWindow_) /
+                (static_cast<double>(nodes) *
+                 static_cast<double>(window));
+        }
+        res.measureCyclesUsed = window;
+        res.simulatedCycles = net.now();
+        double hw = bm.relHalfWidth();
+        res.ciRelHalfWidth = std::isfinite(hw) ? hw : -1.0;
+        res.ciHistory = bm.history();
+        res.avgLatencyCycles = client.latencyCycles_.mean();
+        res.avgLatencyNs = client.latencyNs_.mean();
+        res.avgQueuingNs = client.queuingNs_.mean();
+        res.avgBlockingNs = client.blockingNs_.mean();
+        res.avgTransferNs = client.transferNs_.mean();
+        res.p95LatencyNs = client.latencyHist_.percentile(0.95);
+        res.trackedCreated = client.trackedCreated_;
+        res.trackedDelivered = client.trackedDelivered_;
+        res.latencyByHopsNs.reserve(client.byHops_.size());
+        for (const RunningStat &s : client.byHops_)
+            res.latencyByHopsNs.push_back(s.mean());
+        res.metrics = std::move(reg);
+        return res;
+    }
+
     run_phase(opts.warmupCycles);
 
     net.resetMeasurement();
@@ -251,7 +441,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
 
     if (reg)
         net.detachTelemetry();
-    client.endMeasurement();
+    client.endMeasurement(net.now());
 
     // Drain: keep traffic flowing so tracked packets finish under the
     // same load, up to the drain cap.
@@ -263,9 +453,14 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
             watchdog.check(net);
     }
     res.saturated = !client.allTrackedDelivered();
+    res.drainTruncated = drained >= opts.drainCycles && res.saturated;
     res.watchdogTrips = watchdog.trips();
     if (opts.flightRecorder)
         net.attachFlightRecorder(nullptr);
+
+    res.warmupCyclesUsed = opts.warmupCycles;
+    res.measureCyclesUsed = window;
+    res.simulatedCycles = net.now();
 
     int nodes = config.numNodes();
     res.acceptedRate =

@@ -22,6 +22,7 @@
 
 #include "common/job_pool.hh"
 #include "noc/network.hh"
+#include "noc/sim_control.hh"
 #include "noc/traffic.hh"
 #include "power/router_power.hh"
 
@@ -39,6 +40,11 @@ struct SimPointOptions
     /** Fraction of packets that are single-flit control packets;
      *  the rest are full data packets (1024 b). */
     double controlFraction = 0.0;
+
+    /** Window policy. Reference keeps the fixed windows above; in
+     *  Adaptive mode they become ceilings and the stopping rules of
+     *  src/noc/sim_control.hh decide when each phase ends. */
+    SimControlOptions control;
 
     /** Collect a MetricRegistry over the measurement window. */
     bool collectMetrics = false;
@@ -89,6 +95,25 @@ struct SimPointResult
 
     double combineRate = 0.0; ///< wide-channel pairing rate
     bool saturated = false;   ///< tracked packets still undelivered
+    /** Drain ran to its drainCycles cap with tracked packets still in
+     *  flight, so the latency means exclude the slowest packets and
+     *  are biased low. Always false on a saturation fast-abort (the
+     *  drain is skipped, not truncated). */
+    bool drainTruncated = false;
+
+    /** @name Simulation-control outcome (src/noc/sim_control.hh) */
+    ///@{
+    Cycle simulatedCycles = 0;   ///< total cycles stepped (all phases)
+    Cycle warmupCyclesUsed = 0;  ///< warmup actually paid
+    Cycle measureCyclesUsed = 0; ///< measurement window actually run
+    StopReason stopReason = StopReason::FixedWindow;
+    /** Relative CI half-width of the batch means at stop; -1 when not
+     *  available (reference mode, or fewer than 2 batches). */
+    double ciRelHalfWidth = -1.0;
+    /** Half-width after each closed batch (convergence probe; empty
+     *  in reference mode). */
+    std::vector<double> ciHistory;
+    ///@}
 
     std::vector<double> bufferUtilPct; ///< per router
     std::vector<double> linkUtilPct;   ///< per router

@@ -57,6 +57,14 @@ RunReport::writePoint(JsonWriter &w, const std::string &label,
     w.keyValue("network_power_w", res.networkPowerW);
     w.keyValue("combine_rate", res.combineRate);
     w.keyValue("saturated", res.saturated);
+    w.keyValue("drain_truncated", res.drainTruncated);
+    w.keyValue("simulated_cycles", res.simulatedCycles);
+    w.keyValue("warmup_cycles_used", res.warmupCyclesUsed);
+    w.keyValue("measure_cycles_used", res.measureCyclesUsed);
+    w.keyValue("stop_reason", stopReasonName(res.stopReason));
+    w.keyValue("ci_rel_half_width", res.ciRelHalfWidth);
+    if (!res.ciHistory.empty())
+        w.keyArray("ci_history", res.ciHistory);
     w.keyValue("tracked_created", res.trackedCreated);
     w.keyValue("tracked_delivered", res.trackedDelivered);
     w.keyArray("buffer_util_pct", res.bufferUtilPct);
@@ -83,6 +91,21 @@ RunReport::json() const
         w.keyValue(k, v);
     for (const auto &[k, v] : metaNum_)
         w.keyValue(k, v);
+    w.endObject();
+
+    // Stop-reason tally across the run's points, so a dashboard can
+    // see at a glance how often the adaptive rules fired.
+    w.key("stop_reasons").beginObject();
+    const StopReason kReasons[] = {
+        StopReason::FixedWindow, StopReason::CiConverged,
+        StopReason::MeasureCeiling, StopReason::SaturationAbort};
+    for (StopReason r : kReasons) {
+        std::uint64_t n = 0;
+        for (const auto &[label, res] : points_)
+            if (res.stopReason == r)
+                ++n;
+        w.keyValue(stopReasonName(r), n);
+    }
     w.endObject();
 
     w.key("points").beginArray();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Confidence-interval and epoch-series helpers shared by the adaptive
+ * simulation controller and hnoc_inspect's offline convergence replay:
+ * tCriticalValue, tStatCI, RunningStat::relHalfWidth,
+ * steadyEpochCutoff, epochSeriesCi.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(TCriticalValue, MatchesPrintedTable)
+{
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.95, 1), 12.706);
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.95, 7), 2.365);
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.95, 10), 2.228);
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.95, 30), 2.042);
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.90, 10), 1.812);
+    EXPECT_DOUBLE_EQ(tCriticalValue(0.99, 10), 3.169);
+}
+
+TEST(TCriticalValue, InterpolatesTowardNormalLimit)
+{
+    // Past the table the value shrinks monotonically toward z.
+    double t40 = tCriticalValue(0.95, 40);
+    double t120 = tCriticalValue(0.95, 120);
+    EXPECT_LT(t40, tCriticalValue(0.95, 30));
+    EXPECT_LT(t120, t40);
+    EXPECT_GT(t120, 1.960);
+    // Printed t-table rows: t(0.95, 40) = 2.021, t(0.95, 120) = 1.980.
+    EXPECT_NEAR(t40, 2.021, 0.01);
+    EXPECT_NEAR(t120, 1.980, 0.01);
+}
+
+TEST(TCriticalValue, UnsupportedConfidenceFatal)
+{
+    EXPECT_DEATH((void)tCriticalValue(0.42, 10), "unsupported");
+}
+
+TEST(TStatCI, HalfWidthFormula)
+{
+    // t(0.95, 3) * s / sqrt(4) = 3.182 * 2 / 2.
+    EXPECT_DOUBLE_EQ(tStatCI(4, 2.0), 3.182);
+    EXPECT_DOUBLE_EQ(tStatCI(4, 0.0), 0.0);
+    EXPECT_TRUE(std::isinf(tStatCI(1, 2.0)));
+    EXPECT_TRUE(std::isinf(tStatCI(0, 2.0)));
+}
+
+TEST(RunningStatCi, SampleVarianceIsUnbiased)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 6.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 4.0);   // m2/(n-1) = 8/2
+    EXPECT_DOUBLE_EQ(s.sampleStddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 8.0 / 3.0);   // population
+}
+
+TEST(RunningStatCi, RelHalfWidthMatchesManualComputation)
+{
+    RunningStat s;
+    for (double x : {98.0, 100.0, 102.0, 100.0})
+        s.add(x);
+    double expect =
+        tStatCI(4, s.sampleStddev(), 0.95) / std::fabs(s.mean());
+    EXPECT_DOUBLE_EQ(s.relHalfWidth(), expect);
+    EXPECT_GT(s.relHalfWidth(0.99), s.relHalfWidth(0.95));
+    EXPECT_LT(s.relHalfWidth(0.90), s.relHalfWidth(0.95));
+}
+
+TEST(RunningStatCi, RelHalfWidthDegenerateCases)
+{
+    RunningStat s;
+    EXPECT_TRUE(std::isinf(s.relHalfWidth()));
+    s.add(5.0);
+    EXPECT_TRUE(std::isinf(s.relHalfWidth())); // one sample
+    RunningStat zero_mean;
+    zero_mean.add(-1.0);
+    zero_mean.add(1.0);
+    EXPECT_TRUE(std::isinf(zero_mean.relHalfWidth()));
+}
+
+TEST(SteadyEpochCutoff, FindsFirstStableIndex)
+{
+    // Decaying transient, then flat within 5%: indices 3.. are each
+    // within tolerance of their predecessor, so with k=3 the first
+    // stable value is index 3.
+    std::vector<double> series = {100.0, 60.0, 40.0,
+                                  40.5,  40.2, 40.1};
+    EXPECT_EQ(steadyEpochCutoff(series, 0.05, 3), 3);
+    // A looser k reaches the same prefix sooner.
+    EXPECT_EQ(steadyEpochCutoff(series, 0.05, 1), 3);
+}
+
+TEST(SteadyEpochCutoff, NeverStabilizesReturnsMinusOne)
+{
+    std::vector<double> osc = {100.0, 50.0, 100.0, 50.0, 100.0};
+    EXPECT_EQ(steadyEpochCutoff(osc, 0.05, 2), -1);
+    EXPECT_EQ(steadyEpochCutoff({}, 0.05, 2), -1);
+    EXPECT_EQ(steadyEpochCutoff({1.0}, 0.05, 2), -1);
+}
+
+TEST(SteadyEpochCutoff, RunMustBeConsecutive)
+{
+    // One in-tolerance step followed by a jump resets the run.
+    std::vector<double> series = {100.0, 101.0, 200.0,
+                                  201.0, 202.0, 203.0};
+    EXPECT_EQ(steadyEpochCutoff(series, 0.05, 3), 3);
+}
+
+TEST(EpochSeriesCi, TailSummaryAfterCutoff)
+{
+    std::vector<double> series = {500.0, 200.0, 100.0,
+                                  100.0, 100.0, 100.0};
+    EpochSeriesCi ci = epochSeriesCi(series, 2);
+    EXPECT_EQ(ci.batches, 4u);
+    EXPECT_DOUBLE_EQ(ci.mean, 100.0);
+    EXPECT_DOUBLE_EQ(ci.relHalfWidth, 0.0); // identical samples
+    // Whole-series summary is polluted by the transient.
+    EpochSeriesCi all = epochSeriesCi(series, 0);
+    EXPECT_EQ(all.batches, 6u);
+    EXPECT_GT(all.relHalfWidth, ci.relHalfWidth);
+}
+
+TEST(EpochSeriesCi, FewerThanTwoBatchesIsInf)
+{
+    EXPECT_TRUE(std::isinf(epochSeriesCi({}, 0).relHalfWidth));
+    EXPECT_TRUE(std::isinf(epochSeriesCi({5.0}, 0).relHalfWidth));
+}
+
+} // namespace
+} // namespace hnoc

@@ -10,6 +10,7 @@
 #include "heteronoc/layout.hh"
 #include "noc/config_io.hh"
 #include "noc/network.hh"
+#include "noc/sim_control.hh"
 
 namespace hnoc
 {
@@ -95,6 +96,74 @@ TEST(ConfigIo, CommentsAndBlankLinesIgnored)
 TEST(ConfigIo, UnknownKeyFatal)
 {
     EXPECT_DEATH((void)configFromString("no_such_key=1\n"),
+                 "unknown key");
+}
+
+void
+expectSimOptionsEqual(const SimPointOptions &a, const SimPointOptions &b)
+{
+    EXPECT_DOUBLE_EQ(a.injectionRate, b.injectionRate);
+    EXPECT_EQ(a.warmupCycles, b.warmupCycles);
+    EXPECT_EQ(a.measureCycles, b.measureCycles);
+    EXPECT_EQ(a.drainCycles, b.drainCycles);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_DOUBLE_EQ(a.controlFraction, b.controlFraction);
+    EXPECT_EQ(a.collectMetrics, b.collectMetrics);
+    EXPECT_EQ(a.telemetryEpoch, b.telemetryEpoch);
+    EXPECT_EQ(a.control.mode, b.control.mode);
+    EXPECT_EQ(a.control.minWarmupCycles, b.control.minWarmupCycles);
+    EXPECT_EQ(a.control.warmupEpochs, b.control.warmupEpochs);
+    EXPECT_DOUBLE_EQ(a.control.warmupTolerance,
+                     b.control.warmupTolerance);
+    EXPECT_DOUBLE_EQ(a.control.ciTarget, b.control.ciTarget);
+    EXPECT_DOUBLE_EQ(a.control.ciConfidence, b.control.ciConfidence);
+    EXPECT_EQ(a.control.minBatches, b.control.minBatches);
+    EXPECT_EQ(a.control.epochsPerBatch, b.control.epochsPerBatch);
+    EXPECT_EQ(a.control.minMeasureCycles, b.control.minMeasureCycles);
+    EXPECT_EQ(a.control.satEpochs, b.control.satEpochs);
+    EXPECT_DOUBLE_EQ(a.control.satDepthPerNode,
+                     b.control.satDepthPerNode);
+    EXPECT_DOUBLE_EQ(a.control.satGrowthPerNode,
+                     b.control.satGrowthPerNode);
+}
+
+TEST(ConfigIo, SimOptionsRoundTripDefaults)
+{
+    SimPointOptions opts;
+    expectSimOptionsEqual(
+        opts, simOptionsFromString(simOptionsToString(opts)));
+}
+
+TEST(ConfigIo, SimOptionsRoundTripAdaptive)
+{
+    SimPointOptions opts;
+    opts.injectionRate = 0.0365;
+    opts.warmupCycles = 1234;
+    opts.measureCycles = 56789;
+    opts.drainCycles = 99999;
+    opts.seed = 20260706;
+    opts.controlFraction = 0.125;
+    opts.collectMetrics = true;
+    opts.telemetryEpoch = 500;
+    opts.control.mode = SimControlMode::Adaptive;
+    opts.control.minWarmupCycles = 3000;
+    opts.control.warmupEpochs = 5;
+    opts.control.warmupTolerance = 0.0725;
+    opts.control.ciTarget = 0.015;
+    opts.control.ciConfidence = 0.99;
+    opts.control.minBatches = 12;
+    opts.control.epochsPerBatch = 2;
+    opts.control.minMeasureCycles = 8000;
+    opts.control.satEpochs = 6;
+    opts.control.satDepthPerNode = 4.5;
+    opts.control.satGrowthPerNode = 0.75;
+    expectSimOptionsEqual(
+        opts, simOptionsFromString(simOptionsToString(opts)));
+}
+
+TEST(ConfigIo, SimOptionsUnknownKeyFatal)
+{
+    EXPECT_DEATH((void)simOptionsFromString("no_such_key=1\n"),
                  "unknown key");
 }
 

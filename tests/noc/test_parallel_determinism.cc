@@ -56,6 +56,13 @@ expectBitIdentical(const SimPointResult &a, const SimPointResult &b)
     EXPECT_EQ(a.trackedDelivered, b.trackedDelivered);
     EXPECT_EQ(a.trackedCreated, b.trackedCreated);
     EXPECT_EQ(a.latencyByHopsNs, b.latencyByHopsNs);
+    EXPECT_EQ(a.drainTruncated, b.drainTruncated);
+    EXPECT_EQ(a.simulatedCycles, b.simulatedCycles);
+    EXPECT_EQ(a.warmupCyclesUsed, b.warmupCyclesUsed);
+    EXPECT_EQ(a.measureCyclesUsed, b.measureCyclesUsed);
+    EXPECT_EQ(a.stopReason, b.stopReason);
+    EXPECT_EQ(a.ciRelHalfWidth, b.ciRelHalfWidth);
+    EXPECT_EQ(a.ciHistory, b.ciHistory);
 }
 
 void
@@ -114,6 +121,39 @@ TEST(ParallelDeterminism, ParallelRunIsRepeatable)
     auto second = sweepLoad(cfg, TrafficPattern::UniformRandom, kRates,
                             opts, &pool);
     expectBitIdentical(first, second);
+}
+
+TEST(ParallelDeterminism, AdaptiveSweepMatchesSerialAcrossThreadCounts)
+{
+    // The adaptive stopping rules decide from simulated data only, so
+    // the early-termination points must stay bit-identical no matter
+    // how the sweep is scheduled (includes a saturating point, which
+    // exercises the fast-abort path under the pool).
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    SimPointOptions opts = quickOptions();
+    opts.warmupCycles = 4000;
+    opts.measureCycles = 12000;
+    opts.drainCycles = 20000;
+    opts.control.mode = SimControlMode::Adaptive;
+    const std::vector<double> rates = {0.01, 0.04, 0.2};
+
+    auto serial = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                                  rates, opts);
+    JobPool pool1(1);
+    JobPool pool3(3);
+    JobPool pool4(4);
+    expectBitIdentical(
+        sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts,
+                  &pool1),
+        serial);
+    expectBitIdentical(
+        sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts,
+                  &pool3),
+        serial);
+    expectBitIdentical(
+        sweepLoad(cfg, TrafficPattern::UniformRandom, rates, opts,
+                  &pool4),
+        serial);
 }
 
 TEST(ParallelDeterminism, HeterogeneousBatchMatchesSerialLoop)

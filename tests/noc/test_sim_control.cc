@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Adaptive simulation control: the three stopping policies on
+ * synthetic epoch series, the adaptive open-loop harness end to end
+ * (cycle savings, latency agreement, saturation fast-abort), and
+ * bit-identical adaptive results across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/job_pool.hh"
+#include "heteronoc/layout.hh"
+#include "noc/sim_control.hh"
+#include "noc/sim_harness.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+// ------------------------------------------------------------ names --
+
+TEST(SimControlNames, StopReasonRoundTrip)
+{
+    for (StopReason r :
+         {StopReason::FixedWindow, StopReason::CiConverged,
+          StopReason::MeasureCeiling, StopReason::SaturationAbort})
+        EXPECT_EQ(stopReasonFromName(stopReasonName(r)), r);
+    EXPECT_STREQ(stopReasonName(StopReason::CiConverged),
+                 "ci-converged");
+}
+
+TEST(SimControlNames, ModeRoundTrip)
+{
+    EXPECT_EQ(simControlModeFromName("reference"),
+              SimControlMode::Reference);
+    EXPECT_EQ(simControlModeFromName("adaptive"),
+              SimControlMode::Adaptive);
+    EXPECT_STREQ(simControlModeName(SimControlMode::Adaptive),
+                 "adaptive");
+}
+
+TEST(SimControlNames, UnknownNamesFatal)
+{
+    EXPECT_DEATH((void)stopReasonFromName("bogus"),
+                 "unknown stop reason");
+    EXPECT_DEATH((void)simControlModeFromName("bogus"),
+                 "unknown control mode");
+}
+
+// -------------------------------------------------- warmup detector --
+
+TEST(WarmupDetector, ConvergingSeriesReachesSteady)
+{
+    SimControlOptions o;
+    o.warmupEpochs = 3;
+    o.warmupTolerance = 0.05;
+    WarmupDetector w(o);
+    // Decaying transient: successive drops exceed the tolerance.
+    EXPECT_FALSE(w.addEpoch(100.0, 10));
+    EXPECT_FALSE(w.addEpoch(60.0, 10));
+    EXPECT_FALSE(w.addEpoch(40.0, 10));
+    // Settles: three consecutive in-tolerance epochs declare steady.
+    EXPECT_FALSE(w.addEpoch(40.5, 10));
+    EXPECT_FALSE(w.addEpoch(40.2, 10));
+    EXPECT_TRUE(w.addEpoch(40.1, 10));
+    EXPECT_TRUE(w.steady());
+    EXPECT_EQ(w.epochsSeen(), 6);
+}
+
+TEST(WarmupDetector, OscillatingSeriesNeverSteady)
+{
+    SimControlOptions o;
+    o.warmupEpochs = 2;
+    o.warmupTolerance = 0.05;
+    WarmupDetector w(o);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(w.addEpoch(i % 2 ? 50.0 : 100.0, 10));
+    EXPECT_FALSE(w.steady());
+}
+
+TEST(WarmupDetector, ZeroDeliveryEpochResetsTheRun)
+{
+    SimControlOptions o;
+    o.warmupEpochs = 3;
+    o.warmupTolerance = 0.05;
+    WarmupDetector w(o);
+    EXPECT_FALSE(w.addEpoch(40.0, 10));
+    EXPECT_FALSE(w.addEpoch(40.1, 10));
+    EXPECT_FALSE(w.addEpoch(40.2, 10));
+    // A stalled epoch is not evidence of stability: run restarts.
+    EXPECT_FALSE(w.addEpoch(0.0, 0));
+    EXPECT_FALSE(w.addEpoch(40.0, 10));
+    EXPECT_FALSE(w.addEpoch(40.1, 10));
+    EXPECT_FALSE(w.addEpoch(40.2, 10));
+    EXPECT_TRUE(w.addEpoch(40.3, 10));
+}
+
+TEST(WarmupDetector, SteadyStateLatches)
+{
+    SimControlOptions o;
+    o.warmupEpochs = 1;
+    WarmupDetector w(o);
+    w.addEpoch(10.0, 5);
+    EXPECT_TRUE(w.addEpoch(10.0, 5));
+    // A later spike does not un-declare steady state.
+    EXPECT_TRUE(w.addEpoch(500.0, 5));
+    EXPECT_TRUE(w.steady());
+}
+
+// ------------------------------------------- batch-means controller --
+
+TEST(BatchMeans, TightSeriesConverges)
+{
+    SimControlOptions o;
+    o.minBatches = 8;
+    o.ciTarget = 0.02;
+    BatchMeansController bm(o);
+    for (int i = 0; i < 8; ++i)
+        bm.addEpoch(100.0 + 0.1 * (i % 2), 10);
+    EXPECT_EQ(bm.batches(), 8u);
+    EXPECT_TRUE(bm.converged());
+    EXPECT_LE(bm.relHalfWidth(), 0.02);
+    EXPECT_EQ(bm.history().size(), 8u);
+    // The probe records a shrinking half-width once it is finite.
+    EXPECT_LT(bm.history().back(), 0.02);
+}
+
+TEST(BatchMeans, NoisySeriesDoesNotConverge)
+{
+    SimControlOptions o;
+    o.minBatches = 8;
+    o.ciTarget = 0.02;
+    BatchMeansController bm(o);
+    for (int i = 0; i < 16; ++i)
+        bm.addEpoch(i % 2 ? 200.0 : 100.0, 10);
+    EXPECT_FALSE(bm.converged());
+    EXPECT_GT(bm.relHalfWidth(), 0.02);
+}
+
+TEST(BatchMeans, MinBatchesGatesTheRule)
+{
+    SimControlOptions o;
+    o.minBatches = 8;
+    o.ciTarget = 0.02;
+    BatchMeansController bm(o);
+    for (int i = 0; i < 7; ++i)
+        bm.addEpoch(100.0, 10); // zero-width CI, too few batches
+    EXPECT_FALSE(bm.converged());
+    bm.addEpoch(100.0, 10);
+    EXPECT_TRUE(bm.converged());
+}
+
+TEST(BatchMeans, EpochsPerBatchGroupsAndWeightsByDeliveries)
+{
+    SimControlOptions o;
+    o.epochsPerBatch = 2;
+    o.minBatches = 2;
+    BatchMeansController bm(o);
+    bm.addEpoch(10.0, 1);
+    EXPECT_EQ(bm.batches(), 0u); // batch still open
+    bm.addEpoch(40.0, 3);        // closes: (10*1 + 40*3) / 4 = 32.5
+    EXPECT_EQ(bm.batches(), 1u);
+    bm.addEpoch(32.5, 2);
+    bm.addEpoch(32.5, 2);
+    EXPECT_EQ(bm.batches(), 2u);
+    EXPECT_TRUE(bm.converged()); // both batch means are 32.5
+    EXPECT_LE(bm.relHalfWidth(), o.ciTarget);
+}
+
+TEST(BatchMeans, EmptyBatchesAreDropped)
+{
+    SimControlOptions o;
+    o.minBatches = 2;
+    BatchMeansController bm(o);
+    bm.addEpoch(0.0, 0); // stalled epoch: no sample recorded
+    bm.addEpoch(0.0, 0);
+    EXPECT_EQ(bm.batches(), 0u);
+    EXPECT_TRUE(bm.history().empty());
+    bm.addEpoch(50.0, 10);
+    bm.addEpoch(50.0, 10);
+    EXPECT_EQ(bm.batches(), 2u);
+    EXPECT_TRUE(bm.converged());
+}
+
+// ------------------------------------------- saturation fast-abort --
+
+SimControlOptions
+satOptions()
+{
+    SimControlOptions o;
+    o.satEpochs = 4;
+    o.satDepthPerNode = 3.0;  // 64 nodes -> depth >= 192
+    o.satGrowthPerNode = 0.5; // ... and growth >= 32 over the run
+    return o;
+}
+
+TEST(SaturationDetector, UnboundedGrowthFires)
+{
+    SaturationDetector sat(satOptions(), 64);
+    EXPECT_FALSE(sat.addEpoch(0));
+    EXPECT_FALSE(sat.addEpoch(100)); // run 1
+    EXPECT_FALSE(sat.addEpoch(200)); // run 2
+    EXPECT_FALSE(sat.addEpoch(300)); // run 3
+    EXPECT_TRUE(sat.addEpoch(400));  // run 4: depth 400, growth 400
+    EXPECT_TRUE(sat.saturated());
+    // Latches even if the queue later drains.
+    EXPECT_TRUE(sat.addEpoch(0));
+}
+
+TEST(SaturationDetector, PlateauResetsTheRun)
+{
+    SaturationDetector sat(satOptions(), 64);
+    sat.addEpoch(100);
+    sat.addEpoch(200);
+    sat.addEpoch(300);
+    EXPECT_FALSE(sat.addEpoch(300)); // not strictly increasing
+    sat.addEpoch(310);
+    sat.addEpoch(320);
+    EXPECT_FALSE(sat.addEpoch(330)); // run 3 only
+    EXPECT_FALSE(sat.saturated());
+}
+
+TEST(SaturationDetector, ShallowQueuesDoNotFire)
+{
+    // Strict growth, but depth stays far below 3 packets/node: the
+    // startup transient of a healthy point must not abort it.
+    SaturationDetector sat(satOptions(), 64);
+    for (std::size_t d = 1; d <= 20; ++d)
+        EXPECT_FALSE(sat.addEpoch(d));
+}
+
+TEST(SaturationDetector, SlowCreepBelowGrowthFloorDoesNotFire)
+{
+    // Deep but barely-growing queues (e.g. a near-saturation point
+    // wobbling around equilibrium) stay un-aborted.
+    SimControlOptions o = satOptions();
+    SaturationDetector sat(o, 64);
+    std::size_t depth = 500; // well above the depth floor
+    EXPECT_FALSE(sat.addEpoch(depth));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(sat.addEpoch(++depth)); // growth 1/epoch << 32
+}
+
+// ------------------------------------------ adaptive harness, e2e --
+
+SimPointOptions
+benchOptions(double rate)
+{
+    SimPointOptions opts;
+    opts.injectionRate = rate;
+    opts.warmupCycles = 6000;
+    opts.measureCycles = 15000;
+    opts.drainCycles = 30000;
+    opts.seed = 20260706;
+    return opts;
+}
+
+SimPointOptions
+adaptiveOptions(double rate)
+{
+    SimPointOptions opts = benchOptions(rate);
+    opts.control.mode = SimControlMode::Adaptive;
+    return opts;
+}
+
+/** The saturation-region rule shared with preSaturationAvgLatencyNs:
+ *  fast-aborted and throughput-collapsed points are one class. */
+bool
+inSaturationRegion(const SimPointResult &p)
+{
+    return p.saturated ||
+           (p.offeredRate > 0.0 &&
+            p.acceptedRate < 0.95 * p.offeredRate);
+}
+
+TEST(AdaptiveHarness, LowLoadConvergesEarly)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    SimPointOptions ada_opts = adaptiveOptions(0.02);
+    auto ref = runOpenLoop(cfg, TrafficPattern::UniformRandom,
+                           benchOptions(0.02));
+    auto ada =
+        runOpenLoop(cfg, TrafficPattern::UniformRandom, ada_opts);
+
+    EXPECT_EQ(ref.stopReason, StopReason::FixedWindow);
+    EXPECT_EQ(ref.warmupCyclesUsed, 6000u);
+    EXPECT_EQ(ref.measureCyclesUsed, 15000u);
+    EXPECT_TRUE(ref.ciHistory.empty());
+    EXPECT_EQ(ref.ciRelHalfWidth, -1.0);
+
+    EXPECT_EQ(ada.stopReason, StopReason::CiConverged);
+    EXPECT_LE(ada.ciRelHalfWidth, ada_opts.control.ciTarget);
+    EXPECT_GE(ada.ciRelHalfWidth, 0.0);
+    EXPECT_FALSE(ada.ciHistory.empty());
+    // Floors respected, ceilings undershot.
+    EXPECT_GE(ada.warmupCyclesUsed, ada_opts.control.minWarmupCycles);
+    EXPECT_GE(ada.measureCyclesUsed,
+              ada_opts.control.minMeasureCycles);
+    EXPECT_LT(ada.simulatedCycles, ref.simulatedCycles);
+    // Both estimate the same steady-state latency.
+    EXPECT_NEAR(ada.avgLatencyNs, ref.avgLatencyNs,
+                0.015 * ref.avgLatencyNs);
+}
+
+TEST(AdaptiveHarness, SaturatedLoadFastAborts)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    auto ada = runOpenLoop(cfg, TrafficPattern::UniformRandom,
+                           adaptiveOptions(0.2));
+    EXPECT_EQ(ada.stopReason, StopReason::SaturationAbort);
+    EXPECT_TRUE(ada.saturated);
+    EXPECT_FALSE(ada.drainTruncated); // abort skips the drain
+    // The whole point costs a handful of epochs, not three windows.
+    EXPECT_LT(ada.simulatedCycles, 20000u);
+}
+
+TEST(AdaptiveHarness, Fig07StyleSweepSavesCyclesAndAgrees)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    const std::vector<double> rates = {0.01, 0.03, 0.05, 0.07};
+    SimPointOptions ref_opts = benchOptions(0.0);
+    SimPointOptions ada_opts = adaptiveOptions(0.0);
+    auto ref = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                               rates, ref_opts);
+    auto ada = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                               rates, ada_opts);
+    ASSERT_EQ(ref.size(), ada.size());
+
+    std::uint64_t ref_cycles = 0;
+    std::uint64_t ada_cycles = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("rate " + std::to_string(rates[i]));
+        ref_cycles += ref[i].simulatedCycles;
+        ada_cycles += ada[i].simulatedCycles;
+        // Identical saturation-region classification per point.
+        EXPECT_EQ(inSaturationRegion(ref[i]),
+                  inSaturationRegion(ada[i]));
+        // Pre-saturation latencies agree closely point by point.
+        if (!inSaturationRegion(ref[i])) {
+            EXPECT_NEAR(ada[i].avgLatencyNs, ref[i].avgLatencyNs,
+                        0.015 * ref[i].avgLatencyNs);
+        }
+    }
+    // The acceptance bar: >= 40% fewer simulated cycles overall.
+    EXPECT_LE(static_cast<double>(ada_cycles),
+              0.6 * static_cast<double>(ref_cycles));
+    // ... and the sweep-level pre-saturation mean within 1%.
+    double ref_mean = preSaturationAvgLatencyNs(ref);
+    double ada_mean = preSaturationAvgLatencyNs(ada);
+    EXPECT_NEAR(ada_mean, ref_mean, 0.01 * ref_mean);
+}
+
+TEST(AdaptiveHarness, ReferenceModeIgnoresAdaptiveKnobs)
+{
+    // Reference mode must be byte-for-byte the seed behavior no
+    // matter how the adaptive knobs are set.
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    SimPointOptions plain = benchOptions(0.03);
+    SimPointOptions tweaked = benchOptions(0.03);
+    tweaked.control.ciTarget = 0.5;
+    tweaked.control.minBatches = 2;
+    tweaked.control.warmupEpochs = 1;
+    auto a = runOpenLoop(cfg, TrafficPattern::UniformRandom, plain);
+    auto b = runOpenLoop(cfg, TrafficPattern::UniformRandom, tweaked);
+    EXPECT_EQ(a.avgLatencyNs, b.avgLatencyNs);
+    EXPECT_EQ(a.simulatedCycles, b.simulatedCycles);
+    EXPECT_EQ(a.stopReason, StopReason::FixedWindow);
+    EXPECT_EQ(b.stopReason, StopReason::FixedWindow);
+}
+
+TEST(AdaptiveHarness, AdaptiveBitIdenticalAcrossThreadCounts)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline);
+    const std::vector<double> rates = {0.01, 0.04, 0.07};
+    SimPointOptions opts = adaptiveOptions(0.0);
+
+    auto serial = sweepLoadSerial(cfg, TrafficPattern::UniformRandom,
+                                  rates, opts);
+    for (int threads : {1, 3, 4}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        JobPool pool(threads);
+        auto par = sweepLoad(cfg, TrafficPattern::UniformRandom,
+                             rates, opts, &pool);
+        ASSERT_EQ(par.size(), serial.size());
+        for (std::size_t i = 0; i < par.size(); ++i) {
+            SCOPED_TRACE("point " + std::to_string(i));
+            EXPECT_EQ(par[i].avgLatencyNs, serial[i].avgLatencyNs);
+            EXPECT_EQ(par[i].simulatedCycles,
+                      serial[i].simulatedCycles);
+            EXPECT_EQ(par[i].warmupCyclesUsed,
+                      serial[i].warmupCyclesUsed);
+            EXPECT_EQ(par[i].measureCyclesUsed,
+                      serial[i].measureCyclesUsed);
+            EXPECT_EQ(par[i].stopReason, serial[i].stopReason);
+            EXPECT_EQ(par[i].ciRelHalfWidth,
+                      serial[i].ciRelHalfWidth);
+            EXPECT_EQ(par[i].ciHistory, serial[i].ciHistory);
+            EXPECT_EQ(par[i].saturated, serial[i].saturated);
+            EXPECT_EQ(par[i].drainTruncated,
+                      serial[i].drainTruncated);
+        }
+    }
+}
+
+} // namespace
+} // namespace hnoc

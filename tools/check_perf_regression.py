@@ -24,6 +24,22 @@ always-step escape hatch:
         --candidate-benchmark 'stepLoad/mesh_low_active' \
         --min-speedup 2.0
 
+Counter mode gates a user counter instead of real_time, which is how
+CI checks the adaptive simulation controller against the fixed-window
+reference (counters are deterministic, so these gates are noise-free):
+
+    # adaptive must simulate >= 40% fewer cycles
+    check_perf_regression.py on.json on.json \
+        --benchmark 'adaptiveSweep/fig07_ur_reference' \
+        --candidate-benchmark 'adaptiveSweep/fig07_ur_adaptive' \
+        --counter simulated_cycles --min-reduction-pct 40.0
+
+    # ...while pre-saturation latency agrees within 1%
+    ... --counter presat_latency_ns --max-delta-pct 1.0
+
+    # ...and both classify the same points as saturated
+    ... --counter saturated_points --require-equal
+
 Either input may also be an `hnoc-perf-trajectory-v1` snapshot (the
 distilled file make_perf_trajectory.py writes), so a committed
 BENCH_trajectory.json can serve as the recorded baseline.
@@ -122,6 +138,59 @@ def best_time(path, name):
     return min(times)
 
 
+def best_counter(path, name, counter):
+    """Value of a user counter for series `name` in a benchmark file.
+
+    Counters in this repo are pure functions of simulated data, so
+    every repetition carries the same value; the first non-aggregate
+    entry is taken. Also accepts an `hnoc-perf-trajectory-v1`
+    snapshot, reading the per-series 'counters' map.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise DataError(f"cannot read {path}: {e}")
+    except ValueError as e:
+        raise DataError(f"{path} is not valid JSON: {e}")
+    if (
+        isinstance(doc, dict)
+        and doc.get("schema") == "hnoc-perf-trajectory-v1"
+    ):
+        entry = doc.get("benchmarks", {}).get(name)
+        if not isinstance(entry, dict):
+            raise DataError(f"no '{name}' series in trajectory {path}")
+        v = entry.get("counters", {}).get(counter)
+        if not isinstance(v, (int, float)):
+            raise DataError(
+                f"trajectory {path}: series '{name}' has no counter "
+                f"'{counter}'"
+            )
+        return v
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("benchmarks"), list
+    ):
+        raise DataError(
+            f"{path}: expected a google-benchmark JSON object with a "
+            f"'benchmarks' array (got {type(doc).__name__})"
+        )
+    for b in doc["benchmarks"]:
+        if not isinstance(b, dict):
+            continue
+        if b.get("run_name", b.get("name")) != name:
+            continue
+        if b.get("run_type", "iteration") == "aggregate":
+            continue
+        v = b.get(counter)
+        if not isinstance(v, (int, float)):
+            raise DataError(
+                f"{path}: benchmark '{name}' has no numeric counter "
+                f"'{counter}'"
+            )
+        return v
+    raise DataError(f"no '{name}' runs in {path}")
+
+
 def compare(
     baseline,
     candidate,
@@ -130,22 +199,86 @@ def compare(
     out=sys.stdout,
     candidate_benchmark=None,
     min_speedup=None,
+    counter=None,
+    min_reduction_pct=None,
+    max_delta_pct=None,
+    require_equal=False,
 ):
     """Core comparison; returns the process exit code.
 
     With `candidate_benchmark`, the candidate file is read at that
     series instead of `benchmark` (cross-benchmark A/B). With
     `min_speedup`, the gate is baseline/candidate >= min_speedup
-    instead of the regression-percentage bound.
+    instead of the regression-percentage bound. With `counter`, the
+    named user counter is compared instead of real_time, under one of
+    three gates: `min_reduction_pct` (candidate must be at least that
+    much smaller), `max_delta_pct` (absolute relative delta bound), or
+    `require_equal` (exact match).
     """
     cand_name = candidate_benchmark or benchmark
-    base = best_time(baseline, benchmark)
-    cand = best_time(candidate, cand_name)
     label = (
         benchmark
         if cand_name == benchmark
         else f"{benchmark} -> {cand_name}"
     )
+    if counter is not None:
+        base = best_counter(baseline, benchmark, counter)
+        cand = best_counter(candidate, cand_name, counter)
+        if require_equal:
+            print(
+                f"{label} [{counter}]: baseline {base:g}, candidate "
+                f"{cand:g} (required equal)",
+                file=out,
+            )
+            if base != cand:
+                print(
+                    f"FAIL: counter '{counter}' differs", file=sys.stderr
+                )
+                return 1
+            print("OK", file=out)
+            return 0
+        if base == 0:
+            raise DataError(
+                f"counter '{counter}' baseline is 0; relative gates "
+                f"are undefined"
+            )
+        if min_reduction_pct is not None:
+            reduction = (base - cand) / base * 100.0
+            print(
+                f"{label} [{counter}]: baseline {base:g}, candidate "
+                f"{cand:g}, reduction {reduction:.2f}% "
+                f"(required >= {min_reduction_pct:.2f}%)",
+                file=out,
+            )
+            if reduction < min_reduction_pct:
+                print(
+                    "FAIL: counter reduction below required minimum",
+                    file=sys.stderr,
+                )
+                return 1
+            print("OK", file=out)
+            return 0
+        if max_delta_pct is not None:
+            delta = abs(cand - base) / abs(base) * 100.0
+            print(
+                f"{label} [{counter}]: baseline {base:g}, candidate "
+                f"{cand:g}, |delta| {delta:.3f}% "
+                f"(limit {max_delta_pct:.3f}%)",
+                file=out,
+            )
+            if delta > max_delta_pct:
+                print(
+                    "FAIL: counter delta over threshold", file=sys.stderr
+                )
+                return 1
+            print("OK", file=out)
+            return 0
+        raise DataError(
+            "--counter needs one of --min-reduction-pct, "
+            "--max-delta-pct, or --require-equal"
+        )
+    base = best_time(baseline, benchmark)
+    cand = best_time(candidate, cand_name)
     if min_speedup is not None:
         speedup = base / cand
         print(
@@ -283,6 +416,100 @@ def self_test():
             1,
         )
 
+        # Counter gates: reduction, delta bound, exact match.
+        ctr = bench_file(
+            tmp,
+            "ctr.json",
+            [
+                entry(
+                    "sweep/ref",
+                    5.0,
+                    simulated_cycles=100000.0,
+                    presat_latency_ns=20.0,
+                    saturated_points=1.0,
+                ),
+                entry(
+                    "sweep/ada",
+                    2.0,
+                    simulated_cycles=50000.0,
+                    presat_latency_ns=20.1,
+                    saturated_points=1.0,
+                ),
+            ],
+        )
+        check(
+            "counter read from raw JSON",
+            best_counter(ctr, "sweep/ref", "simulated_cycles"),
+            100000.0,
+        )
+        check(
+            "counter reduction gate met",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="simulated_cycles", min_reduction_pct=40.0,
+            ),
+            0,
+        )
+        check(
+            "counter reduction gate missed",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="simulated_cycles", min_reduction_pct=60.0,
+            ),
+            1,
+        )
+        check(
+            "counter delta within bound",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="presat_latency_ns", max_delta_pct=1.0,
+            ),
+            0,
+        )
+        check(
+            "counter delta over bound",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="presat_latency_ns", max_delta_pct=0.1,
+            ),
+            1,
+        )
+        check(
+            "counter equality met",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="saturated_points", require_equal=True,
+            ),
+            0,
+        )
+        check(
+            "counter inequality fails",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="simulated_cycles", require_equal=True,
+            ),
+            1,
+        )
+        expect_data_error(
+            "missing counter explained",
+            lambda: best_counter(ctr, "sweep/ref", "nope"),
+            "nope",
+        )
+        expect_data_error(
+            "counter without a gate rejected",
+            lambda: compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, counter="simulated_cycles",
+            ),
+            "--min-reduction-pct",
+        )
+
         # Trajectory-v1 snapshots as inputs (recorded baselines).
         traj = os.path.join(tmp, "traj.json")
         with open(traj, "w") as f:
@@ -294,12 +521,23 @@ def self_test():
                             "median_ns": 105.0,
                             "min_ns": 100.0,
                             "repetitions": 7,
+                            "counters": {"simulated_cycles": 100000.0},
                         }
                     },
                 },
                 f,
             )
         check("trajectory min_ns read", best_time(traj, "BM_X"), 100.0)
+        check(
+            "trajectory counter read",
+            best_counter(traj, "BM_X", "simulated_cycles"),
+            100000.0,
+        )
+        expect_data_error(
+            "trajectory missing counter explained",
+            lambda: best_counter(traj, "BM_X", "nope"),
+            "nope",
+        )
         check(
             "trajectory baseline vs raw candidate",
             compare(traj, ok, "BM_X", 2.0, out=devnull),
@@ -373,6 +611,29 @@ def main():
         help="require baseline/candidate >= this factor instead of the "
         "regression bound (e.g. 2.0 for the active-set low-load gate)",
     )
+    ap.add_argument(
+        "--counter",
+        help="compare this user counter instead of real_time; needs "
+        "one of --min-reduction-pct / --max-delta-pct / --require-equal",
+    )
+    ap.add_argument(
+        "--min-reduction-pct",
+        type=float,
+        help="with --counter: candidate must be at least this percent "
+        "smaller than baseline (adaptive cycle-savings gate)",
+    )
+    ap.add_argument(
+        "--max-delta-pct",
+        type=float,
+        help="with --counter: |candidate-baseline|/baseline must stay "
+        "within this percent (latency-agreement gate)",
+    )
+    ap.add_argument(
+        "--require-equal",
+        action="store_true",
+        help="with --counter: values must match exactly "
+        "(saturation-classification gate)",
+    )
     args = ap.parse_args()
 
     try:
@@ -383,6 +644,10 @@ def main():
             args.max_regression_pct,
             candidate_benchmark=args.candidate_benchmark,
             min_speedup=args.min_speedup,
+            counter=args.counter,
+            min_reduction_pct=args.min_reduction_pct,
+            max_delta_pct=args.max_delta_pct,
+            require_equal=args.require_equal,
         )
     except DataError as e:
         print(f"error: {e}", file=sys.stderr)

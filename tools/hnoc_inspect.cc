@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "telemetry/json_reader.hh"
 
 using hnoc::JsonValue;
@@ -45,6 +46,16 @@ usage()
         "deltas over\n"
         "                                 PCT%% are flagged (default "
         "5%%)\n"
+        "  converge <report.json> [-t PCT]\n"
+        "                                 stopping-rule analysis per "
+        "point:\n"
+        "                                 stop reason, cycles, CI "
+        "trajectory,\n"
+        "                                 offline warmup cutoff over "
+        "the\n"
+        "                                 telemetry epoch series "
+        "(default\n"
+        "                                 CI target 2%%)\n"
         "  postmortem <dump.json> [-n N]  summarize an "
         "hnoc-postmortem-v1 dump,\n"
         "                                 printing the last N recorder "
@@ -298,6 +309,88 @@ cmdDiff(const std::string &path_a, const std::string &path_b,
     return fail_over && flagged > 0 ? 2 : 0;
 }
 
+// --------------------------------------------------------------- converge
+
+/** Per-epoch total of a per-router epoch series ("flits_routed"...). */
+std::vector<double>
+epochTotals(const JsonValue &epochs, const char *key)
+{
+    std::vector<double> out;
+    for (const JsonValue &row : epochs.arrayAt(key)) {
+        double total = 0.0;
+        for (const JsonValue &v : row.array)
+            if (v.isNumber())
+                total += v.number;
+        out.push_back(total);
+    }
+    return out;
+}
+
+int
+cmdConverge(const std::string &path, double target_pct)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+    double target = target_pct / 100.0;
+
+    if (const JsonValue *reasons = doc.find("stop_reasons")) {
+        std::printf("stop reasons:");
+        for (const auto &[name, n] : reasons->object)
+            if (n.isNumber() && n.number > 0)
+                std::printf("  %s=%.0f", name.c_str(), n.number);
+        std::printf("\n\n");
+    }
+
+    std::printf("%-24s %-16s %10s %8s %8s\n", "label", "stop", "cycles",
+                "CI %", "batches");
+    for (const JsonValue &p : doc.arrayAt("points")) {
+        std::vector<double> hist = p.numbersAt("ci_history");
+        double ci = p.numAt("ci_rel_half_width", -1.0);
+        std::string stop = p.strAt("stop_reason");
+        if (stop.empty())
+            stop = "-";
+        char cibuf[16];
+        if (ci >= 0.0)
+            std::snprintf(cibuf, sizeof(cibuf), "%.2f", ci * 100.0);
+        else
+            std::snprintf(cibuf, sizeof(cibuf), "-");
+        std::printf("%-24s %-16s %10.0f %8s %8zu\n",
+                    p.strAt("label").c_str(), stop.c_str(),
+                    p.numAt("simulated_cycles", 0), cibuf,
+                    hist.size());
+        // Batch at which the CI trajectory first crossed the target —
+        // the would-have-stopped point for any target, not just the
+        // one the run used.
+        for (std::size_t i = 0; i < hist.size(); ++i) {
+            if (hist[i] >= 0.0 && hist[i] <= target) {
+                std::printf("%24s CI <= %.1f%% after batch %zu\n", "",
+                            target_pct, i + 1);
+                break;
+            }
+        }
+
+        // Offline stopping-rule replay over the recorded telemetry
+        // epoch series (same helpers the live controller uses).
+        const JsonValue *tel = p.find("telemetry");
+        const JsonValue *epochs = tel ? tel->find("epochs") : nullptr;
+        if (!epochs)
+            continue;
+        std::vector<double> flits = epochTotals(*epochs, "flits_routed");
+        if (flits.size() < 2)
+            continue;
+        int cut = hnoc::steadyEpochCutoff(flits, 0.05, 3);
+        hnoc::EpochSeriesCi s = hnoc::epochSeriesCi(
+            flits, cut > 0 ? static_cast<std::size_t>(cut) : 0);
+        std::printf("%24s epochs: %zu, steady from %d, "
+                    "mean flits/epoch %.0f, CI %.2f%%\n",
+                    "", flits.size(), cut, s.mean,
+                    std::isfinite(s.relHalfWidth)
+                        ? s.relHalfWidth * 100.0
+                        : -1.0);
+    }
+    return 0;
+}
+
 // ------------------------------------------------------------- postmortem
 
 int
@@ -523,6 +616,19 @@ main(int argc, char **argv)
             }
         }
         return cmdDiff(argv[2], argv[3], threshold, fail_over);
+    }
+    if (cmd == "converge") {
+        if (argc < 3)
+            return usage();
+        double target = 2.0;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+                target = std::atof(argv[++i]);
+            } else {
+                return usage();
+            }
+        }
+        return cmdConverge(argv[2], target);
     }
     if (cmd == "postmortem") {
         if (argc < 3)

@@ -6,13 +6,17 @@
 
 Reads one --benchmark_out file (the HNOC_TELEMETRY=ON build) and writes
 `hnoc-perf-trajectory-v1` JSON: per-benchmark median/min real_time over
-repetitions, plus — when --off supplies the HNOC_TELEMETRY=OFF run of
-the same suite — the telemetry hot-path overhead percentage that the CI
-regression gate enforces. When the input contains stepLoad A/B pairs
-(`stepLoad/<case>_active` vs `stepLoad/<case>_always`), a
-`scheduler_speedup` map records the active-set speedup per case. The
-output is small and stable, meant to be committed or archived per PR so
-perf history survives CI log rotation.
+repetitions (plus any user counters), plus — when --off supplies the
+HNOC_TELEMETRY=OFF run of the same suite — the telemetry hot-path
+overhead percentage that the CI regression gate enforces. When the
+input contains stepLoad A/B pairs (`stepLoad/<case>_active` vs
+`stepLoad/<case>_always`), a `scheduler_speedup` map records the
+active-set speedup per case. When it contains the adaptiveSweep pair
+(`adaptiveSweep/fig07_ur_reference` vs `.../fig07_ur_adaptive`), an
+`adaptive_cycles_saved` block records the simulated-cycle savings and
+latency drift of the adaptive simulation controller. The output is
+small and stable, meant to be committed or archived per PR so perf
+history survives CI log rotation.
 
 Exit status: 0 on success, 2 on missing/malformed input.
 """
@@ -23,8 +27,37 @@ import statistics
 import sys
 
 
+# Google-benchmark entry keys that are not user counters.
+_STANDARD_KEYS = frozenset(
+    {
+        "name",
+        "run_name",
+        "run_type",
+        "family_index",
+        "per_family_instance_index",
+        "repetitions",
+        "repetition_index",
+        "threads",
+        "iterations",
+        "real_time",
+        "cpu_time",
+        "time_unit",
+        "items_per_second",
+        "bytes_per_second",
+        "label",
+        "aggregate_name",
+        "aggregate_unit",
+    }
+)
+
+
 def load_series(path):
     """Map benchmark run_name -> list of per-repetition real_time."""
+    return _load(path)[0]
+
+
+def _load(path):
+    """(run_name -> [real_time...], run_name -> {counter: value})."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -42,6 +75,7 @@ def load_series(path):
         )
         sys.exit(2)
     series = {}
+    counters = {}
     for b in runs:
         if not isinstance(b, dict):
             continue
@@ -50,17 +84,23 @@ def load_series(path):
         t = b.get("real_time")
         if not isinstance(t, (int, float)):
             continue
-        series.setdefault(b.get("run_name", b.get("name", "?")), []).append(
-            float(t)
-        )
+        name = b.get("run_name", b.get("name", "?"))
+        series.setdefault(name, []).append(float(t))
+        ctrs = {
+            k: float(v)
+            for k, v in b.items()
+            if k not in _STANDARD_KEYS and isinstance(v, (int, float))
+        }
+        if ctrs:
+            counters[name] = ctrs
     if not series:
         sys.stderr.write(f"error: no benchmark iterations in {path}\n")
         sys.exit(2)
-    return series
+    return series, counters
 
 
-def summarize(series):
-    return {
+def summarize(series, counters=None):
+    out = {
         name: {
             "median_ns": statistics.median(times),
             "min_ns": min(times),
@@ -68,6 +108,41 @@ def summarize(series):
         }
         for name, times in sorted(series.items())
     }
+    for name, ctrs in (counters or {}).items():
+        if name in out:
+            out[name]["counters"] = ctrs
+    return out
+
+
+def adaptive_cycles_saved(counters):
+    """Cycle savings of the adaptive controller from the sweep pair.
+
+    Needs the `simulated_cycles` counters of both
+    `adaptiveSweep/fig07_ur_reference` and `.../fig07_ur_adaptive`;
+    returns None when either half (or the counter) is missing.
+    """
+    ref = counters.get("adaptiveSweep/fig07_ur_reference", {})
+    ada = counters.get("adaptiveSweep/fig07_ur_adaptive", {})
+    if not ref.get("simulated_cycles") or not ada.get("simulated_cycles"):
+        return None
+    ref_cycles = ref["simulated_cycles"]
+    ada_cycles = ada["simulated_cycles"]
+    out = {
+        "reference_cycles": ref_cycles,
+        "adaptive_cycles": ada_cycles,
+        "saved_pct": (ref_cycles - ada_cycles) / ref_cycles * 100.0,
+    }
+    ref_lat = ref.get("presat_latency_ns")
+    ada_lat = ada.get("presat_latency_ns")
+    if ref_lat:
+        out["presat_latency_delta_pct"] = (
+            (ada_lat - ref_lat) / ref_lat * 100.0
+        )
+    if "saturated_points" in ref and "saturated_points" in ada:
+        out["saturation_match"] = (
+            ref["saturated_points"] == ada["saturated_points"]
+        )
+    return out
 
 
 def scheduler_speedups(series):
@@ -117,15 +192,18 @@ def main():
     )
     args = ap.parse_args()
 
-    on = load_series(args.bench_json)
+    on, on_counters = _load(args.bench_json)
     out = {
         "schema": "hnoc-perf-trajectory-v1",
         "source": args.bench_json,
-        "benchmarks": summarize(on),
+        "benchmarks": summarize(on, on_counters),
     }
     speedups = scheduler_speedups(on)
     if speedups:
         out["scheduler_speedup"] = speedups
+    adaptive = adaptive_cycles_saved(on_counters)
+    if adaptive:
+        out["adaptive_cycles_saved"] = adaptive
 
     if args.off:
         off = load_series(args.off)
@@ -164,6 +242,8 @@ def main():
     tail = f", telemetry overhead {overhead:+.2f}%" if overhead is not None else ""
     if speedups:
         tail += f", {len(speedups)} scheduler speedup pair(s)"
+    if adaptive:
+        tail += f", adaptive saves {adaptive['saved_pct']:.1f}% cycles"
     print(f"{args.output}: {n} benchmark(s){tail}")
     return 0
 
