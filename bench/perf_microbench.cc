@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "common/bitops.hh"
 #include "common/job_pool.hh"
 #include "heteronoc/constraints.hh"
 #include "heteronoc/layout.hh"
@@ -173,8 +174,50 @@ BENCHMARK_CAPTURE(stepLoad, hetero_sat_always, LayoutKind::DiagonalBL,
                   kSatPktRate, true, kSatInFlightCap);
 
 /**
+ * Bitmask-arbiter microbenchmark isolating the VA/SA inner loops from
+ * the rest of the router. One iteration is one arbitration cycle over
+ * an 80-slot request ring (a flatfly-scale ports * vcs product, so the
+ * multi-word mask path is exercised): a VA-style pass that visits every
+ * requester in rotating-priority order and claims the first free
+ * downstream VC, then an SA-style single-grant rotate-mask + ctz pick.
+ * dense_reqs sets every slot (the saturated-router worst case);
+ * sparse_reqs sets every 13th (the low-load common case where ctz
+ * skips whole idle words).
+ */
+void
+arbiter(benchmark::State &state, int nbits, int stride)
+{
+    std::uint64_t req[4] = {};
+    const int nwords = bitops::maskWords(nbits);
+    for (int i = 0; i < nbits; i += stride)
+        bitops::maskSet(req, i);
+    std::uint64_t alloc = 0;
+    Cycle now = 0;
+    std::uint64_t grants = 0;
+    for (auto _ : state) {
+        int start = static_cast<int>(now % nbits);
+        bitops::forEachSetCyclic(req, nwords, nbits, start, [&](int) {
+            int v = bitops::firstClearInRange64(alloc, 0, 7);
+            if (v >= 0) {
+                alloc |= std::uint64_t{1} << v;
+                ++grants;
+            }
+            return true;
+        });
+        alloc = 0;
+        int g = bitops::pickRoundRobin(req, nwords, nbits, start);
+        benchmark::DoNotOptimize(g);
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(grants));
+    benchmark::DoNotOptimize(grants);
+}
+BENCHMARK_CAPTURE(arbiter, dense_reqs, 80, 1);
+BENCHMARK_CAPTURE(arbiter, sparse_reqs, 80, 13);
+
+/**
  * Cycles/second of an idle network: no injection, so every router's
- * routeCompute should skip all ports via the rcPending fast path.
+ * routeCompute should skip all slots via the empty-rcMask fast path.
  */
 void
 BM_NetworkStepIdle(benchmark::State &state)

@@ -9,9 +9,11 @@
  * flips it on its own idle/busy transitions:
  *
  *  - a channel is busy while its flit or credit pipe is non-empty;
- *  - a router is busy while any input VC holds a flit (RC, VA, SA and
- *    occupancy sampling are all provably no-ops otherwise — see
- *    DESIGN.md "Active-set cycle scheduling");
+ *  - a router is busy while any input VC holds a flit (flitCount_ > 0
+ *    over the SoA core's FIFOs; a flitless router has empty rcMask /
+ *    vaReqMask / saReqMask request sets, so RC, VA, SA and occupancy
+ *    sampling are all provably no-ops — see DESIGN.md "Active-set
+ *    cycle scheduling" and "SoA router core");
  *  - an NI is busy while its source queue or an in-progress packet
  *    stream has work.
  *

@@ -92,14 +92,45 @@ class Channel
         slot_.markBusy();
     }
 
+    /**
+     * Deliver flits arriving at @p now straight to @p sink (called as
+     * sink(const Flit &)). The hot credit/flit return path hands each
+     * entry to the receiving router or NI without staging it in a
+     * scratch vector. @return count delivered.
+     */
+    template <typename Sink>
+    int
+    deliverFlitsTo(Cycle now, Sink &&sink)
+    {
+        int n = 0;
+        while (!flitPipe_.empty() && flitPipe_.front().at <= now) {
+            sink(flitPipe_.front().flit);
+            flitPipe_.pop_front();
+            ++n;
+        }
+        if (idle())
+            slot_.markIdle();
+        return n;
+    }
+
     /** Collect flits arriving at @p now. @return count delivered. */
     int
     deliverFlits(Cycle now, std::vector<Flit> &out)
     {
+        return deliverFlitsTo(now,
+                              [&](const Flit &f) { out.push_back(f); });
+    }
+
+    /** Deliver credits arriving at @p now straight to @p sink (called
+     *  as sink(VcId)). @return count delivered. */
+    template <typename Sink>
+    int
+    deliverCreditsTo(Cycle now, Sink &&sink)
+    {
         int n = 0;
-        while (!flitPipe_.empty() && flitPipe_.front().at <= now) {
-            out.push_back(flitPipe_.front().flit);
-            flitPipe_.pop_front();
+        while (!creditPipe_.empty() && creditPipe_.front().at <= now) {
+            sink(creditPipe_.front().vc);
+            creditPipe_.pop_front();
             ++n;
         }
         if (idle())
@@ -111,15 +142,8 @@ class Channel
     int
     deliverCredits(Cycle now, std::vector<VcId> &out)
     {
-        int n = 0;
-        while (!creditPipe_.empty() && creditPipe_.front().at <= now) {
-            out.push_back(creditPipe_.front().vc);
-            creditPipe_.pop_front();
-            ++n;
-        }
-        if (idle())
-            slot_.markIdle();
-        return n;
+        return deliverCreditsTo(now,
+                                [&](VcId vc) { out.push_back(vc); });
     }
 
     bool

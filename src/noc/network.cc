@@ -519,60 +519,58 @@ Network::step()
         if (alwaysStep_ ? ends_[i].chan->idle() : endBusy_[i] == 0)
             continue;
         ChannelEnds &e = ends_[i];
-        scratchFlits_.clear();
-        if (e.chan->deliverFlits(now, scratchFlits_)) {
-            if (e.sinkIsRouter) {
-                Router &r = *routers_[static_cast<std::size_t>(e.sinkRouter)];
-                for (const Flit &f : scratchFlits_)
-                    r.receiveFlit(e.sinkPort, f, now);
-            } else {
-                NetworkInterface &ni =
-                    *nis_[static_cast<std::size_t>(e.sinkNode)];
-                for (const Flit &f : scratchFlits_) {
-                    ++flitsDelivered_;
-                    if (kTelemetryEnabled && telemetry_)
-                        telemetry_->add(Ctr::FlitsEjected);
-                    Packet *done = ni.receiveFlit(f, now);
-                    if (done) {
-                        ++packetsDelivered_;
-                        --livePackets_;
-                        lastDelivery_ = now;
-                        if (kTelemetryEnabled && telemetry_) {
-                            telemetry_->add(Ctr::PacketsDelivered);
-                            telemetry_->histAdd(
-                                Hist::PacketLatencyCycles,
-                                static_cast<double>(now - done->createdAt));
-                            telemetry_->histAdd(
-                                Hist::NetworkLatencyCycles,
-                                static_cast<double>(now -
-                                                    done->injectedAt));
-                        }
-                        if (kTelemetryEnabled && recorder_)
-                            recorder_->record(FrKind::Eject, now,
-                                              done->dst, -1, -1,
-                                              done->id, true);
-                        if (observer_)
-                            observer_->onPacketDelivered(*done, now);
-                        if (client_)
-                            client_->onPacketDelivered(*this, *done, now);
-                        freePacket(done);
+        // Flits and credits are handed straight to their receiver —
+        // router input-VC SoA arrays or the NI — without staging in a
+        // scratch vector; per-channel delivery order (flits, then
+        // credits, each oldest-first) is unchanged.
+        if (e.sinkIsRouter) {
+            Router &r = *routers_[static_cast<std::size_t>(e.sinkRouter)];
+            e.chan->deliverFlitsTo(now, [&](const Flit &f) {
+                r.receiveFlit(e.sinkPort, f, now);
+            });
+        } else {
+            NetworkInterface &ni =
+                *nis_[static_cast<std::size_t>(e.sinkNode)];
+            e.chan->deliverFlitsTo(now, [&](const Flit &f) {
+                ++flitsDelivered_;
+                if (kTelemetryEnabled && telemetry_)
+                    telemetry_->add(Ctr::FlitsEjected);
+                Packet *done = ni.receiveFlit(f, now);
+                if (done) {
+                    ++packetsDelivered_;
+                    --livePackets_;
+                    lastDelivery_ = now;
+                    if (kTelemetryEnabled && telemetry_) {
+                        telemetry_->add(Ctr::PacketsDelivered);
+                        telemetry_->histAdd(
+                            Hist::PacketLatencyCycles,
+                            static_cast<double>(now - done->createdAt));
+                        telemetry_->histAdd(
+                            Hist::NetworkLatencyCycles,
+                            static_cast<double>(now - done->injectedAt));
                     }
+                    if (kTelemetryEnabled && recorder_)
+                        recorder_->record(FrKind::Eject, now, done->dst,
+                                          -1, -1, done->id, true);
+                    if (observer_)
+                        observer_->onPacketDelivered(*done, now);
+                    if (client_)
+                        client_->onPacketDelivered(*this, *done, now);
+                    freePacket(done);
                 }
-            }
+            });
         }
-        scratchCredits_.clear();
-        if (e.chan->deliverCredits(now, scratchCredits_)) {
-            if (e.driverIsRouter) {
-                Router &r =
-                    *routers_[static_cast<std::size_t>(e.driverRouter)];
-                for (VcId vc : scratchCredits_)
-                    r.receiveCredit(e.driverPort, vc, now);
-            } else {
-                NetworkInterface &ni =
-                    *nis_[static_cast<std::size_t>(e.driverNode)];
-                for (VcId vc : scratchCredits_)
-                    ni.receiveCredit(vc);
-            }
+        if (e.driverIsRouter) {
+            Router &r =
+                *routers_[static_cast<std::size_t>(e.driverRouter)];
+            e.chan->deliverCreditsTo(now, [&](VcId vc) {
+                r.receiveCredit(e.driverPort, vc, now);
+            });
+        } else {
+            NetworkInterface &ni =
+                *nis_[static_cast<std::size_t>(e.driverNode)];
+            e.chan->deliverCreditsTo(now,
+                                     [&](VcId vc) { ni.receiveCredit(vc); });
         }
     }
 

@@ -286,10 +286,6 @@ class Network
 
     std::vector<std::unique_ptr<Packet>> packetArena_;
     std::vector<Packet *> freeList_;
-
-    // Scratch buffers reused every cycle.
-    std::vector<Flit> scratchFlits_;
-    std::vector<VcId> scratchCredits_;
 };
 
 } // namespace hnoc

@@ -10,17 +10,11 @@ namespace hnoc
 Router::Router(RouterId id, int num_ports, int vcs, int buffer_depth,
                const RoutingAlgorithm &routing, int escape_threshold,
                bool intra_packet_pairing, SaPolicy sa_policy)
-    : id_(id), vcs_(vcs), bufferDepth_(buffer_depth), routing_(routing),
+    : id_(id), bufferDepth_(buffer_depth), routing_(routing),
       escapeThreshold_(escape_threshold),
-      intraPacketPairing_(intra_packet_pairing), saPolicy_(sa_policy),
-      inputs_(static_cast<std::size_t>(num_ports)),
-      outputs_(static_cast<std::size_t>(num_ports))
+      intraPacketPairing_(intra_packet_pairing), saPolicy_(sa_policy)
 {
-    for (auto &ip : inputs_) {
-        ip.vcs.resize(static_cast<std::size_t>(vcs));
-        for (auto &ivc : ip.vcs)
-            ivc.fifo.reset(static_cast<std::size_t>(buffer_depth));
-    }
+    core_.init(num_ports, vcs, buffer_depth);
     scratchGrants_.assign(static_cast<std::size_t>(num_ports), 0);
     scratchOut_.assign(static_cast<std::size_t>(num_ports), INVALID_PORT);
 }
@@ -28,34 +22,33 @@ Router::Router(RouterId id, int num_ports, int vcs, int buffer_depth,
 void
 Router::connectInput(PortId p, Channel *chan)
 {
-    inputs_[static_cast<std::size_t>(p)].chan = chan;
+    core_.inChan[static_cast<std::size_t>(p)] = chan;
 }
 
 void
 Router::connectOutput(PortId p, Channel *chan, int down_vcs, int down_depth)
 {
-    OutputPort &op = outputs_[static_cast<std::size_t>(p)];
-    op.chan = chan;
-    op.lanes = chan->lanes();
-    op.vcs.assign(static_cast<std::size_t>(down_vcs), OutVcState{});
-    for (auto &v : op.vcs)
-        v.credits = down_depth;
+    core_.connectOutput(p, chan, chan->lanes(), down_vcs, down_depth);
 }
 
 void
 Router::receiveFlit(PortId p, Flit flit, Cycle now)
 {
-    InputPort &ip = inputs_[static_cast<std::size_t>(p)];
-    if (flit.vc < 0 || flit.vc >= vcs_)
+    if (flit.vc < 0 || flit.vc >= core_.vcs)
         panic("router %d port %d: flit on invalid VC %d", id_, p, flit.vc);
-    InputVc &ivc = ip.vcs[static_cast<std::size_t>(flit.vc)];
-    if (static_cast<int>(ivc.fifo.size()) >= bufferDepth_)
+    int s = core_.slot(p, flit.vc);
+    auto si = static_cast<std::size_t>(s);
+    RingBuffer<Flit> &fifo = core_.fifo[si];
+    if (static_cast<int>(fifo.size()) >= bufferDepth_)
         panic("router %d port %d vc %d: buffer overflow (credit bug)",
               id_, p, flit.vc);
-    if (!ivc.active && ivc.fifo.empty())
-        ++ip.rcPending; // an idle VC just gained a head needing RC
+    if (fifo.empty()) {
+        core_.headArrive[si] = now; // this flit becomes the head
+        if (!core_.active(s)) // an idle VC just gained a head needing RC
+            bitops::maskSet(core_.rcMask.data(), s);
+    }
     flit.arrivedAt = now;
-    ivc.fifo.push_back(flit);
+    fifo.push_back(flit);
     ++flitCount_;
     slot_.markBusy();
     ++activity_.bufferWrites;
@@ -71,11 +64,11 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
 void
 Router::receiveCredit(PortId p, VcId vc, Cycle now)
 {
-    OutputPort &op = outputs_[static_cast<std::size_t>(p)];
-    OutVcState &ov = op.vcs[static_cast<std::size_t>(vc)];
-    if (ov.credits >= bufferDepth_ * 4) // generous sanity bound
+    RouterCore::Output &op = core_.outputs[static_cast<std::size_t>(p)];
+    int &credits = op.credits[static_cast<std::size_t>(vc)];
+    if (credits >= bufferDepth_ * 4) // generous sanity bound
         panic("router %d port %d vc %d: credit overflow", id_, p, vc);
-    ++ov.credits;
+    ++credits;
     if (kTelemetryEnabled && recorder_)
         recorder_->record(FrKind::CreditIn, now, id_, p, vc);
 }
@@ -101,259 +94,297 @@ Router::step(Cycle now)
 void
 Router::routeCompute(Cycle now)
 {
-    for (auto &ip : inputs_) {
-        if (ip.rcPending == 0)
-            continue; // no idle VC holds a waiting head
-        for (auto &ivc : ip.vcs) {
-            if (ivc.active || ivc.fifo.empty())
-                continue;
-            const Flit &head = ivc.fifo.front();
-            if (head.arrivedAt >= now)
-                continue; // written this cycle; eligible next cycle
+    // rcMask holds exactly the slots whose head flit still needs a
+    // route (a slot cannot drain while inactive, so a set bit implies
+    // a non-empty FIFO). Ascending bit order matches the legacy
+    // port-major/VC-minor nested loops.
+    if (!bitops::maskAny(core_.rcMask.data(), core_.words))
+        return;
+    bitops::forEachSetCyclic(
+        core_.rcMask.data(), core_.words, core_.total, 0, [&](int s) {
+            auto si = static_cast<std::size_t>(s);
+            if (core_.headArrive[si] >= now)
+                return true; // written this cycle; eligible next cycle
+            const Flit &head = core_.fifo[si].front();
             if (!head.isHead())
                 panic("router %d: non-head flit at idle VC (pkt %llu)",
                       id_, static_cast<unsigned long long>(
                                head.pkt ? head.pkt->id : 0));
-            ivc.pkt = head.pkt;
-            ivc.active = true;
-            --ip.rcPending;
-            ivc.outPort = routing_.outputPort(id_, *ivc.pkt);
-            ivc.outVc = INVALID_VC;
-            const OutputPort &op =
-                outputs_[static_cast<std::size_t>(ivc.outPort)];
-            routing_.vcBounds(id_, ivc.outPort, *ivc.pkt,
-                              static_cast<int>(op.vcs.size()),
-                              ivc.vcLo, ivc.vcHi);
-            ivc.headSince = now;
-            ++ivc.pkt->hops;
-        }
-    }
+            core_.pkt[si] = head.pkt;
+            bitops::maskSet(core_.activeMask.data(), s);
+            bitops::maskClear(core_.rcMask.data(), s);
+            bitops::maskSet(core_.vaReqMask.data(), s);
+            PortId out = routing_.outputPort(id_, *core_.pkt[si]);
+            core_.outPort[si] = out;
+            core_.outVc[si] = INVALID_VC;
+            const RouterCore::Output &op =
+                core_.outputs[static_cast<std::size_t>(out)];
+            routing_.vcBounds(id_, out, *core_.pkt[si], op.downVcs,
+                              core_.vcLo[si], core_.vcHi[si]);
+            core_.headSince[si] = now;
+            ++core_.pkt[si]->hops;
+            return true;
+        });
 }
 
 void
-Router::maybeEscape(InputVc &ivc, Cycle now)
+Router::maybeEscape(int s, Cycle now)
 {
-    if (!routing_.hasEscape(*ivc.pkt))
+    auto si = static_cast<std::size_t>(s);
+    Packet *pkt = core_.pkt[si];
+    if (!routing_.hasEscape(*pkt))
         return;
-    if (now - ivc.headSince <= static_cast<Cycle>(escapeThreshold_))
+    if (now - core_.headSince[si] <= static_cast<Cycle>(escapeThreshold_))
         return;
     // Fall back to the X-Y escape layer for the rest of the journey.
-    ivc.pkt->escaped = true;
-    ivc.outPort = routing_.outputPort(id_, *ivc.pkt);
-    const OutputPort &op = outputs_[static_cast<std::size_t>(ivc.outPort)];
-    routing_.vcBounds(id_, ivc.outPort, *ivc.pkt,
-                      static_cast<int>(op.vcs.size()), ivc.vcLo, ivc.vcHi);
-    ivc.headSince = now;
+    // The slot holds no output VC yet (escape happens before the VA
+    // grant), so it sits in no SA candidate mask and the output port
+    // can change freely.
+    pkt->escaped = true;
+    PortId out = routing_.outputPort(id_, *pkt);
+    core_.outPort[si] = out;
+    const RouterCore::Output &op =
+        core_.outputs[static_cast<std::size_t>(out)];
+    routing_.vcBounds(id_, out, *pkt, op.downVcs, core_.vcLo[si],
+                      core_.vcHi[si]);
+    core_.headSince[si] = now;
 }
 
 void
 Router::vcAllocate(Cycle now)
 {
-    // Separable, output-side allocator: walk input VCs round-robin and
-    // hand each requester the first free admissible downstream VC. The
-    // rotating pointer is a pure function of the cycle number (it used
-    // to advance by one every stepped cycle from zero), so skipping
-    // idle cycles leaves the priority sequence unchanged.
-    int num_ports = numPorts();
-    int total = num_ports * vcs_;
+    // Separable, output-side allocator: walk the requesting input VCs
+    // (vaReqMask = active without an output VC) round-robin and hand
+    // each the first free admissible downstream VC — a single
+    // ctz over ~allocMask masked to [vcLo, vcHi]. The rotating pointer
+    // is a pure function of the cycle number (it used to advance by
+    // one every stepped cycle from zero), so skipping idle cycles
+    // leaves the priority sequence unchanged; iterating only the set
+    // bits preserves the visit order of the legacy all-slot scan
+    // because non-requesters were skipped there anyway.
+    if (!bitops::maskAny(core_.vaReqMask.data(), core_.words))
+        return;
+    int total = core_.total;
     int ptr = static_cast<int>(now % static_cast<Cycle>(total));
-    for (int k = 0; k < total; ++k) {
-        int idx = (ptr + k) % total;
-        InputVc &ivc = inputs_[static_cast<std::size_t>(idx / vcs_)]
-                           .vcs[static_cast<std::size_t>(idx % vcs_)];
-        if (!ivc.active || ivc.outVc != INVALID_VC)
-            continue;
-        if (ivc.fifo.empty() || ivc.fifo.front().arrivedAt >= now)
-            continue;
-        maybeEscape(ivc, now);
-        OutputPort &op = outputs_[static_cast<std::size_t>(ivc.outPort)];
-        for (VcId v = ivc.vcLo; v <= ivc.vcHi; ++v) {
-            OutVcState &ov = op.vcs[static_cast<std::size_t>(v)];
-            if (!ov.allocated) {
-                ov.allocated = true;
-                ivc.outVc = v;
-                ivc.headSince = now;
+    bitops::forEachSetCyclic(
+        core_.vaReqMask.data(), core_.words, total, ptr, [&](int s) {
+            auto si = static_cast<std::size_t>(s);
+            if (core_.fifo[si].empty() || core_.headArrive[si] >= now)
+                return true;
+            maybeEscape(s, now);
+            RouterCore::Output &op =
+                core_.outputs[static_cast<std::size_t>(core_.outPort[si])];
+            int v = bitops::firstClearInRange64(
+                op.allocMask, core_.vcLo[si], core_.vcHi[si]);
+            if (v >= 0) {
+                op.allocMask |= std::uint64_t{1} << v;
+                core_.outVc[si] = v;
+                core_.headSince[si] = now;
                 ++activity_.arbOps;
-                break;
+                bitops::maskClear(core_.vaReqMask.data(), s);
+                bitops::maskSet(core_.saReq(core_.outPort[si]), s);
             }
-        }
-        if (kTelemetryEnabled && telemetry_ && ivc.outVc == INVALID_VC)
-            telemetry_->add(Ctr::VaConflicts, id_, idx / vcs_,
-                            idx % vcs_);
-        if (kTelemetryEnabled && recorder_)
-            recorder_->record(ivc.outVc == INVALID_VC ? FrKind::VaDeny
-                                                      : FrKind::VaGrant,
-                              now, id_, idx / vcs_, idx % vcs_,
-                              ivc.pkt ? ivc.pkt->id : 0);
-    }
+            if (kTelemetryEnabled && telemetry_ && v < 0)
+                telemetry_->add(Ctr::VaConflicts, id_, s / core_.vcs,
+                                s % core_.vcs);
+            if (kTelemetryEnabled && recorder_)
+                recorder_->record(v < 0 ? FrKind::VaDeny
+                                        : FrKind::VaGrant,
+                                  now, id_, s / core_.vcs,
+                                  s % core_.vcs,
+                                  core_.pkt[si] ? core_.pkt[si]->id : 0);
+            return true;
+        });
 }
 
 void
 Router::switchAllocate(Cycle now)
 {
-    int num_ports = numPorts();
-    int total = num_ports * vcs_;
-
     // Per-input-port grant bookkeeping: at most two reads per input
     // port per cycle (the DSET split of §3.2), and when two, both must
     // feed the same output port (one v:1 arbiter per input, Fig 6).
     // Member scratch vectors: assign() reuses their capacity, so the
     // steady state allocates nothing.
-    scratchGrants_.assign(static_cast<std::size_t>(num_ports), 0);
-    scratchOut_.assign(static_cast<std::size_t>(num_ports), INVALID_PORT);
+    scratchGrants_.assign(static_cast<std::size_t>(core_.ports), 0);
+    scratchOut_.assign(static_cast<std::size_t>(core_.ports),
+                       INVALID_PORT);
+    for (PortId o = 0; o < core_.ports; ++o)
+        switchAllocatePort(o, now);
+}
 
-    for (PortId o = 0; o < num_ports; ++o) {
-        OutputPort &op = outputs_[static_cast<std::size_t>(o)];
-        if (!op.chan)
-            continue;
-        int capacity = op.lanes > 1 ? 2 : 1;
-        int granted = 0;
+void
+Router::switchAllocatePort(PortId o, Cycle now)
+{
+    RouterCore::Output &op = core_.outputs[static_cast<std::size_t>(o)];
+    if (!op.chan)
+        return;
+    // The candidate set (active slots holding a VC on this output) is
+    // maintained incrementally by VA grants and tail departures; an
+    // empty mask means the legacy all-slot scan would have granted
+    // nothing and left rrOffset unchanged, so the port is skipped
+    // outright.
+    std::uint64_t *req = core_.saReq(o);
+    if (!bitops::maskAny(req, core_.words))
+        return;
 
-        // Rotating priority: the legacy pointer advanced by
-        // (granted + 1) per stepped cycle; splitting it into the
-        // implicit cycle count plus a grant-only offset makes it
-        // insensitive to skipped idle cycles (granted is zero on any
-        // cycle the router could have been skipped).
-        int ptr = static_cast<int>(
-            (static_cast<Cycle>(op.rrOffset) + now) %
-            static_cast<Cycle>(total));
+    int total = core_.total;
+    int capacity = op.lanes > 1 ? 2 : 1;
+    int granted = 0;
 
-        // Candidate visiting order: rotating priority, or oldest
-        // waiting head first (SaPolicy::OldestFirst). RoundRobin
-        // computes indices inline; OldestFirst materializes the order
-        // to sort it.
-        const bool oldest_first = saPolicy_ == SaPolicy::OldestFirst;
-        if (oldest_first) {
-            scratchOrder_.clear();
-            for (int k = 0; k < total; ++k)
-                scratchOrder_.push_back((ptr + k) % total);
-            std::stable_sort(
-                scratchOrder_.begin(), scratchOrder_.end(),
-                [&](int a, int b) {
-                    const InputVc &va =
-                        inputs_[static_cast<std::size_t>(a / vcs_)]
-                            .vcs[static_cast<std::size_t>(a % vcs_)];
-                    const InputVc &vb =
-                        inputs_[static_cast<std::size_t>(b / vcs_)]
-                            .vcs[static_cast<std::size_t>(b % vcs_)];
-                    return va.headSince < vb.headSince;
-                });
+    // Rotating priority: the legacy pointer advanced by
+    // (granted + 1) per stepped cycle; splitting it into the
+    // implicit cycle count plus a grant-only offset makes it
+    // insensitive to skipped idle cycles (granted is zero on any
+    // cycle the router could have been skipped).
+    int ptr = static_cast<int>((static_cast<Cycle>(op.rrOffset) + now) %
+                               static_cast<Cycle>(total));
+
+    // Grant: pop the flit and push it into the output channel.
+    // Returns true when the packet finished at this hop (tail sent).
+    auto send_one = [&](int s, std::size_t si, PortId in_port,
+                        int &pg) -> bool {
+        RingBuffer<Flit> &fifo = core_.fifo[si];
+        VcId out_vc = core_.outVc[si];
+        Flit flit = fifo.front();
+        fifo.pop_front();
+        core_.refreshHead(s);
+        --flitCount_;
+        --op.credits[static_cast<std::size_t>(out_vc)];
+        flit.vc = out_vc;
+        op.chan->sendFlit(flit, now);
+        if (observer_)
+            observer_->onFlitDepart(id_, o, flit, now);
+
+        ++pg;
+        scratchOut_[static_cast<std::size_t>(in_port)] = o;
+        ++granted;
+        ++activity_.bufferReads;
+        ++activity_.xbarTraversals;
+        ++activity_.arbOps;
+        if (kTelemetryEnabled && telemetry_) {
+            telemetry_->add(Ctr::XbarGrants, id_, o);
+            telemetry_->add(Ctr::BufferReads, id_, in_port);
         }
-
-        for (int k = 0; k < total && granted < capacity; ++k) {
-            int idx = oldest_first
-                          ? scratchOrder_[static_cast<std::size_t>(k)]
-                          : (ptr + k) % total;
-            PortId in_port = idx / vcs_;
-            InputVc &ivc =
-                inputs_[static_cast<std::size_t>(in_port)]
-                    .vcs[static_cast<std::size_t>(idx % vcs_)];
-            if (!ivc.active || ivc.outPort != o ||
-                ivc.outVc == INVALID_VC)
-                continue;
-            if (ivc.fifo.empty() || ivc.fifo.front().arrivedAt >= now)
-                continue;
-            OutVcState &ov = op.vcs[static_cast<std::size_t>(ivc.outVc)];
-            if (ov.credits <= 0) {
-                if (kTelemetryEnabled && telemetry_)
-                    telemetry_->add(Ctr::CreditStalls, id_, o);
-                if (kTelemetryEnabled && recorder_)
-                    recorder_->record(FrKind::CreditStall, now, id_, o,
-                                      ivc.outVc,
-                                      ivc.pkt ? ivc.pkt->id : 0);
-                continue;
-            }
-            int &pg = scratchGrants_[static_cast<std::size_t>(in_port)];
-            if (pg >= 2)
-                continue;
-            if (pg == 1 &&
-                scratchOut_[static_cast<std::size_t>(in_port)] != o)
-                continue;
-
-            // Grant: pop the flit and push it into the output channel.
-            auto send_one = [&] {
-                Flit flit = ivc.fifo.front();
-                ivc.fifo.pop_front();
-                --flitCount_;
-                --ov.credits;
-                flit.vc = ivc.outVc;
-                op.chan->sendFlit(flit, now);
-                if (observer_)
-                    observer_->onFlitDepart(id_, o, flit, now);
-
-                ++pg;
-                scratchOut_[static_cast<std::size_t>(in_port)] = o;
-                ++granted;
-                ++activity_.bufferReads;
-                ++activity_.xbarTraversals;
-                ++activity_.arbOps;
-                if (kTelemetryEnabled && telemetry_) {
-                    telemetry_->add(Ctr::XbarGrants, id_, o);
-                    telemetry_->add(Ctr::BufferReads, id_, in_port);
-                }
-                if (kTelemetryEnabled && recorder_) {
-                    recorder_->record(FrKind::FlitOut, now, id_, o,
-                                      flit.vc,
-                                      flit.pkt ? flit.pkt->id : 0,
-                                      flit.isHead());
-                    recorder_->record(FrKind::CreditOut, now, id_,
-                                      in_port, idx % vcs_);
-                }
-                // Charge the active (flit) bits, not the full wire
-                // width: an unpaired flit on a wide link toggles only
-                // its own half.
-                activity_.linkBitTraversals +=
-                    op.chan->widthBits() / op.chan->lanes();
-
-                InputPort &ip = inputs_[static_cast<std::size_t>(in_port)];
-                if (ip.chan)
-                    ip.chan->sendCredit(static_cast<VcId>(idx % vcs_),
-                                        now);
-
-                if (flit.isTail()) {
-                    ov.allocated = false;
-                    ivc.active = false;
-                    ivc.outPort = INVALID_PORT;
-                    ivc.outVc = INVALID_VC;
-                    ivc.pkt = nullptr;
-                    if (!ivc.fifo.empty())
-                        ++ip.rcPending; // next packet's head awaits RC
-                    return true; // packet finished at this hop
-                }
-                if (!ivc.fifo.empty())
-                    ivc.headSince = now;
-                return false;
-            };
-
-            bool finished = send_one();
-
-            // Intra-packet pairing on wide outputs (§3.2): send the
-            // next flit of the same packet over the other 128 b half,
-            // consuming a second credit in the same downstream VC.
-            if (intraPacketPairing_ && !finished && granted < capacity &&
-                pg < 2 && ov.credits > 0 && !ivc.fifo.empty() &&
-                ivc.fifo.front().arrivedAt < now &&
-                ivc.fifo.front().pkt == ivc.pkt) {
-                send_one();
-            }
+        if (kTelemetryEnabled && recorder_) {
+            recorder_->record(FrKind::FlitOut, now, id_, o, flit.vc,
+                              flit.pkt ? flit.pkt->id : 0,
+                              flit.isHead());
+            recorder_->record(FrKind::CreditOut, now, id_, in_port,
+                              s % core_.vcs);
         }
-        op.rrOffset = (op.rrOffset + static_cast<unsigned>(granted)) %
-                      static_cast<unsigned>(total);
+        // Charge the active (flit) bits, not the full wire
+        // width: an unpaired flit on a wide link toggles only
+        // its own half.
+        activity_.linkBitTraversals +=
+            op.chan->widthBits() / op.chan->lanes();
+
+        Channel *in_chan = core_.inChan[static_cast<std::size_t>(in_port)];
+        if (in_chan)
+            in_chan->sendCredit(static_cast<VcId>(s % core_.vcs), now);
+
+        if (flit.isTail()) {
+            op.allocMask &= ~(std::uint64_t{1} << out_vc);
+            bitops::maskClear(core_.activeMask.data(), s);
+            bitops::maskClear(req, s);
+            core_.outPort[si] = INVALID_PORT;
+            core_.outVc[si] = INVALID_VC;
+            core_.pkt[si] = nullptr;
+            if (!fifo.empty()) // next packet's head awaits RC
+                bitops::maskSet(core_.rcMask.data(), s);
+            return true; // packet finished at this hop
+        }
+        if (!fifo.empty())
+            core_.headSince[si] = now;
+        return false;
+    };
+
+    // Consider one candidate slot; returns false to stop the walk
+    // once the port's grant capacity is reached.
+    auto consider = [&](int s) -> bool {
+        auto si = static_cast<std::size_t>(s);
+        PortId in_port = s / core_.vcs;
+        RingBuffer<Flit> &fifo = core_.fifo[si];
+        if (fifo.empty() || core_.headArrive[si] >= now)
+            return granted < capacity;
+        if (op.credits[static_cast<std::size_t>(core_.outVc[si])] <= 0) {
+            if (kTelemetryEnabled && telemetry_)
+                telemetry_->add(Ctr::CreditStalls, id_, o);
+            if (kTelemetryEnabled && recorder_)
+                recorder_->record(FrKind::CreditStall, now, id_, o,
+                                  core_.outVc[si],
+                                  core_.pkt[si] ? core_.pkt[si]->id : 0);
+            return granted < capacity;
+        }
+        int &pg = scratchGrants_[static_cast<std::size_t>(in_port)];
+        if (pg >= 2)
+            return granted < capacity;
+        if (pg == 1 && scratchOut_[static_cast<std::size_t>(in_port)] != o)
+            return granted < capacity;
+
+        bool finished = send_one(s, si, in_port, pg);
+
+        // Intra-packet pairing on wide outputs (§3.2): send the
+        // next flit of the same packet over the other 128 b half,
+        // consuming a second credit in the same downstream VC.
+        if (intraPacketPairing_ && !finished && granted < capacity &&
+            pg < 2 &&
+            op.credits[static_cast<std::size_t>(core_.outVc[si])] > 0 &&
+            !fifo.empty() && core_.headArrive[si] < now &&
+            fifo.front().pkt == core_.pkt[si]) {
+            send_one(s, si, in_port, pg);
+        }
+        return granted < capacity;
+    };
+
+    // Candidate visiting order: rotating priority (cyclic bit walk),
+    // or oldest waiting head first (SaPolicy::OldestFirst), which
+    // materializes the candidates in rotated order and stable-sorts
+    // them — the same sequence the legacy sort of all slots produced,
+    // since filtering a stable sort to the candidate subsequence
+    // preserves relative order.
+    if (saPolicy_ == SaPolicy::OldestFirst) {
+        scratchOrder_.clear();
+        bitops::forEachSetCyclic(req, core_.words, total, ptr,
+                                 [&](int s) {
+                                     scratchOrder_.push_back(s);
+                                     return true;
+                                 });
+        std::stable_sort(scratchOrder_.begin(), scratchOrder_.end(),
+                         [&](int a, int b) {
+                             return core_.headSince[static_cast<
+                                        std::size_t>(a)] <
+                                    core_.headSince[static_cast<
+                                        std::size_t>(b)];
+                         });
+        for (int s : scratchOrder_) {
+            if (granted >= capacity)
+                break;
+            // A tail grant earlier in the walk may have retired this
+            // slot's VC; the mask is the live candidate set.
+            if (!bitops::maskTest(req, s))
+                continue;
+            consider(s);
+        }
+    } else {
+        bitops::forEachSetCyclic(req, core_.words, total, ptr, consider);
     }
+
+    op.rrOffset = (op.rrOffset + static_cast<unsigned>(granted)) %
+                  static_cast<unsigned>(total);
 }
 
 Router::InputVcView
 Router::inputVcView(PortId p, VcId v) const
 {
-    const InputVc &ivc = inputs_[static_cast<std::size_t>(p)]
-                             .vcs[static_cast<std::size_t>(v)];
+    int s = core_.slot(p, v);
+    auto si = static_cast<std::size_t>(s);
     InputVcView view;
-    view.occupancy = static_cast<int>(ivc.fifo.size());
-    view.active = ivc.active;
-    view.outPort = ivc.outPort;
-    view.outVc = ivc.outVc;
-    view.headSince = ivc.headSince;
-    view.pkt = ivc.pkt ? ivc.pkt->id : 0;
+    view.occupancy = static_cast<int>(core_.fifo[si].size());
+    view.active = core_.active(s);
+    view.outPort = core_.outPort[si];
+    view.outVc = core_.outVc[si];
+    view.headSince = core_.headSince[si];
+    view.pkt = core_.pkt[si] ? core_.pkt[si]->id : 0;
     return view;
 }
 

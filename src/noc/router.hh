@@ -10,6 +10,14 @@
  * two different VCs (same or different input ports — Fig 4 cases (c),
  * (d); §3.3 cases (a), (b)).
  *
+ * State layout: the per-cycle hot path runs on a data-oriented
+ * structure-of-arrays core (RouterCore) — dense parallel arrays per
+ * (port, VC) slot plus bitmask request sets — so VA and SA visit only
+ * actual requesters via count-trailing-zeros iteration instead of
+ * scanning every slot. Grant order is unchanged: the bitmask walk
+ * follows the exact rotating-priority sequence of the legacy loops
+ * (DESIGN.md "SoA router core").
+ *
  * Active-set scheduling: the router exposes busy() — true while any
  * input VC holds a flit — and the Network steps only busy routers.
  * This is exact, not heuristic: RC, VA, SA, telemetry and occupancy
@@ -24,13 +32,13 @@
 
 #include <vector>
 
-#include "common/ring_buffer.hh"
 #include "common/types.hh"
 #include "noc/active_set.hh"
 #include "noc/channel.hh"
 #include "noc/flit.hh"
 #include "noc/network_config.hh"
 #include "noc/observer.hh"
+#include "noc/router_core.hh"
 #include "noc/routing.hh"
 #include "power/router_power.hh"
 #include "telemetry/flight_recorder.hh"
@@ -49,8 +57,8 @@ class Router
            SaPolicy sa_policy = SaPolicy::RoundRobin);
 
     RouterId id() const { return id_; }
-    int numPorts() const { return static_cast<int>(inputs_.size()); }
-    int vcsPerPort() const { return vcs_; }
+    int numPorts() const { return core_.ports; }
+    int vcsPerPort() const { return core_.vcs; }
     int bufferDepth() const { return bufferDepth_; }
 
     /** Attach the channel whose flits arrive at input port @p p. */
@@ -102,7 +110,7 @@ class Router
     int
     bufferCapacity() const
     {
-        return numPorts() * vcs_ * bufferDepth_;
+        return core_.total * bufferDepth_;
     }
 
     /** Accumulated occupancy-cycles for buffer-utilization heat maps. */
@@ -125,15 +133,16 @@ class Router
     void setFlightRecorder(FlightRecorder *fr) { recorder_ = fr; }
 
     /** @name Introspection (health probes, conservation audit,
-     *        postmortem dumps) */
+     *        postmortem dumps). Reads the SoA core directly — the
+     *        dense arrays are the single source of truth. */
     ///@{
     /** Flits buffered at input port @p p, VC @p v. */
     int
     inputVcOccupancy(PortId p, VcId v) const
     {
-        return static_cast<int>(inputs_[static_cast<std::size_t>(p)]
-                                    .vcs[static_cast<std::size_t>(v)]
-                                    .fifo.size());
+        return static_cast<int>(
+            core_.fifo[static_cast<std::size_t>(core_.slot(p, v))]
+                .size());
     }
 
     /** Downstream VC count credited at output port @p p (0 when the
@@ -141,26 +150,24 @@ class Router
     int
     outputVcCount(PortId p) const
     {
-        return static_cast<int>(
-            outputs_[static_cast<std::size_t>(p)].vcs.size());
+        return core_.outputs[static_cast<std::size_t>(p)].downVcs;
     }
 
     /** Credits held for output port @p p, downstream VC @p v. */
     int
     outputCredits(PortId p, VcId v) const
     {
-        return outputs_[static_cast<std::size_t>(p)]
-            .vcs[static_cast<std::size_t>(v)]
-            .credits;
+        return core_.outputs[static_cast<std::size_t>(p)]
+            .credits[static_cast<std::size_t>(v)];
     }
 
     /** Is downstream VC @p v at output port @p p allocated? */
     bool
     outputAllocated(PortId p, VcId v) const
     {
-        return outputs_[static_cast<std::size_t>(p)]
-            .vcs[static_cast<std::size_t>(v)]
-            .allocated;
+        return (core_.outputs[static_cast<std::size_t>(p)].allocMask >>
+                v) &
+               1u;
     }
 
     /** Snapshot of one input VC's pipeline state (postmortem dump). */
@@ -178,68 +185,23 @@ class Router
     ///@}
 
   private:
-    struct InputVc
-    {
-        RingBuffer<Flit> fifo; ///< fixed capacity = buffer depth
-        bool active = false;       ///< owns a route (head seen, not drained)
-        PortId outPort = INVALID_PORT;
-        VcId outVc = INVALID_VC;   ///< INVALID until VA succeeds
-        VcId vcLo = 0;             ///< admissible downstream VC range
-        VcId vcHi = 0;
-        Cycle headSince = 0;       ///< when the current head became ready
-        Packet *pkt = nullptr;
-    };
-
-    struct InputPort
-    {
-        Channel *chan = nullptr; ///< upstream channel (credits go here)
-        std::vector<InputVc> vcs;
-        /** VCs in state (!active && !fifo.empty()), i.e. holding a
-         *  head flit that still needs route compute. routeCompute
-         *  skips the whole port when this is 0 — the common case on a
-         *  lightly loaded network. */
-        int rcPending = 0;
-    };
-
-    struct OutVcState
-    {
-        bool allocated = false;
-        int credits = 0;
-    };
-
-    struct OutputPort
-    {
-        Channel *chan = nullptr;
-        std::vector<OutVcState> vcs; ///< sized to the downstream VC count
-        int lanes = 1;
-        /**
-         * Round-robin state. The legacy always-step pointer advanced
-         * by (granted + 1) per cycle; the cycle-count part is now
-         * implicit (ptr = (rrOffset + now) % total), so only the
-         * grant-driven part needs storage — and grants only happen on
-         * stepped (busy) cycles, keeping the sequence identical when
-         * idle cycles are skipped.
-         */
-        unsigned rrOffset = 0;
-    };
-
     void routeCompute(Cycle now);
     void vcAllocate(Cycle now);
     void switchAllocate(Cycle now);
+    void switchAllocatePort(PortId o, Cycle now);
 
-    /** Handle the table-routing escape timeout for a stalled head. */
-    void maybeEscape(InputVc &ivc, Cycle now);
+    /** Handle the table-routing escape timeout for a stalled head
+     *  occupying slot @p s. */
+    void maybeEscape(int s, Cycle now);
 
     RouterId id_;
-    int vcs_;
     int bufferDepth_;
     const RoutingAlgorithm &routing_;
     int escapeThreshold_;
     bool intraPacketPairing_;
     SaPolicy saPolicy_;
 
-    std::vector<InputPort> inputs_;
-    std::vector<OutputPort> outputs_;
+    RouterCore core_;
     int flitCount_ = 0; ///< total buffered flits across all input VCs
     ActivitySlot slot_;
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Data-oriented (structure-of-arrays) router state.
+ *
+ * The per-cycle router hot path used to traverse per-port/per-VC
+ * objects; at mid load that traversal — not idle-component iteration —
+ * is the dominant cost (VA scanned every slot, SA scanned every slot
+ * once per output port). RouterCore packs the per-input-VC pipeline
+ * state into parallel arrays indexed by slot = port * vcs + vc, and
+ * keeps the allocator request sets as bitmasks with one bit per slot:
+ *
+ *  - rcMask:    head flit buffered, route not yet computed;
+ *  - vaReqMask: route computed, no downstream VC allocated yet;
+ *  - saReqMask: per output port — slots whose packet holds a VC on
+ *               that port (the SA candidate set).
+ *
+ * VA/SA then iterate only the set bits, in the same rotating-priority
+ * order as the legacy per-candidate loops (bitops::forEachSetCyclic),
+ * so grant sequences — and therefore simulation results — are
+ * bit-identical; see DESIGN.md "SoA router core".
+ *
+ * The arrays and masks are sized exactly once (construction /
+ * connectOutput wiring), so the steady state performs zero heap
+ * allocations (test_perf_zero_alloc).
+ */
+
+#ifndef HNOC_NOC_ROUTER_CORE_HH
+#define HNOC_NOC_ROUTER_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/ring_buffer.hh"
+#include "common/types.hh"
+#include "noc/flit.hh"
+
+namespace hnoc
+{
+
+class Channel;
+
+/** SoA input-VC state plus per-output-port allocator state. */
+struct RouterCore
+{
+    /** Output-port allocator state. Downstream-VC credit counts live
+     *  in a per-port array (indexed by downstream VC); the allocated
+     *  set is a single word, bounding downstream VC counts at 64. */
+    struct Output
+    {
+        Channel *chan = nullptr;
+        int lanes = 1;
+        int downVcs = 0;
+        std::uint64_t allocMask = 0; ///< allocated downstream VCs
+        std::vector<int> credits;    ///< per downstream VC
+        /** Grant-driven part of the SA rotating pointer; the
+         *  per-cycle part is implicit (ptr = (rrOffset + now) %
+         *  total), so skipped idle cycles cannot desynchronise it. */
+        unsigned rrOffset = 0;
+    };
+
+    int ports = 0;
+    int vcs = 0;
+    int total = 0; ///< ports * vcs input-VC slots
+    int words = 0; ///< 64-bit words per slot mask
+
+    /** @name Per-slot parallel arrays (slot = port * vcs + vc) */
+    ///@{
+    std::vector<RingBuffer<Flit>> fifo; ///< fixed capacity = depth
+    std::vector<PortId> outPort;
+    std::vector<VcId> outVc;   ///< INVALID until VA succeeds
+    std::vector<VcId> vcLo;    ///< admissible downstream VC range
+    std::vector<VcId> vcHi;
+    std::vector<Cycle> headSince;  ///< when the head became ready
+    std::vector<Cycle> headArrive; ///< head flit's buffer-write cycle
+                                   ///< (CYCLE_NEVER while empty)
+    std::vector<Packet *> pkt;
+    ///@}
+
+    /** @name Request bitmasks, one bit per slot */
+    ///@{
+    std::vector<std::uint64_t> activeMask; ///< slot owns a route
+    std::vector<std::uint64_t> rcMask;     ///< head awaiting RC
+    std::vector<std::uint64_t> vaReqMask;  ///< awaiting a VC grant
+    /** SA candidates per output port, flattened [port * words]. */
+    std::vector<std::uint64_t> saReqMask;
+    ///@}
+
+    std::vector<Channel *> inChan; ///< upstream channel per input port
+    std::vector<Output> outputs;
+
+    void
+    init(int num_ports, int num_vcs, int buffer_depth)
+    {
+        ports = num_ports;
+        vcs = num_vcs;
+        total = num_ports * num_vcs;
+        words = bitops::maskWords(total);
+
+        auto n = static_cast<std::size_t>(total);
+        fifo.resize(n);
+        for (auto &f : fifo)
+            f.reset(static_cast<std::size_t>(buffer_depth));
+        outPort.assign(n, INVALID_PORT);
+        outVc.assign(n, INVALID_VC);
+        vcLo.assign(n, 0);
+        vcHi.assign(n, 0);
+        headSince.assign(n, 0);
+        headArrive.assign(n, CYCLE_NEVER);
+        pkt.assign(n, nullptr);
+
+        auto w = static_cast<std::size_t>(words);
+        activeMask.assign(w, 0);
+        rcMask.assign(w, 0);
+        vaReqMask.assign(w, 0);
+        saReqMask.assign(w * static_cast<std::size_t>(ports), 0);
+
+        inChan.assign(static_cast<std::size_t>(ports), nullptr);
+        outputs.assign(static_cast<std::size_t>(ports), Output{});
+    }
+
+    int
+    slot(PortId p, VcId v) const
+    {
+        return p * vcs + v;
+    }
+
+    bool
+    active(int s) const
+    {
+        return bitops::maskTest(activeMask.data(), s);
+    }
+
+    /** SA candidate mask of output port @p p. */
+    std::uint64_t *
+    saReq(PortId p)
+    {
+        return saReqMask.data() +
+               static_cast<std::size_t>(p) *
+                   static_cast<std::size_t>(words);
+    }
+
+    const std::uint64_t *
+    saReq(PortId p) const
+    {
+        return saReqMask.data() +
+               static_cast<std::size_t>(p) *
+                   static_cast<std::size_t>(words);
+    }
+
+    /** Wire output port @p p. @p down_vcs is capped at 64 by the
+     *  single-word allocated/credit masks. */
+    void
+    connectOutput(PortId p, Channel *chan, int chan_lanes, int down_vcs,
+                  int down_depth)
+    {
+        if (down_vcs > bitops::kWordBits)
+            fatal("router core: %d downstream VCs exceed the 64-wide "
+                  "allocator mask", down_vcs);
+        Output &op = outputs[static_cast<std::size_t>(p)];
+        op.chan = chan;
+        op.lanes = chan_lanes;
+        op.downVcs = down_vcs;
+        op.allocMask = 0;
+        op.credits.assign(static_cast<std::size_t>(down_vcs), down_depth);
+    }
+
+    /** Mirror the head-of-FIFO arrival cycle after a pop. */
+    void
+    refreshHead(int s)
+    {
+        auto i = static_cast<std::size_t>(s);
+        headArrive[i] =
+            fifo[i].empty() ? CYCLE_NEVER : fifo[i].front().arrivedAt;
+    }
+};
+
+} // namespace hnoc
+
+#endif // HNOC_NOC_ROUTER_CORE_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the bitmask arbitration primitives backing the SoA
+ * router core (common/bitops.hh).
+ *
+ * The load-bearing property is rotating-priority equivalence: for any
+ * request mask and any rotation offset, pickRoundRobin and
+ * forEachSetCyclic must produce exactly the grant (and visit order) of
+ * the naive reference arbiter that walks slots start, start+1, ...,
+ * wrapping at nbits. The router's bit-identity guarantee (DESIGN.md
+ * "SoA router core") reduces to this plus the pure-function-of-now RR
+ * pointers, so the check is exhaustive where that is affordable (every
+ * mask up to 12 bits, every start) and randomized above (64-bit and
+ * multi-word masks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace
+{
+
+using namespace hnoc;
+
+/** Reference arbiter: first set bit at or after start, wrapping. */
+int
+naivePick(const std::uint64_t *words, int nbits, int start)
+{
+    for (int i = 0; i < nbits; ++i) {
+        int s = (start + i) % nbits;
+        if (bitops::maskTest(words, s))
+            return s;
+    }
+    return -1;
+}
+
+/** Reference visit order: every set bit from start, wrapping. */
+std::vector<int>
+naiveOrder(const std::uint64_t *words, int nbits, int start)
+{
+    std::vector<int> order;
+    for (int i = 0; i < nbits; ++i) {
+        int s = (start + i) % nbits;
+        if (bitops::maskTest(words, s))
+            order.push_back(s);
+    }
+    return order;
+}
+
+std::vector<int>
+cyclicOrder(const std::uint64_t *words, int nwords, int nbits, int start)
+{
+    std::vector<int> order;
+    bitops::forEachSetCyclic(words, nwords, nbits, start, [&](int s) {
+        order.push_back(s);
+        return true;
+    });
+    return order;
+}
+
+TEST(Bitops, MaskSetTestClearRoundTrip)
+{
+    std::uint64_t words[2] = {0, 0};
+    for (int i : {0, 1, 63, 64, 90, 127}) {
+        EXPECT_FALSE(bitops::maskTest(words, i));
+        bitops::maskSet(words, i);
+        EXPECT_TRUE(bitops::maskTest(words, i));
+    }
+    EXPECT_EQ(bitops::maskCount(words, 2), 6);
+    EXPECT_TRUE(bitops::maskAny(words, 2));
+    bitops::maskClear(words, 64);
+    EXPECT_FALSE(bitops::maskTest(words, 64));
+    EXPECT_EQ(bitops::maskCount(words, 2), 5);
+}
+
+TEST(Bitops, RangeMask64EdgesAndEmptyRanges)
+{
+    EXPECT_EQ(bitops::rangeMask64(0, 0), 1u);
+    EXPECT_EQ(bitops::rangeMask64(0, 63), ~std::uint64_t{0});
+    EXPECT_EQ(bitops::rangeMask64(63, 63), std::uint64_t{1} << 63);
+    EXPECT_EQ(bitops::rangeMask64(2, 5), std::uint64_t{0x3c});
+    // Empty and out-of-word ranges are empty masks, not UB shifts.
+    EXPECT_EQ(bitops::rangeMask64(5, 2), 0u);
+    EXPECT_EQ(bitops::rangeMask64(64, 70), 0u);
+}
+
+TEST(Bitops, FirstClearInRangeMatchesLinearScan)
+{
+    std::mt19937_64 rng(0xb1705u);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::uint64_t mask = rng();
+        int lo = static_cast<int>(rng() % 64);
+        int hi = static_cast<int>(rng() % 64);
+        int expect = -1;
+        for (int v = lo; v <= hi; ++v)
+            if (((mask >> v) & 1u) == 0) {
+                expect = v;
+                break;
+            }
+        EXPECT_EQ(bitops::firstClearInRange64(mask, lo, hi), expect)
+            << "mask=" << mask << " lo=" << lo << " hi=" << hi;
+    }
+}
+
+/**
+ * Exhaustive rotate-mask grant equivalence: every request mask on a
+ * ring of up to 12 slots, every rotation offset, against the naive
+ * wrap-around scan. 12 bits keeps the sweep at 4096 * 12 picks while
+ * still covering empty, full, single-bit and every clustering pattern.
+ */
+TEST(Bitops, PickRoundRobinExhaustiveSmallRings)
+{
+    for (int nbits = 1; nbits <= 12; ++nbits) {
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << nbits); ++m) {
+            std::uint64_t words[1] = {m};
+            for (int start = 0; start < nbits; ++start) {
+                ASSERT_EQ(bitops::pickRoundRobin(words, 1, nbits, start),
+                          naivePick(words, nbits, start))
+                    << "nbits=" << nbits << " mask=" << m
+                    << " start=" << start;
+            }
+        }
+    }
+}
+
+TEST(Bitops, ForEachSetCyclicExhaustiveSmallRings)
+{
+    for (int nbits = 1; nbits <= 10; ++nbits) {
+        for (std::uint64_t m = 0; m < (std::uint64_t{1} << nbits); ++m) {
+            std::uint64_t words[1] = {m};
+            for (int start = 0; start < nbits; ++start) {
+                ASSERT_EQ(cyclicOrder(words, 1, nbits, start),
+                          naiveOrder(words, nbits, start))
+                    << "nbits=" << nbits << " mask=" << m
+                    << " start=" << start;
+            }
+        }
+    }
+}
+
+/** Randomized full-word and multi-word rings, all rotation offsets. */
+TEST(Bitops, RoundRobinRandomizedWideRings)
+{
+    std::mt19937_64 rng(0xa5b17u);
+    for (int nbits : {64, 80, 128, 150}) {
+        int nwords = bitops::maskWords(nbits);
+        for (int trial = 0; trial < 40; ++trial) {
+            std::uint64_t words[3] = {0, 0, 0};
+            // Mix densities: sparse, medium, dense draws.
+            std::uint64_t keep = trial % 3 == 0 ? rng() & rng() & rng()
+                                : trial % 3 == 1 ? rng()
+                                                 : rng() | rng();
+            for (int i = 0; i < nbits; ++i)
+                if ((keep >> (i & 63)) & 1u && (rng() & 3u) != 0)
+                    bitops::maskSet(words, i);
+            for (int start = 0; start < nbits; ++start) {
+                ASSERT_EQ(bitops::pickRoundRobin(words, nwords, nbits,
+                                                 start),
+                          naivePick(words, nbits, start));
+                ASSERT_EQ(cyclicOrder(words, nwords, nbits, start),
+                          naiveOrder(words, nbits, start));
+            }
+        }
+    }
+}
+
+/**
+ * The SA grant loop clears the visited slot's bit when a tail flit
+ * retires the VC; the word-snapshot iteration must not skip or repeat
+ * slots because of it.
+ */
+TEST(Bitops, ForEachSetCyclicToleratesVisitorClearingBits)
+{
+    std::mt19937_64 rng(0x5eedu);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int nbits = 90;
+        std::uint64_t words[2] = {0, 0};
+        for (int i = 0; i < nbits; ++i)
+            if (rng() & 1u)
+                bitops::maskSet(words, i);
+        int start = static_cast<int>(rng() % nbits);
+        auto expect = naiveOrder(words, nbits, start);
+        std::vector<int> got;
+        bitops::forEachSetCyclic(words, 2, nbits, start, [&](int s) {
+            got.push_back(s);
+            bitops::maskClear(words, s);
+            return true;
+        });
+        ASSERT_EQ(got, expect);
+        EXPECT_FALSE(bitops::maskAny(words, 2));
+    }
+}
+
+TEST(Bitops, ForEachSetCyclicEarlyStop)
+{
+    std::uint64_t words[1] = {0b101101};
+    std::vector<int> got;
+    bitops::forEachSetCyclic(words, 1, 6, 3, [&](int s) {
+        got.push_back(s);
+        return got.size() < 2;
+    });
+    EXPECT_EQ(got, (std::vector<int>{3, 5}));
+}
+
+} // namespace

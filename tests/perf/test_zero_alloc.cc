@@ -6,6 +6,13 @@
  * HNOC_ALWAYS_STEP exhaustive loop. Enforced by replacing global
  * operator new with a counting shim (this binary only).
  *
+ * This contract covers the SoA router core: its per-slot arrays,
+ * request bitmasks, and per-output credit vectors are sized once in
+ * RouterCore::init / connectOutput and never grow, so RC/VA/SA run
+ * mask arithmetic over fixed storage. Both schedulers are audited on
+ * both layouts because they drive different slot-visit patterns
+ * through the same arrays.
+ *
  * Telemetry is deliberately left detached: epoch rollover allocates
  * its time-series rows by design and is not part of the hot path
  * contract.
@@ -153,6 +160,16 @@ TEST(ZeroAlloc, AlwaysStepLoadedStepIsAllocationFree)
 TEST(ZeroAlloc, HeterogeneousDiagonalBlIsAllocationFree)
 {
     NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    EXPECT_EQ(measureSteadyStateAllocs(cfg), 0u);
+}
+
+TEST(ZeroAlloc, HeterogeneousDiagonalBlAlwaysStepIsAllocationFree)
+{
+    // The exhaustive loop runs every router's RC/VA/SA every cycle,
+    // so this is the densest sweep over the SoA core's bitmask paths
+    // (including the wide-channel pairing retry in SA).
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    cfg.alwaysStep = true;
     EXPECT_EQ(measureSteadyStateAllocs(cfg), 0u);
 }
 

@@ -125,6 +125,57 @@ cmdSummary(const std::string &path)
     }
     std::printf("\ntracked packets: %.0f created, %.0f delivered\n",
                 created, delivered);
+
+    // Per-router arbitration health, derived from the merged telemetry
+    // registry when the report carries one: SA grant rate (crossbar
+    // grants per observed cycle), VA conflict rate, and the fraction
+    // of switch requests lost to empty credit pools. High stall or
+    // conflict rates with a low grant rate point at allocator
+    // contention rather than link saturation.
+    const JsonValue *merged = nullptr;
+    if (const JsonValue *regs = doc.find("registries"))
+        merged = regs->find("merged");
+    const JsonValue *ctrs = merged ? merged->find("counters") : nullptr;
+    double cycles = merged ? merged->numAt("observed_cycles", 0) : 0;
+    if (ctrs && cycles > 0) {
+        auto perRouter = [&](const char *name) -> std::vector<double> {
+            if (const JsonValue *c = ctrs->find(name))
+                return c->numbersAt("per_router");
+            return {};
+        };
+        std::vector<double> grants = perRouter("xbar_grants");
+        std::vector<double> stalls = perRouter("credit_stalls");
+        std::vector<double> conflicts = perRouter("va_conflicts");
+        if (!grants.empty()) {
+            std::vector<int> order(grants.size());
+            for (std::size_t i = 0; i < order.size(); ++i)
+                order[i] = static_cast<int>(i);
+            std::stable_sort(order.begin(), order.end(),
+                             [&](int a, int b) {
+                                 return grants[static_cast<std::size_t>(
+                                            a)] >
+                                        grants[static_cast<std::size_t>(
+                                            b)];
+                             });
+            int shown = std::min<int>(8, static_cast<int>(order.size()));
+            std::printf("\narbitration rates over %.0f observed "
+                        "cycles (top %d of %zu routers by SA grant "
+                        "rate)\n",
+                        cycles, shown, grants.size());
+            std::printf("%6s %14s %14s %12s\n", "router", "sa gnt/cyc",
+                        "va conf/cyc", "stall frac");
+            for (int i = 0; i < shown; ++i) {
+                auto r = static_cast<std::size_t>(
+                    order[static_cast<std::size_t>(i)]);
+                double g = grants[r];
+                double s = r < stalls.size() ? stalls[r] : 0.0;
+                double c = r < conflicts.size() ? conflicts[r] : 0.0;
+                std::printf("%6zu %14.4f %14.4f %12.4f\n", r,
+                            g / cycles, c / cycles,
+                            g + s > 0 ? s / (g + s) : 0.0);
+            }
+        }
+    }
     return 0;
 }
 

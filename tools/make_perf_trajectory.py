@@ -14,7 +14,11 @@ input contains stepLoad A/B pairs (`stepLoad/<case>_active` vs
 active-set speedup per case. When it contains the adaptiveSweep pair
 (`adaptiveSweep/fig07_ur_reference` vs `.../fig07_ur_adaptive`), an
 `adaptive_cycles_saved` block records the simulated-cycle savings and
-latency drift of the adaptive simulation controller. The output is
+latency drift of the adaptive simulation controller. When it contains
+the bitmask-arbiter microbenches (`arbiter/dense_reqs`,
+`arbiter/sparse_reqs`), an `arbiter` block surfaces their per-cycle
+cost so VA/SA-level regressions are visible without digging through
+the whole-network stepLoad numbers. The output is
 small and stable, meant to be committed or archived per PR so perf
 history survives CI log rotation.
 
@@ -169,6 +173,24 @@ def scheduler_speedups(series):
     return speedups
 
 
+def arbiter_costs(series):
+    """Per-arbitration-cycle cost of the `arbiter/*` microbenches.
+
+    These isolate the SoA core's VA/SA bitmask loops (rotate-mask +
+    ctz over the request sets) from the rest of the router; empty when
+    the run did not include them.
+    """
+    costs = {}
+    for name, times in sorted(series.items()):
+        if not name.startswith("arbiter/"):
+            continue
+        costs[name[len("arbiter/") :]] = {
+            "median_ns": statistics.median(times),
+            "min_ns": min(times),
+        }
+    return costs
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("bench_json", help="--benchmark_out of the ON build")
@@ -204,6 +226,9 @@ def main():
     adaptive = adaptive_cycles_saved(on_counters)
     if adaptive:
         out["adaptive_cycles_saved"] = adaptive
+    arbiter = arbiter_costs(on)
+    if arbiter:
+        out["arbiter"] = arbiter
 
     if args.off:
         off = load_series(args.off)
@@ -244,6 +269,8 @@ def main():
         tail += f", {len(speedups)} scheduler speedup pair(s)"
     if adaptive:
         tail += f", adaptive saves {adaptive['saved_pct']:.1f}% cycles"
+    if arbiter:
+        tail += f", {len(arbiter)} arbiter microbench(es)"
     print(f"{args.output}: {n} benchmark(s){tail}")
     return 0
 
