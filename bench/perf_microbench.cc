@@ -174,6 +174,62 @@ BENCHMARK_CAPTURE(stepLoad, hetero_sat_always, LayoutKind::DiagonalBL,
                   kSatPktRate, true, kSatInFlightCap);
 
 /**
+ * stepLoad with a Profiler attached, exporting the per-phase
+ * wall-clock shares as user counters. Not part of the CI overhead
+ * filter (the instrumented numbers answer "where does the time go",
+ * not "how fast is it"); run it by hand to localize a stepLoad
+ * regression to a pipeline phase — see DESIGN.md §6d for the
+ * saturation-case attribution this produced.
+ */
+void
+profiledStepLoad(benchmark::State &state, LayoutKind kind,
+                 double pkt_rate, std::size_t max_in_flight = 0)
+{
+    NetworkConfig cfg = makeLayoutConfig(kind);
+    Network net(cfg);
+    Profiler prof;
+    net.attachProfiler(&prof);
+    TrafficGenerator gen(TrafficPattern::UniformRandom, 64, 8, 7);
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (NodeId n = 0; n < 64; ++n) {
+            if (gen.shouldInject(n, pkt_rate, now)) {
+                if (max_in_flight && net.packetsInFlight() >= max_in_flight)
+                    continue;
+                NodeId dst = gen.pickDest(n);
+                if (dst != INVALID_NODE)
+                    net.enqueuePacket(n, dst, cfg.dataPacketFlits());
+            }
+        }
+        net.step();
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+    benchmark::DoNotOptimize(net.packetsDelivered());
+    if (prof.ns(ProfPhase::StepTotal) == 0)
+        return; // HNOC_TELEMETRY=OFF build: nothing collected
+    auto total = static_cast<double>(prof.ns(ProfPhase::StepTotal));
+    auto share = [&](const char *name, std::uint64_t ns) {
+        state.counters[name] =
+            benchmark::Counter(100.0 * static_cast<double>(ns) / total);
+    };
+    share("pct_channel_delivery", prof.ns(ProfPhase::ChannelDelivery));
+    share("pct_ni_eject", prof.ns(ProfPhase::NiEject));
+    share("pct_route_compute", prof.ns(ProfPhase::RouteCompute));
+    share("pct_vc_allocate", prof.ns(ProfPhase::VcAllocate));
+    share("pct_switch_allocate", prof.ns(ProfPhase::SwitchAllocate));
+    share("pct_ni_inject", prof.ns(ProfPhase::NiInject));
+    share("pct_scan_overhead", prof.unattributedNs());
+    state.counters["visits_per_cycle_sa"] = benchmark::Counter(
+        static_cast<double>(prof.visits(ProfPhase::SwitchAllocate)) /
+        static_cast<double>(prof.cycles() ? prof.cycles() : 1));
+}
+BENCHMARK_CAPTURE(profiledStepLoad, mesh_mid, LayoutKind::Baseline,
+                  kMidPktRate);
+BENCHMARK_CAPTURE(profiledStepLoad, mesh_sat, LayoutKind::Baseline,
+                  kSatPktRate, kSatInFlightCap);
+
+/**
  * Bitmask-arbiter microbenchmark isolating the VA/SA inner loops from
  * the rest of the router. One iteration is one arbitration cycle over
  * an 80-slot request ring (a flatfly-scale ports * vcs product, so the

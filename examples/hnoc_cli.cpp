@@ -80,7 +80,11 @@ usage(int code)
         "                 diagnostic on the first violation\n"
         "  --watchdog=N   trip the forward-progress watchdog after N\n"
         "                 cycles without a delivery (default 50000\n"
-        "                 when --postmortem is given)\n\n"
+        "                 when --postmortem is given)\n"
+        "  --profile      attribute simulator wall clock per step phase\n"
+        "                 and print per-component memory footprints;\n"
+        "                 adds a `profile` section to the --json report\n"
+        "                 (no-op in HNOC_TELEMETRY=OFF builds)\n\n"
         "full-system mode:\n"
         "  --cmp W        run workload W on the 64-tile CMP\n"
         "                 (SAP SPECjbb TPC-C SJAS frrt fsim vips canl\n"
@@ -153,6 +157,7 @@ main(int argc, char **argv)
     Cycle progress_every = 0;
     Cycle audit_every = 0;
     Cycle watchdog_window = 0;
+    bool profile = false;
     McPlacement mc = McPlacement::Corners;
 
     for (int i = 1; i < argc; ++i) {
@@ -227,6 +232,8 @@ main(int argc, char **argv)
             audit_every = std::strtoull(arg.c_str() + 8, nullptr, 10);
         else if (arg.rfind("--watchdog=", 0) == 0)
             watchdog_window = std::strtoull(arg.c_str() + 11, nullptr, 10);
+        else if (arg == "--profile")
+            profile = true;
         else
             usage(1);
     }
@@ -297,6 +304,7 @@ main(int argc, char **argv)
     opts.progressEvery = progress_every;
     opts.auditEvery = audit_every;
     opts.watchdogWindow = watchdog_window;
+    opts.profile = profile;
     if (!postmortem_path.empty()) {
         opts.postmortemPath = postmortem_path;
         opts.flightRecorder = true;
@@ -342,6 +350,18 @@ main(int argc, char **argv)
     std::fputs(t.text().c_str(), stdout);
     if (!csv_path.empty())
         t.writeCsv(csv_path);
+    if (profile) {
+        if (auto prof = mergeProfiles(results)) {
+            std::printf("\nself-profile (all points merged)\n%s",
+                        prof->table().c_str());
+            if (auto mem = maxMemoryAudit(results))
+                std::printf("\n%s", mem->table().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "--profile: built with HNOC_TELEMETRY=OFF, "
+                         "no profile collected\n");
+        }
+    }
     if (!json_path.empty() &&
         writeRunReport(json_path, "hnoc_cli run", labels, results))
         std::printf("run report: %s\n", json_path.c_str());

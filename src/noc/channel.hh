@@ -211,6 +211,19 @@ class Channel
     }
     ///@}
 
+    /** Steady-state memory footprint: both pipes plus the object.
+     *  Pipe capacities are fixed at construction, so this is constant
+     *  over a channel's lifetime. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(sizeof(*this)) +
+               static_cast<std::uint64_t>(flitPipe_.capacity()) *
+                   sizeof(TimedFlit) +
+               static_cast<std::uint64_t>(creditPipe_.capacity()) *
+                   sizeof(TimedCredit);
+    }
+
     /**
      * Attach a metrics registry; link-flit counters are attributed to
      * the driving router's (router, out-port) pair. Pass nullptr to

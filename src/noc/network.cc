@@ -290,6 +290,53 @@ Network::attachFlightRecorder(FlightRecorder *fr)
         r->setFlightRecorder(fr);
 }
 
+void
+Network::attachProfiler(Profiler *prof)
+{
+    profiler_ = prof;
+    for (auto &r : routers_)
+        r->setProfiler(prof);
+}
+
+MemoryAudit
+Network::memoryAudit() const
+{
+    MemoryAudit a;
+    a.tiles = topo_->numNodes();
+
+    std::uint64_t b = 0;
+    for (const auto &r : routers_)
+        b += r->footprintBytes();
+    a.add("routers", b, routers_.size());
+
+    b = 0;
+    for (const auto &c : channels_)
+        b += c->footprintBytes();
+    a.add("channels", b, channels_.size());
+
+    b = 0;
+    for (const auto &ni : nis_)
+        b += ni->footprintBytes();
+    a.add("network_interfaces", b, nis_.size());
+
+    a.add("packet_arena",
+          packetArena_.capacity() * sizeof(std::unique_ptr<Packet>) +
+              packetArena_.size() * sizeof(Packet) +
+              freeList_.capacity() * sizeof(Packet *),
+          packetArena_.size());
+
+    a.add("active_set",
+          endBusy_.capacity() + routerBusy_.capacity() +
+              niBusy_.capacity() + ends_.capacity() * sizeof(ChannelEnds),
+          endBusy_.size() + routerBusy_.size() + niBusy_.size());
+
+    if (telemetry_)
+        a.add("metric_registry", telemetry_->footprintBytes(), 1);
+    if (recorder_)
+        a.add("flight_recorder", recorder_->footprintBytes(), 1);
+    return a;
+}
+
 HealthSample
 Network::healthSample() const
 {
@@ -508,17 +555,21 @@ Network::step()
     if (client_)
         client_->preCycle(*this, now);
 
+    // Self-profiling (report-only): the StepTotal scope opens after
+    // the client callback, so step_total covers network work only and
+    // the unattributed residual is active-set scan + loop overhead.
+    // With no profiler attached each scope costs one branch; the OFF
+    // build folds `prof` to nullptr and compiles the timers away.
+    Profiler *prof = kTelemetryEnabled ? profiler_ : nullptr;
+    ProfScope stepScope(prof, ProfPhase::StepTotal);
+
     // Phase A: channel delivery (flits, then credits). Active-set
     // scheduling visits only channels whose busy byte is set — the
     // byte tracks !idle() exactly (set on send, cleared when the last
     // pipe entry drains) — and scans them in index order, so delivery
     // order (and thus floating-point accumulation order in client
     // callbacks) matches the exhaustive loop bit for bit.
-    for (std::size_t i = 0, n = ends_.size();
-         i < n && (alwaysStep_ || busyEnds_ > 0); ++i) {
-        if (alwaysStep_ ? ends_[i].chan->idle() : endBusy_[i] == 0)
-            continue;
-        ChannelEnds &e = ends_[i];
+    auto deliverEnd = [&](ChannelEnds &e) {
         // Flits and credits are handed straight to their receiver —
         // router input-VC SoA arrays or the NI — without staging in a
         // scratch vector; per-channel delivery order (flits, then
@@ -572,12 +623,29 @@ Network::step()
             e.chan->deliverCreditsTo(now,
                                      [&](VcId vc) { ni.receiveCredit(vc); });
         }
+    };
+    for (std::size_t i = 0, n = ends_.size();
+         i < n && (alwaysStep_ || busyEnds_ > 0); ++i) {
+        if (alwaysStep_ ? ends_[i].chan->idle() : endBusy_[i] == 0)
+            continue;
+        if (prof) {
+            // Router-sink channels file under channel_delivery; the
+            // terminal ejection channels (flit consumption + credit
+            // return at the NI) under ni_eject.
+            ProfScope s(prof, ends_[i].sinkIsRouter
+                                  ? ProfPhase::ChannelDelivery
+                                  : ProfPhase::NiEject);
+            deliverEnd(ends_[i]);
+        } else {
+            deliverEnd(ends_[i]);
+        }
     }
 
     // Phase B: router pipelines. A skipped router holds no flits, so
     // RC/VA/SA and the occupancy sample are all no-ops and its
     // round-robin pointers (pure functions of the cycle number) need
-    // no stepping to advance.
+    // no stepping to advance. RC/VA/SA phase timers live inside
+    // Router::step (the routers share this network's profiler).
     if (alwaysStep_) {
         for (auto &r : routers_)
             r->step(now);
@@ -590,17 +658,22 @@ Network::step()
     // Phase C: NI injection. A skipped NI has an empty source queue
     // and no mid-packet stream, so stepInject would fall straight
     // through.
-    if (alwaysStep_) {
-        for (auto &ni : nis_)
-            ni->stepInject(now);
-    } else if (busyNis_ > 0) {
-        for (std::size_t i = 0, n = nis_.size(); i < n; ++i)
-            if (niBusy_[i])
-                nis_[i]->stepInject(now);
+    {
+        ProfScope s(prof, ProfPhase::NiInject);
+        if (alwaysStep_) {
+            for (auto &ni : nis_)
+                ni->stepInject(now);
+        } else if (busyNis_ > 0) {
+            for (std::size_t i = 0, n = nis_.size(); i < n; ++i)
+                if (niBusy_[i])
+                    nis_[i]->stepInject(now);
+        }
     }
 
-    if (kTelemetryEnabled && telemetry_)
+    if (kTelemetryEnabled && telemetry_) {
+        ProfScope s(prof, ProfPhase::TelemetryTick);
         telemetry_->tick(now);
+    }
 
     ++cycle_;
 }

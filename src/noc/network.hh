@@ -24,6 +24,7 @@
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 
 namespace hnoc
 {
@@ -194,6 +195,27 @@ class Network
 
     /** @return the attached flight recorder, or nullptr. */
     FlightRecorder *flightRecorder() const { return recorder_; }
+
+    /**
+     * Attach a self-profiler to the step loop and every router
+     * (nullptr to detach). Wall-clock phase attribution is report-only
+     * — simulation results are bit-identical with and without a
+     * profiler attached — and the hooks compile out under
+     * -DHNOC_TELEMETRY=OFF like the registry/recorder hooks.
+     */
+    void attachProfiler(Profiler *prof);
+
+    /** @return the attached profiler, or nullptr. */
+    Profiler *profiler() const { return profiler_; }
+
+    /**
+     * Per-component steady-state memory breakdown: routers (SoA core
+     * + scratch), channels (pipes), NIs, the packet arena, the
+     * active-set bitmaps, and any attached registry/recorder. Byte
+     * counts come from container capacities, so the audit reflects
+     * grown high-water marks, not just construction-time sizes.
+     */
+    MemoryAudit memoryAudit() const;
     ///@}
 
     /** @name Diagnostics */
@@ -273,6 +295,7 @@ class Network
     NetworkObserver *observer_ = nullptr;
     MetricRegistry *telemetry_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
+    Profiler *profiler_ = nullptr;
 
     Cycle cycle_ = 0;
     Cycle measureStart_ = 0;

@@ -113,6 +113,20 @@ class NetworkInterface
 
     NodeId node() const { return node_; }
 
+    /** Steady-state memory footprint: credit/stream arrays plus the
+     *  source-queue ring's grown high-water capacity. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(sizeof(*this)) +
+               static_cast<std::uint64_t>(credits_.capacity()) *
+                   sizeof(int) +
+               static_cast<std::uint64_t>(streams_.capacity()) *
+                   sizeof(Stream) +
+               static_cast<std::uint64_t>(sourceQueue_.capacity()) *
+                   sizeof(Packet *);
+    }
+
   private:
     /** An in-progress packet transmission bound to one VC. */
     struct Stream

@@ -76,9 +76,24 @@ Router::receiveCredit(PortId p, VcId vc, Cycle now)
 void
 Router::step(Cycle now)
 {
-    routeCompute(now);
-    vcAllocate(now);
-    switchAllocate(now);
+    // Phase timers are report-only wall-clock accumulation: the
+    // pipeline functions never read them, so attaching a profiler
+    // cannot perturb simulation results. kTelemetryEnabled folds the
+    // pointer to nullptr in the OFF build, and ProfScope on nullptr is
+    // a single branch.
+    Profiler *prof = kTelemetryEnabled ? profiler_ : nullptr;
+    {
+        ProfScope s(prof, ProfPhase::RouteCompute);
+        routeCompute(now);
+    }
+    {
+        ProfScope s(prof, ProfPhase::VcAllocate);
+        vcAllocate(now);
+    }
+    {
+        ProfScope s(prof, ProfPhase::SwitchAllocate);
+        switchAllocate(now);
+    }
 
     // Occupancy sample for the Fig 1/2 heat maps. A zero sample is a
     // no-op on both accumulators, so skipping flitless cycles under

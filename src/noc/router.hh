@@ -43,6 +43,7 @@
 #include "power/router_power.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 
 namespace hnoc
 {
@@ -132,6 +133,24 @@ class Router
      *  as setTelemetry: one branch per event while detached. */
     void setFlightRecorder(FlightRecorder *fr) { recorder_ = fr; }
 
+    /** Attach a self-profiler (nullptr to detach). While detached the
+     *  cost is one branch per pipeline sub-phase per stepped cycle;
+     *  while attached each sub-phase pays two steady_clock reads.
+     *  Report-only: profiling never alters simulation results. */
+    void setProfiler(Profiler *prof) { profiler_ = prof; }
+
+    /** Steady-state memory footprint: the SoA core, the SA scratch
+     *  vectors, and the object itself. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(sizeof(*this)) +
+               core_.footprintBytes() +
+               scratchOrder_.capacity() * sizeof(int) +
+               scratchGrants_.capacity() * sizeof(int) +
+               scratchOut_.capacity() * sizeof(PortId);
+    }
+
     /** @name Introspection (health probes, conservation audit,
      *        postmortem dumps). Reads the SoA core directly — the
      *        dense arrays are the single source of truth. */
@@ -210,6 +229,7 @@ class Router
     NetworkObserver *observer_ = nullptr;
     MetricRegistry *telemetry_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
+    Profiler *profiler_ = nullptr;
     std::vector<int> scratchOrder_;   ///< SA visiting order (OldestFirst)
     std::vector<int> scratchGrants_;  ///< per-input-port grants this cycle
     std::vector<PortId> scratchOut_;  ///< per-input-port granted output

@@ -166,6 +166,38 @@ struct RouterCore
         op.credits.assign(static_cast<std::size_t>(down_vcs), down_depth);
     }
 
+    /**
+     * Steady-state memory footprint of the SoA arrays, from container
+     * capacities: per-slot FIFO storage, the parallel slot arrays, the
+     * request bitmasks, and per-output credit vectors. Everything here
+     * is sized once in init()/connectOutput(), so the value is
+     * constant after wiring — the sizing contract test_footprint pins
+     * it against the layout formulas.
+     */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t b = 0;
+        b += fifo.capacity() * sizeof(RingBuffer<Flit>);
+        for (const auto &f : fifo)
+            b += static_cast<std::uint64_t>(f.capacity()) * sizeof(Flit);
+        b += outPort.capacity() * sizeof(PortId);
+        b += outVc.capacity() * sizeof(VcId);
+        b += vcLo.capacity() * sizeof(VcId);
+        b += vcHi.capacity() * sizeof(VcId);
+        b += headSince.capacity() * sizeof(Cycle);
+        b += headArrive.capacity() * sizeof(Cycle);
+        b += pkt.capacity() * sizeof(Packet *);
+        b += (activeMask.capacity() + rcMask.capacity() +
+              vaReqMask.capacity() + saReqMask.capacity()) *
+             sizeof(std::uint64_t);
+        b += inChan.capacity() * sizeof(Channel *);
+        b += outputs.capacity() * sizeof(Output);
+        for (const Output &op : outputs)
+            b += op.credits.capacity() * sizeof(int);
+        return b;
+    }
+
     /** Mirror the head-of-FIFO arrival cycle after a pop. */
     void
     refreshHead(int s)

@@ -233,6 +233,19 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     if (opts.flightRecorder)
         net.attachFlightRecorder(&recorder);
 
+    // Self-profiling covers the whole run (warmup, measurement and
+    // drain): the attribution question is "where does the simulator
+    // spend wall clock", not "what does the measurement window cost".
+    Profiler prof;
+    if (opts.profile && kTelemetryEnabled)
+        net.attachProfiler(&prof);
+    auto finish_profile = [&](SimPointResult &r) {
+        if (!opts.profile || !kTelemetryEnabled)
+            return;
+        r.profile = std::make_shared<Profiler>(prof);
+        r.memory = std::make_shared<MemoryAudit>(net.memoryAudit());
+    };
+
     Cycle audit_every = opts.auditEvery;
 #ifndef NDEBUG
     // Debug builds audit every telemetry epoch by default; release
@@ -413,6 +426,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         for (const RunningStat &s : client.byHops_)
             res.latencyByHopsNs.push_back(s.mean());
         res.metrics = std::move(reg);
+        finish_profile(res);
         return res;
     }
 
@@ -478,6 +492,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
     for (const RunningStat &s : client.byHops_)
         res.latencyByHopsNs.push_back(s.mean());
     res.metrics = std::move(reg);
+    finish_profile(res);
     return res;
 }
 
@@ -612,6 +627,34 @@ mergeRegistries(const std::vector<SimPointResult> &results)
     return merged;
 }
 
+std::shared_ptr<Profiler>
+mergeProfiles(const std::vector<SimPointResult> &results)
+{
+    std::shared_ptr<Profiler> merged;
+    for (const auto &r : results) {
+        if (!r.profile)
+            continue;
+        if (!merged)
+            merged = std::make_shared<Profiler>(*r.profile);
+        else
+            merged->merge(*r.profile);
+    }
+    return merged;
+}
+
+std::shared_ptr<MemoryAudit>
+maxMemoryAudit(const std::vector<SimPointResult> &results)
+{
+    std::shared_ptr<MemoryAudit> best;
+    for (const auto &r : results) {
+        if (!r.memory)
+            continue;
+        if (!best || r.memory->totalBytes() > best->totalBytes())
+            best = r.memory;
+    }
+    return best;
+}
+
 bool
 writeRunReport(const std::string &path, const std::string &title,
                const std::vector<std::string> &labels,
@@ -627,6 +670,10 @@ writeRunReport(const std::string &path, const std::string &title,
     }
     if (auto merged = mergeRegistries(results))
         report.addRegistry("merged", *merged);
+    if (auto prof = mergeProfiles(results)) {
+        auto mem = maxMemoryAudit(results);
+        report.setProfile(*prof, mem ? *mem : MemoryAudit{});
+    }
     return report.writeFile(path);
 }
 

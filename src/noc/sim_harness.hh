@@ -74,6 +74,11 @@ struct SimPointOptions
     /** Postmortem destination for watchdog trips (honors
      *  HNOC_JSON_DIR); empty = no dump. */
     std::string postmortemPath;
+    /** Attach a Profiler for the whole run and return the per-phase
+     *  wall-clock breakdown plus the end-of-run memory audit in the
+     *  result. Report-only: simulated results stay bit-identical.
+     *  No-op in HNOC_TELEMETRY=OFF builds. */
+    bool profile = false;
     ///@}
 };
 
@@ -131,6 +136,15 @@ struct SimPointResult
 
     /** Watchdog trips observed (opts.watchdogWindow). */
     std::uint64_t watchdogTrips = 0;
+
+    /** @name Self-profile (opts.profile; docs/OBSERVABILITY.md) */
+    ///@{
+    /** Per-phase wall-clock attribution over the whole run. shared_ptr
+     *  so results stay cheap to copy through the batch layer. */
+    std::shared_ptr<Profiler> profile;
+    /** End-of-run per-component memory audit (grown capacities). */
+    std::shared_ptr<MemoryAudit> memory;
+    ///@}
 };
 
 /** Run a single open-loop point. */
@@ -233,6 +247,23 @@ double preSaturationAvgLatencyNs(const std::vector<SimPointResult> &curve);
  */
 std::shared_ptr<MetricRegistry>
 mergeRegistries(const std::vector<SimPointResult> &results);
+
+/**
+ * Merge the profilers of every point that ran with opts.profile, in
+ * input order (addition of per-phase ns/visit totals, so the merge is
+ * order-independent). @return nullptr when no point profiled.
+ */
+std::shared_ptr<Profiler>
+mergeProfiles(const std::vector<SimPointResult> &results);
+
+/**
+ * Representative memory audit across a set of points: the audit with
+ * the largest total footprint (per-point capacities are high-water
+ * marks, so the max is the honest "what did this run cost" number).
+ * @return nullptr when no point carried an audit.
+ */
+std::shared_ptr<MemoryAudit>
+maxMemoryAudit(const std::vector<SimPointResult> &results);
 
 /**
  * Write a unified JSON run report (schema hnoc-run-report-v1) for a

@@ -76,6 +76,15 @@ class CacheArray
     std::uint64_t evictions = 0;
     ///@}
 
+    /** Simulator-memory footprint of the line array (tag/state/LRU
+     *  metadata — no data payloads are simulated). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(sizeof(*this)) +
+               lines_.capacity() * sizeof(Line);
+    }
+
   private:
     struct Line
     {

@@ -150,6 +150,16 @@ class CmpSystem : public NetworkClient
     Network &network() { return *net_; }
     const CmpConfig &config() const { return config_; }
 
+    /**
+     * Per-component memory breakdown: the network's audit extended
+     * with the L1/L2 arrays, the full-map MESI directory (the
+     * O(tiles)-per-line structure flagged by ROADMAP item 1), live
+     * directory transactions, and the message arena. Directory bytes
+     * scale with tracked lines × sharer-list length, so run it after
+     * warmup for a representative number.
+     */
+    MemoryAudit memoryAudit() const;
+
     /** NetworkClient interface. */
     void preCycle(Network &net, Cycle now) override;
     void onPacketDelivered(Network &net, Packet &pkt, Cycle now) override;

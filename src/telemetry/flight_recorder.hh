@@ -86,6 +86,15 @@ class FlightRecorder
 
     std::size_t capacity() const { return ring_.size(); }
 
+    /** Steady-state memory footprint: the ring plus the object. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return static_cast<std::uint64_t>(sizeof(*this)) +
+               static_cast<std::uint64_t>(ring_.capacity()) *
+                   sizeof(Event);
+    }
+
     /** Events recorded over the recorder's lifetime. */
     std::uint64_t totalRecorded() const { return next_; }
 

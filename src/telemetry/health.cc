@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include <sys/resource.h>
+
 #include "telemetry/metrics.hh"
 
 namespace hnoc
@@ -41,6 +43,17 @@ siRate(char *buf, std::size_t n, double v)
         std::snprintf(buf, n, "%.1f k", v / 1e3);
     else
         std::snprintf(buf, n, "%.0f ", v);
+}
+
+/** Peak resident set size of this process (bytes); 0 if unknown.
+ *  ru_maxrss is kilobytes on Linux. */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
 } // namespace
@@ -288,6 +301,19 @@ HealthMonitor::progressLine(const HealthSample &sample)
                   static_cast<unsigned long long>(sample.packetsDelivered),
                   sample.packetsInFlight, flit_s, cyc_s);
     out += buf;
+
+    // Live simulator cost: wall ns per simulated cycle over the last
+    // probe interval, and the process peak RSS.
+    if (cyc_rate > 0.0) {
+        std::snprintf(buf, sizeof(buf), " | %.0f ns/cyc",
+                      1e9 / cyc_rate);
+        out += buf;
+    }
+    if (std::uint64_t rss = peakRssBytes()) {
+        std::snprintf(buf, sizeof(buf), " | rss %.0f MB",
+                      static_cast<double>(rss) / (1024.0 * 1024.0));
+        out += buf;
+    }
 
     if (opts_.targetCycles > sample.cycle) {
         // ETA from the average rate since the monitor started; steadier

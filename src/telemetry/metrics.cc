@@ -423,6 +423,30 @@ MetricRegistry::merge(const MetricRegistry &other)
     windowStart_ = std::min(windowStart_, other.windowStart_);
 }
 
+std::uint64_t
+MetricRegistry::footprintBytes() const
+{
+    std::uint64_t b = sizeof(*this);
+    for (const auto &vec : counters_)
+        b += vec.capacity() * sizeof(std::uint64_t);
+    for (const auto &vec : gauges_)
+        b += vec.capacity() * sizeof(std::uint64_t);
+    b += hists_.capacity() * sizeof(Histogram);
+    b += bufferCapacity_.capacity() * sizeof(int);
+    b += portLanes_.capacity() * sizeof(int);
+    b += portInterRouter_.capacity() * sizeof(std::uint8_t);
+    b += epochs_.capacity() * sizeof(EpochRow);
+    for (const EpochRow &row : epochs_) {
+        b += row.occupancyFlitCycles.capacity() * sizeof(std::uint64_t);
+        b += row.linkFlits.capacity() * sizeof(std::uint64_t);
+        b += row.flitsRouted.capacity() * sizeof(std::uint64_t);
+    }
+    b += lastOccupancy_.capacity() * sizeof(std::uint64_t);
+    b += lastLinkFlits_.capacity() * sizeof(std::uint64_t);
+    b += lastFlitsRouted_.capacity() * sizeof(std::uint64_t);
+    return b;
+}
+
 void
 MetricRegistry::writeJson(JsonWriter &w) const
 {

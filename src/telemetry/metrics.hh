@@ -277,6 +277,14 @@ class MetricRegistry
      */
     void merge(const MetricRegistry &other);
 
+    /**
+     * Steady-state memory footprint: counter/gauge arrays, metadata,
+     * and accumulated epoch rows, from container capacities.
+     * Histograms are counted shallow (their bucket arrays are small
+     * and fixed). Grows with epochs, so call it at report time.
+     */
+    std::uint64_t footprintBytes() const;
+
     /** Serialize the full registry (schema in docs/OBSERVABILITY.md). */
     void writeJson(JsonWriter &w) const;
 

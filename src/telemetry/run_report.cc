@@ -41,6 +41,13 @@ RunReport::addRegistry(const std::string &label,
 }
 
 void
+RunReport::setProfile(const Profiler &prof, const MemoryAudit &audit)
+{
+    profile_ = std::make_unique<Profiler>(prof);
+    memAudit_ = audit;
+}
+
+void
 RunReport::writePoint(JsonWriter &w, const std::string &label,
                       const SimPointResult &res) const
 {
@@ -119,6 +126,15 @@ RunReport::json() const
             w.key(label);
             reg.writeJson(w);
         }
+        w.endObject();
+    }
+
+    if (profile_) {
+        w.key("profile").beginObject();
+        w.key("wall");
+        profile_->writeJson(w);
+        w.key("memory");
+        memAudit_.writeJson(w);
         w.endObject();
     }
 

@@ -15,11 +15,13 @@
 #ifndef HNOC_TELEMETRY_RUN_REPORT_HH
 #define HNOC_TELEMETRY_RUN_REPORT_HH
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "noc/sim_harness.hh"
+#include "telemetry/profiler.hh"
 
 namespace hnoc
 {
@@ -50,6 +52,14 @@ class RunReport
     /** Export a standalone merged registry (multi-seed aggregates). */
     void addRegistry(const std::string &label, const MetricRegistry &reg);
 
+    /**
+     * Attach the simulator self-profile: merged per-phase wall-clock
+     * attribution plus the per-component memory audit. Emitted as the
+     * optional `profile` section (wall/memory sub-objects) of the
+     * hnoc-run-report-v1 document.
+     */
+    void setProfile(const Profiler &prof, const MemoryAudit &audit);
+
     std::size_t points() const { return points_.size(); }
 
     /** @return the report as a JSON document. */
@@ -71,6 +81,8 @@ class RunReport
     std::vector<std::pair<std::string, double>> metaNum_;
     std::vector<std::pair<std::string, SimPointResult>> points_;
     std::vector<std::pair<std::string, MetricRegistry>> registries_;
+    std::unique_ptr<Profiler> profile_;
+    MemoryAudit memAudit_;
 };
 
 } // namespace hnoc

@@ -27,6 +27,8 @@
 
 #include "heteronoc/layout.hh"
 #include "noc/network.hh"
+#include "noc/router_core.hh"
+#include "telemetry/profiler.hh"
 
 namespace
 {
@@ -171,6 +173,68 @@ TEST(ZeroAlloc, HeterogeneousDiagonalBlAlwaysStepIsAllocationFree)
     NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
     cfg.alwaysStep = true;
     EXPECT_EQ(measureSteadyStateAllocs(cfg), 0u);
+}
+
+// ------------------------------------------------ sizing contracts --
+//
+// footprintBytes() claims to report the SoA storage from container
+// capacities sized once at wiring time. Pin that claim structurally:
+// the value must move by exactly the bytes the layout formula
+// predicts when one sizing input changes, and must not move at all
+// across steady-state stepping (the memory-side twin of the
+// zero-allocation assertions above).
+
+TEST(Footprint, RouterCoreScalesExactlyWithBufferDepth)
+{
+    // slot FIFO storage is total-slots x depth x sizeof(Flit); every
+    // other array in the core is depth-independent.
+    RouterCore shallow, deep;
+    shallow.init(/*ports=*/5, /*vcs=*/3, /*depth=*/4);
+    deep.init(5, 3, 8);
+    EXPECT_EQ(deep.footprintBytes() - shallow.footprintBytes(),
+              static_cast<std::uint64_t>(5 * 3) * 4 * sizeof(Flit));
+}
+
+TEST(Footprint, RouterCoreCountsPerOutputCreditStorage)
+{
+    RouterCore core;
+    core.init(5, 3, 4);
+    std::uint64_t before = core.footprintBytes();
+    core.connectOutput(/*p=*/0, /*chan=*/nullptr, /*lanes=*/1,
+                       /*down_vcs=*/6, /*down_depth=*/4);
+    EXPECT_EQ(core.footprintBytes() - before, 6 * sizeof(int));
+}
+
+TEST(Footprint, SteadyStateMemoryAuditIsConstant)
+{
+    // Once warm, continued stepping performs zero allocations (proved
+    // above), so no container capacity can change and the audit must
+    // be byte-for-byte stable — including the packet arena's
+    // high-water capacity row.
+    Network net(makeLayoutConfig(LayoutKind::DiagonalBL));
+    int nodes = net.topology().numNodes();
+    int flits = net.dataPacketFlits();
+    for (int c = 0; c < 20000; ++c) {
+        injectOne(net, nodes, flits);
+        net.step();
+    }
+
+    MemoryAudit warm = net.memoryAudit();
+    for (int c = 0; c < 2000; ++c) {
+        injectOne(net, nodes, flits);
+        net.step();
+    }
+    MemoryAudit later = net.memoryAudit();
+
+    ASSERT_EQ(warm.components.size(), later.components.size());
+    for (std::size_t i = 0; i < warm.components.size(); ++i) {
+        EXPECT_EQ(warm.components[i].name, later.components[i].name);
+        EXPECT_EQ(warm.components[i].bytes, later.components[i].bytes)
+            << warm.components[i].name;
+    }
+    EXPECT_GT(warm.totalBytes(), 0u);
+    EXPECT_EQ(warm.totalBytes(), later.totalBytes());
+    EXPECT_EQ(warm.tiles, nodes);
 }
 
 } // namespace

@@ -40,6 +40,12 @@ reference (counters are deterministic, so these gates are noise-free):
     # ...and both classify the same points as saturated
     ... --counter saturated_points --require-equal
 
+    # scaling gate: per-tile cost at 16x16 must stay within 1.5x of 8x8
+    check_perf_regression.py scaling.json scaling.json \
+        --benchmark 'scaling/mesh_8' \
+        --candidate-benchmark 'scaling/mesh_16' \
+        --counter ns_per_cycle_per_tile --max-increase-pct 50.0
+
 Either input may also be an `hnoc-perf-trajectory-v1` snapshot (the
 distilled file make_perf_trajectory.py writes), so a committed
 BENCH_trajectory.json can serve as the recorded baseline.
@@ -202,6 +208,7 @@ def compare(
     counter=None,
     min_reduction_pct=None,
     max_delta_pct=None,
+    max_increase_pct=None,
     require_equal=False,
 ):
     """Core comparison; returns the process exit code.
@@ -211,9 +218,12 @@ def compare(
     `min_speedup`, the gate is baseline/candidate >= min_speedup
     instead of the regression-percentage bound. With `counter`, the
     named user counter is compared instead of real_time, under one of
-    three gates: `min_reduction_pct` (candidate must be at least that
-    much smaller), `max_delta_pct` (absolute relative delta bound), or
-    `require_equal` (exact match).
+    four gates: `min_reduction_pct` (candidate must be at least that
+    much smaller), `max_delta_pct` (absolute relative delta bound),
+    `max_increase_pct` (one-sided growth bound: the candidate may
+    shrink freely but must not exceed baseline by more than this
+    percent — the scaling-curve gate), or `require_equal` (exact
+    match).
     """
     cand_name = candidate_benchmark or benchmark
     label = (
@@ -273,9 +283,25 @@ def compare(
                 return 1
             print("OK", file=out)
             return 0
+        if max_increase_pct is not None:
+            increase = (cand - base) / abs(base) * 100.0
+            print(
+                f"{label} [{counter}]: baseline {base:g}, candidate "
+                f"{cand:g}, increase {increase:+.2f}% "
+                f"(limit +{max_increase_pct:.2f}%)",
+                file=out,
+            )
+            if increase > max_increase_pct:
+                print(
+                    "FAIL: counter growth over threshold",
+                    file=sys.stderr,
+                )
+                return 1
+            print("OK", file=out)
+            return 0
         raise DataError(
             "--counter needs one of --min-reduction-pct, "
-            "--max-delta-pct, or --require-equal"
+            "--max-delta-pct, --max-increase-pct, or --require-equal"
         )
     base = best_time(baseline, benchmark)
     cand = best_time(candidate, cand_name)
@@ -478,6 +504,44 @@ def self_test():
             ),
             1,
         )
+        # One-sided growth gate (the scaling-curve bound): a shrink or
+        # small growth passes, growth over the limit fails.
+        scale = bench_file(
+            tmp,
+            "scale.json",
+            [
+                entry("scaling/mesh_8", 50.0, ns_per_cycle_per_tile=100.0),
+                entry("scaling/mesh_16", 60.0, ns_per_cycle_per_tile=140.0),
+                entry("scaling/mesh_32", 70.0, ns_per_cycle_per_tile=40.0),
+            ],
+        )
+        check(
+            "counter growth within bound",
+            compare(
+                scale, scale, "scaling/mesh_8", 2.0,
+                out=devnull, candidate_benchmark="scaling/mesh_16",
+                counter="ns_per_cycle_per_tile", max_increase_pct=50.0,
+            ),
+            0,
+        )
+        check(
+            "counter growth over bound",
+            compare(
+                scale, scale, "scaling/mesh_8", 2.0,
+                out=devnull, candidate_benchmark="scaling/mesh_16",
+                counter="ns_per_cycle_per_tile", max_increase_pct=30.0,
+            ),
+            1,
+        )
+        check(
+            "counter shrink passes one-sided gate",
+            compare(
+                scale, scale, "scaling/mesh_8", 2.0,
+                out=devnull, candidate_benchmark="scaling/mesh_32",
+                counter="ns_per_cycle_per_tile", max_increase_pct=0.0,
+            ),
+            0,
+        )
         check(
             "counter equality met",
             compare(
@@ -629,6 +693,14 @@ def main():
         "within this percent (latency-agreement gate)",
     )
     ap.add_argument(
+        "--max-increase-pct",
+        type=float,
+        help="with --counter: candidate may shrink freely but must not "
+        "exceed baseline by more than this percent (one-sided "
+        "scaling-curve gate, e.g. 50 for the 16x16 <= 1.5x 8x8 "
+        "ns/cycle/tile bound)",
+    )
+    ap.add_argument(
         "--require-equal",
         action="store_true",
         help="with --counter: values must match exactly "
@@ -647,6 +719,7 @@ def main():
             counter=args.counter,
             min_reduction_pct=args.min_reduction_pct,
             max_delta_pct=args.max_delta_pct,
+            max_increase_pct=args.max_increase_pct,
             require_equal=args.require_equal,
         )
     except DataError as e:

@@ -56,6 +56,17 @@ usage()
         "                                 telemetry epoch series "
         "(default\n"
         "                                 CI target 2%%)\n"
+        "  profile <report.json> [--trace FILE]\n"
+        "                                 simulator self-profile: "
+        "per-phase\n"
+        "                                 wall-clock attribution and "
+        "per-component\n"
+        "                                 memory footprints (runs made "
+        "with\n"
+        "                                 --profile); --trace writes "
+        "the phase\n"
+        "                                 spans as a Chrome-trace "
+        "JSON\n"
         "  postmortem <dump.json> [-n N]  summarize an "
         "hnoc-postmortem-v1 dump,\n"
         "                                 printing the last N recorder "
@@ -442,6 +453,107 @@ cmdConverge(const std::string &path, double target_pct)
     return 0;
 }
 
+// ---------------------------------------------------------------- profile
+
+/**
+ * Render the `profile` section a --profile run attaches to its report:
+ * the per-phase wall-clock table, the per-component memory table, and
+ * (with --trace) the phase spans as a Chrome-trace JSON — one
+ * synthetic "step" timeline whose slice widths are each phase's total
+ * wall time, so Perfetto's flame view shows the attribution at a
+ * glance.
+ */
+int
+cmdProfile(const std::string &path, const std::string &trace_path)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+
+    const JsonValue *prof = doc.find("profile");
+    if (!prof) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s carries no profile section "
+                     "(rerun with --profile)\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const JsonValue *wall = prof->find("wall");
+    if (wall) {
+        double cycles = wall->numAt("cycles", 0);
+        double total_ns = wall->numAt("step_total_ns", 0);
+        double unattr_ns = wall->numAt("unattributed_ns", 0);
+        std::printf("wall-clock attribution over %.0f cycles\n", cycles);
+        std::printf("%-18s %14s %12s %7s\n", "phase", "wall ns",
+                    "visits", "share");
+        if (const JsonValue *phases = wall->find("phases")) {
+            for (const auto &[name, p] : phases->object)
+                std::printf("%-18s %14.0f %12.0f %6.1f%%\n",
+                            name.c_str(), p.numAt("ns", 0),
+                            p.numAt("visits", 0),
+                            p.numAt("share_pct", 0));
+        }
+        std::printf("%-18s %14.0f %12s %6.1f%%\n", "(scan/overhead)",
+                    unattr_ns, "",
+                    total_ns > 0 ? 100.0 * unattr_ns / total_ns : 0.0);
+        std::printf("%-18s %14.0f\n", "step_total", total_ns);
+        if (cycles > 0)
+            std::printf("%-18s %14.1f\n", "ns/cycle",
+                        total_ns / cycles);
+    }
+
+    if (const JsonValue *mem = prof->find("memory")) {
+        double tiles = mem->numAt("tiles", 0);
+        std::printf("\nmemory audit (%.0f tiles)\n", tiles);
+        std::printf("%-22s %12s %8s %12s\n", "component", "bytes",
+                    "count", "bytes/tile");
+        for (const JsonValue &c : mem->arrayAt("components"))
+            std::printf("%-22s %12.0f %8.0f %12.1f\n",
+                        c.strAt("name").c_str(), c.numAt("bytes", 0),
+                        c.numAt("count", 0),
+                        c.numAt("bytes_per_tile", 0));
+        std::printf("%-22s %12.0f %8s %12.1f\n", "total",
+                    mem->numAt("total_bytes", 0), "",
+                    mem->numAt("bytes_per_tile", 0));
+    }
+
+    if (!trace_path.empty() && wall) {
+        std::FILE *f = std::fopen(trace_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "hnoc_inspect: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        // Sequential X slices (1 ns wall = 1 ns trace), attributed
+        // phases first, residual last.
+        std::fprintf(f, "{\"traceEvents\":[\n");
+        double ts = 0.0;
+        bool first = true;
+        auto slice = [&](const std::string &name, double ns) {
+            if (ns <= 0)
+                return;
+            std::fprintf(f,
+                         "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+                         "\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,"
+                         "\"cat\":\"profile\"}",
+                         first ? "" : ",\n", name.c_str(), ts / 1000.0,
+                         ns / 1000.0);
+            first = false;
+            ts += ns;
+        };
+        if (const JsonValue *phases = wall->find("phases"))
+            for (const auto &[name, p] : phases->object)
+                slice(name, p.numAt("ns", 0));
+        slice("(scan/overhead)", wall->numAt("unattributed_ns", 0));
+        std::fprintf(f, "\n],\"displayTimeUnit\":\"ms\"}\n");
+        std::fclose(f);
+        std::printf("\nphase trace: %s (open in chrome://tracing or "
+                    "Perfetto)\n",
+                    trace_path.c_str());
+    }
+    return 0;
+}
+
 // ------------------------------------------------------------- postmortem
 
 int
@@ -680,6 +792,19 @@ main(int argc, char **argv)
             }
         }
         return cmdConverge(argv[2], target);
+    }
+    if (cmd == "profile") {
+        if (argc < 3)
+            return usage();
+        std::string trace_path;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+                trace_path = argv[++i];
+            } else {
+                return usage();
+            }
+        }
+        return cmdProfile(argv[2], trace_path);
     }
     if (cmd == "postmortem") {
         if (argc < 3)

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Distill google-benchmark JSON into a compact perf-trajectory snapshot.
 
-    make_perf_trajectory.py BENCH_micro.json -o BENCH_trajectory.json \
-        [--off off.json] [--meta key=value ...]
+    make_perf_trajectory.py BENCH_micro.json [BENCH_scaling.json ...] \
+        -o BENCH_trajectory.json [--off off.json] [--meta key=value ...]
 
-Reads one --benchmark_out file (the HNOC_TELEMETRY=ON build) and writes
+Reads one or more --benchmark_out files (the HNOC_TELEMETRY=ON build;
+extra inputs — e.g. the scaling_curve suite — are merged into the same
+benchmark map, and inputs beyond the first may be absent) and writes
 `hnoc-perf-trajectory-v1` JSON: per-benchmark median/min real_time over
 repetitions (plus any user counters), plus — when --off supplies the
 HNOC_TELEMETRY=OFF run of the same suite — the telemetry hot-path
@@ -18,7 +20,10 @@ latency drift of the adaptive simulation controller. When it contains
 the bitmask-arbiter microbenches (`arbiter/dense_reqs`,
 `arbiter/sparse_reqs`), an `arbiter` block surfaces their per-cycle
 cost so VA/SA-level regressions are visible without digging through
-the whole-network stepLoad numbers. The output is
+the whole-network stepLoad numbers. When it contains the scaling_curve
+suite (`scaling/<layout>_<radix>`), a `scaling` block records the
+ns/cycle/tile and bytes/tile curve over mesh sizes — the committed
+simulator-cost scaling curve of docs/REPRODUCING.md. The output is
 small and stable, meant to be committed or archived per PR so perf
 history survives CI log rotation.
 
@@ -173,6 +178,24 @@ def scheduler_speedups(series):
     return speedups
 
 
+def scaling_points(series, counters):
+    """The scaling_curve suite as a `scaling` map.
+
+    One entry per `scaling/<layout>_<radix>` benchmark, keyed by
+    `<layout>_<radix>`, carrying the median wall ns/cycle plus every
+    user counter (ns_per_cycle_per_tile, bytes_per_tile, tiles and the
+    pct_* phase shares). Empty when the run did not include the suite.
+    """
+    points = {}
+    for name, times in sorted(series.items()):
+        if not name.startswith("scaling/"):
+            continue
+        entry = {"median_ns_per_cycle": statistics.median(times)}
+        entry.update(counters.get(name, {}))
+        points[name[len("scaling/") :]] = entry
+    return points
+
+
 def arbiter_costs(series):
     """Per-arbitration-cycle cost of the `arbiter/*` microbenches.
 
@@ -193,7 +216,13 @@ def arbiter_costs(series):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("bench_json", help="--benchmark_out of the ON build")
+    ap.add_argument(
+        "bench_json",
+        nargs="+",
+        help="--benchmark_out file(s) of the ON build; extra inputs are "
+        "merged and may be absent (e.g. BENCH_scaling.json on builds "
+        "that skip the scaling suite)",
+    )
     ap.add_argument("-o", "--output", default="BENCH_trajectory.json")
     ap.add_argument(
         "--off",
@@ -214,10 +243,21 @@ def main():
     )
     args = ap.parse_args()
 
-    on, on_counters = _load(args.bench_json)
+    on, on_counters = _load(args.bench_json[0])
+    for extra in args.bench_json[1:]:
+        try:
+            with open(extra):
+                pass
+        except OSError:
+            sys.stderr.write(f"note: skipping absent input {extra}\n")
+            continue
+        extra_series, extra_counters = _load(extra)
+        for name, times in extra_series.items():
+            on.setdefault(name, []).extend(times)
+        on_counters.update(extra_counters)
     out = {
         "schema": "hnoc-perf-trajectory-v1",
-        "source": args.bench_json,
+        "source": args.bench_json[0],
         "benchmarks": summarize(on, on_counters),
     }
     speedups = scheduler_speedups(on)
@@ -229,6 +269,9 @@ def main():
     arbiter = arbiter_costs(on)
     if arbiter:
         out["arbiter"] = arbiter
+    scaling = scaling_points(on, on_counters)
+    if scaling:
+        out["scaling"] = scaling
 
     if args.off:
         off = load_series(args.off)
@@ -236,7 +279,7 @@ def main():
         if hot not in on or hot not in off:
             sys.stderr.write(
                 f"error: '{hot}' missing from "
-                f"{args.bench_json if hot not in on else args.off}; "
+                f"{args.bench_json[0] if hot not in on else args.off}; "
                 f"cannot compute telemetry overhead\n"
             )
             sys.exit(2)
@@ -271,6 +314,8 @@ def main():
         tail += f", adaptive saves {adaptive['saved_pct']:.1f}% cycles"
     if arbiter:
         tail += f", {len(arbiter)} arbiter microbench(es)"
+    if scaling:
+        tail += f", {len(scaling)} scaling point(s)"
     print(f"{args.output}: {n} benchmark(s){tail}")
     return 0
 
