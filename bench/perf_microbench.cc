@@ -17,6 +17,7 @@
 #include "noc/sim_harness.hh"
 #include "noc/traffic.hh"
 #include "power/router_power.hh"
+#include "telemetry/blame.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
 
@@ -31,6 +32,7 @@ enum class TelemetryLevel
     Off,      ///< no registry attached (hooks cost one branch)
     Registry, ///< MetricRegistry attached, no tracing
     Trace,    ///< registry plus a TraceObserver on every router
+    Blame,    ///< BlameCollector attached (per-packet stall charging)
 };
 
 /** Cycles/second of the full 64-router network under UR load. */
@@ -42,13 +44,19 @@ networkStep(benchmark::State &state, LayoutKind kind,
     Network net(cfg);
     std::unique_ptr<MetricRegistry> reg;
     std::unique_ptr<TraceObserver> tracer;
-    if (level != TelemetryLevel::Off) {
+    std::unique_ptr<BlameCollector> blame;
+    if (level == TelemetryLevel::Registry ||
+        level == TelemetryLevel::Trace) {
         reg = net.makeMetricRegistry(1000);
         net.attachTelemetry(reg.get());
     }
     if (level == TelemetryLevel::Trace) {
         tracer = std::make_unique<TraceObserver>();
         net.setObserver(tracer.get());
+    }
+    if (level == TelemetryLevel::Blame) {
+        blame = net.makeBlameCollector();
+        net.attachBlame(blame.get());
     }
     TrafficGenerator gen(TrafficPattern::UniformRandom, 64, 8, 7);
     Cycle now = 0;
@@ -68,6 +76,8 @@ networkStep(benchmark::State &state, LayoutKind kind,
         benchmark::DoNotOptimize(reg->total(Ctr::BufferWrites));
     if (tracer)
         benchmark::DoNotOptimize(tracer->eventCount());
+    if (blame)
+        benchmark::DoNotOptimize(blame->packets());
 }
 
 void
@@ -103,6 +113,13 @@ BM_NetworkStepFullTrace(benchmark::State &state)
     networkStep(state, LayoutKind::Baseline, TelemetryLevel::Trace);
 }
 BENCHMARK(BM_NetworkStepFullTrace);
+
+void
+BM_NetworkStepBlame(benchmark::State &state)
+{
+    networkStep(state, LayoutKind::Baseline, TelemetryLevel::Blame);
+}
+BENCHMARK(BM_NetworkStepBlame);
 
 /**
  * Cycles/second at a fixed offered load under a chosen scheduler —

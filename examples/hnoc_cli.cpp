@@ -84,7 +84,13 @@ usage(int code)
         "  --profile      attribute simulator wall clock per step phase\n"
         "                 and print per-component memory footprints;\n"
         "                 adds a `profile` section to the --json report\n"
-        "                 (no-op in HNOC_TELEMETRY=OFF builds)\n\n"
+        "                 (no-op in HNOC_TELEMETRY=OFF builds)\n"
+        "  --blame        per-packet stall-cause blame attribution:\n"
+        "                 print blame heat maps plus a percentile\n"
+        "                 ladder decomposed by cause, and add a\n"
+        "                 `latency_blame` section to the --json report\n"
+        "                 (inspect with `hnoc_inspect blame FILE`;\n"
+        "                 no-op in HNOC_TELEMETRY=OFF builds)\n\n"
         "full-system mode:\n"
         "  --cmp W        run workload W on the 64-tile CMP\n"
         "                 (SAP SPECjbb TPC-C SJAS frrt fsim vips canl\n"
@@ -158,6 +164,7 @@ main(int argc, char **argv)
     Cycle audit_every = 0;
     Cycle watchdog_window = 0;
     bool profile = false;
+    bool blame = false;
     McPlacement mc = McPlacement::Corners;
 
     for (int i = 1; i < argc; ++i) {
@@ -234,6 +241,8 @@ main(int argc, char **argv)
             watchdog_window = std::strtoull(arg.c_str() + 11, nullptr, 10);
         else if (arg == "--profile")
             profile = true;
+        else if (arg == "--blame")
+            blame = true;
         else
             usage(1);
     }
@@ -305,6 +314,7 @@ main(int argc, char **argv)
     opts.auditEvery = audit_every;
     opts.watchdogWindow = watchdog_window;
     opts.profile = profile;
+    opts.collectBlame = blame;
     if (!postmortem_path.empty()) {
         opts.postmortemPath = postmortem_path;
         opts.flightRecorder = true;
@@ -360,6 +370,16 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "--profile: built with HNOC_TELEMETRY=OFF, "
                          "no profile collected\n");
+        }
+    }
+    if (blame) {
+        if (auto b = mergeBlame(results)) {
+            std::printf("\nlatency blame (all points merged)\n%s",
+                        b->table().c_str());
+        } else {
+            std::fprintf(stderr,
+                         "--blame: built with HNOC_TELEMETRY=OFF, "
+                         "no blame collected\n");
         }
     }
     if (!json_path.empty() &&

@@ -13,6 +13,8 @@
 namespace hnoc
 {
 
+struct BlameLedger;
+
 /** Position of a flit within its packet. */
 enum class FlitType : std::uint8_t
 {
@@ -54,6 +56,11 @@ struct Packet
     std::uint64_t tag = 0;
     /** Client-owned payload (coherence message, MC request, ...). */
     void *context = nullptr;
+
+    /** Stall-cause ledger while a BlameCollector is attached; owned
+     *  by the collector's pool, null otherwise (and always null under
+     *  HNOC_TELEMETRY=OFF). Report-only: never read by the model. */
+    BlameLedger *blame = nullptr;
 
     /** @return total network residency in cycles (eject - inject). */
     Cycle

@@ -155,6 +155,7 @@ Network::build()
                                   config_.linkLatency);
         router.connectOutput(lp, ej, config_.vcsOf(r),
                              config_.bufferDepth);
+        router.markEjectionPort(lp);
         ni.connectEjection(ej);
         ChannelEnds ee;
         ee.chan = ej;
@@ -211,6 +212,10 @@ Network::enqueuePacket(NodeId src, NodeId dst, int num_flits,
         // Alternate dimension orders deterministically by packet id.
         pkt->yxRouted = (pkt->id & 1) != 0;
     }
+    // Arm the blame ledger last: `*pkt = Packet{}` above resets the
+    // pointer on arena recycle, so detached runs carry none.
+    if (kTelemetryEnabled && blame_)
+        pkt->blame = blame_->acquire();
     nis_[static_cast<std::size_t>(src)]->enqueue(pkt);
     ++packetsInjected_;
     ++livePackets_;
@@ -298,6 +303,44 @@ Network::attachProfiler(Profiler *prof)
         r->setProfiler(prof);
 }
 
+std::unique_ptr<BlameCollector>
+Network::makeBlameCollector() const
+{
+    BlameCollector::Dims dims;
+    dims.routers = topo_->numRouters();
+    dims.ports = topo_->portsPerRouter();
+    dims.gridCols = topo_->gridCols();
+
+    auto bc = std::make_unique<BlameCollector>(dims);
+    for (RouterId r = 0; r < topo_->numRouters(); ++r) {
+        // The paper's router classes: "big" means more VCs or a wider
+        // local datapath than the baseline mesh router.
+        bool big = config_.vcsOf(r) > config_.defaultVcs ||
+                   config_.localChannelBits(r) > config_.flitWidthBits;
+        bc->setRouterClass(r, big);
+    }
+    for (const ChannelEnds &e : ends_) {
+        if (!e.driverIsRouter)
+            continue;
+        BlameLinkClass cls =
+            !e.sinkIsRouter ? BlameLinkClass::Local
+            : e.chan->lanes() > 1 ? BlameLinkClass::Wide
+                                  : BlameLinkClass::Narrow;
+        bc->setPortLinkClass(e.driverRouter, e.driverPort, cls);
+    }
+    for (NodeId n = 0; n < topo_->numNodes(); ++n)
+        bc->setNodeRouter(n, topo_->routerOfNode(n));
+    return bc;
+}
+
+void
+Network::attachBlame(BlameCollector *b)
+{
+    blame_ = b;
+    for (auto &r : routers_)
+        r->setBlame(b);
+}
+
 MemoryAudit
 Network::memoryAudit() const
 {
@@ -334,6 +377,8 @@ Network::memoryAudit() const
         a.add("metric_registry", telemetry_->footprintBytes(), 1);
     if (recorder_)
         a.add("flight_recorder", recorder_->footprintBytes(), 1);
+    if (blame_)
+        a.add("blame_collector", blame_->footprintBytes(), 1);
     return a;
 }
 
@@ -586,6 +631,22 @@ Network::step()
                 ++flitsDelivered_;
                 if (kTelemetryEnabled && telemetry_)
                     telemetry_->add(Ctr::FlitsEjected);
+                // Head delivery fixes the tail-serialization bound:
+                // the remaining flits drain through this one ejection
+                // channel at <= eff flits/cycle (2 only when pairing
+                // can ride a wide local link), so the tail cannot
+                // eject before headEjectAt + ceil(n/eff) - 1.
+                if (kTelemetryEnabled && f.isHead() && f.pkt->blame) {
+                    BlameLedger *bl = f.pkt->blame;
+                    bl->headEjectAt = now;
+                    int eff =
+                        (config_.intraPacketPairing &&
+                         e.chan->lanes() > 1)
+                            ? 2
+                            : 1;
+                    bl->minSerCycles = static_cast<std::uint64_t>(
+                        (f.pkt->numFlits + eff - 1) / eff - 1);
+                }
                 Packet *done = ni.receiveFlit(f, now);
                 if (done) {
                     ++packetsDelivered_;
@@ -607,6 +668,19 @@ Network::step()
                         observer_->onPacketDelivered(*done, now);
                     if (client_)
                         client_->onPacketDelivered(*this, *done, now);
+                    // Commit after the client callback so tests can
+                    // inspect the finished ledger from the callback.
+                    if (kTelemetryEnabled && done->blame) {
+                        if (blame_) {
+                            blame_->commit(done->id, done->src,
+                                           done->dst, done->createdAt,
+                                           done->injectedAt,
+                                           done->ejectedAt,
+                                           *done->blame);
+                            blame_->release(done->blame);
+                        }
+                        done->blame = nullptr;
+                    }
                     freePacket(done);
                 }
             });

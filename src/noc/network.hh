@@ -21,6 +21,7 @@
 #include "noc/routing.hh"
 #include "noc/topology.hh"
 #include "power/router_power.hh"
+#include "telemetry/blame.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
@@ -209,6 +210,25 @@ class Network
     Profiler *profiler() const { return profiler_; }
 
     /**
+     * Create a BlameCollector sized for this network, with router
+     * class (big/small), per-output link class (local/narrow/wide)
+     * and node-to-router metadata filled in.
+     */
+    std::unique_ptr<BlameCollector> makeBlameCollector() const;
+
+    /**
+     * Attach a blame collector to every router and arm per-packet
+     * ledger allocation (nullptr to detach). Report-only: attribution
+     * never alters simulated behavior, and the hooks compile out under
+     * -DHNOC_TELEMETRY=OFF. Packets already in flight at attach time
+     * carry no ledger and are skipped at delivery.
+     */
+    void attachBlame(BlameCollector *b);
+
+    /** @return the attached blame collector, or nullptr. */
+    BlameCollector *blame() const { return blame_; }
+
+    /**
      * Per-component steady-state memory breakdown: routers (SoA core
      * + scratch), channels (pipes), NIs, the packet arena, the
      * active-set bitmaps, and any attached registry/recorder. Byte
@@ -296,6 +316,7 @@ class Network
     MetricRegistry *telemetry_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
     Profiler *profiler_ = nullptr;
+    BlameCollector *blame_ = nullptr;
 
     Cycle cycle_ = 0;
     Cycle measureStart_ = 0;

@@ -95,6 +95,12 @@ Router::step(Cycle now)
         switchAllocate(now);
     }
 
+    // After SA has settled the cycle, every head still pending is by
+    // definition stalled for exactly one cycle; classify and charge
+    // it. Detached cost: one constant-foldable branch.
+    if (kTelemetryEnabled && blame_)
+        blamePass(now);
+
     // Occupancy sample for the Fig 1/2 heat maps. A zero sample is a
     // no-op on both accumulators, so skipping flitless cycles under
     // active-set scheduling loses nothing.
@@ -126,6 +132,19 @@ Router::routeCompute(Cycle now)
                       id_, static_cast<unsigned long long>(
                                head.pkt ? head.pkt->id : 0));
             core_.pkt[si] = head.pkt;
+            // Route-pending blame, charged as a lump: the head has
+            // been the front flit since headArrive (refreshHead keeps
+            // that exact, including behind a draining predecessor),
+            // and the earliest possible RC cycle is headArrive + 1.
+            if (kTelemetryEnabled && blame_ && head.pkt->blame) {
+                Cycle waited = now - core_.headArrive[si] - 1;
+                if (waited > 0) {
+                    head.pkt->blame->charge(BlameCause::RoutePending,
+                                            waited);
+                    blame_->charge(id_, INVALID_PORT,
+                                   BlameCause::RoutePending, waited);
+                }
+            }
             bitops::maskSet(core_.activeMask.data(), s);
             bitops::maskClear(core_.rcMask.data(), s);
             bitops::maskSet(core_.vaReqMask.data(), s);
@@ -267,6 +286,12 @@ Router::switchAllocatePort(PortId o, Cycle now)
         --op.credits[static_cast<std::size_t>(out_vc)];
         flit.vc = out_vc;
         op.chan->sendFlit(flit, now);
+        // Zero-load head-path accounting: this hop contributes one
+        // switch cycle plus the channel delay, priced on the route
+        // actually taken (detours included).
+        if (kTelemetryEnabled && flit.isHead() && flit.pkt->blame)
+            flit.pkt->blame->minHeadCycles +=
+                1 + static_cast<std::uint64_t>(op.chan->flitDelay());
         if (observer_)
             observer_->onFlitDepart(id_, o, flit, now);
 
@@ -386,6 +411,71 @@ Router::switchAllocatePort(PortId o, Cycle now)
 
     op.rrOffset = (op.rrOffset + static_cast<unsigned>(granted)) %
                   static_cast<unsigned>(total);
+}
+
+void
+Router::blamePass(Cycle now)
+{
+    // Charge one stall cycle to every head that was eligible this
+    // cycle yet did not depart. A slot is in exactly one of rcMask /
+    // vaReqMask / one output's saReq mask, and rcMask waits are
+    // covered by the route-pending lump charged at RC time, so each
+    // waiting head is charged exactly once per stepped cycle — the
+    // invariant behind the exact accounting identity. (A pending head
+    // implies a buffered flit, so the router is busy and this pass
+    // runs every cycle the head waits.)
+    bitops::forEachSetCyclic(
+        core_.vaReqMask.data(), core_.words, core_.total, 0, [&](int s) {
+            auto si = static_cast<std::size_t>(s);
+            if (core_.fifo[si].empty() || core_.headArrive[si] >= now)
+                return true;
+            Packet *pkt = core_.pkt[si];
+            if (!pkt || !pkt->blame)
+                return true;
+            BlameCause cause = core_.outPort[si] == ejectPort_
+                                   ? BlameCause::EjectBackpressure
+                                   : BlameCause::VaConflictLost;
+            pkt->blame->charge(cause);
+            blame_->charge(id_, core_.outPort[si], cause);
+            return true;
+        });
+
+    for (PortId o = 0; o < core_.ports; ++o) {
+        const RouterCore::Output &op =
+            core_.outputs[static_cast<std::size_t>(o)];
+        if (!op.chan)
+            continue;
+        std::uint64_t *req = core_.saReq(o);
+        if (!bitops::maskAny(req, core_.words))
+            continue;
+        bitops::forEachSetCyclic(
+            req, core_.words, core_.total, 0, [&](int s) {
+                auto si = static_cast<std::size_t>(s);
+                const RingBuffer<Flit> &fifo = core_.fifo[si];
+                if (fifo.empty() || core_.headArrive[si] >= now)
+                    return true;
+                // Only the head's wait is charged here: once it has
+                // departed, body/tail stalls are tail drag and fold
+                // into the link-serialization residual at commit.
+                const Flit &front = fifo.front();
+                if (!front.isHead() || front.pkt != core_.pkt[si])
+                    return true;
+                Packet *pkt = core_.pkt[si];
+                if (!pkt || !pkt->blame)
+                    return true;
+                BlameCause cause;
+                if (o == ejectPort_)
+                    cause = BlameCause::EjectBackpressure;
+                else if (op.credits[static_cast<std::size_t>(
+                             core_.outVc[si])] <= 0)
+                    cause = BlameCause::CreditStarved;
+                else
+                    cause = BlameCause::SaConflictLost;
+                pkt->blame->charge(cause);
+                blame_->charge(id_, o, cause);
+                return true;
+            });
+    }
 }
 
 Router::InputVcView

@@ -41,6 +41,7 @@
 #include "noc/router_core.hh"
 #include "noc/routing.hh"
 #include "power/router_power.hh"
+#include "telemetry/blame.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/profiler.hh"
@@ -139,6 +140,16 @@ class Router
      *  Report-only: profiling never alters simulation results. */
     void setProfiler(Profiler *prof) { profiler_ = prof; }
 
+    /** Attach a blame collector (nullptr to detach). While detached
+     *  the cost is one branch per stepped cycle; while attached the
+     *  post-SA blame pass charges every still-pending head one stall
+     *  cycle. Report-only: never alters simulation results. */
+    void setBlame(BlameCollector *b) { blame_ = b; }
+
+    /** Mark @p p as the port driving the ejection channel, so blame
+     *  can classify stalls at the ejection funnel separately. */
+    void markEjectionPort(PortId p) { ejectPort_ = p; }
+
     /** Steady-state memory footprint: the SoA core, the SA scratch
      *  vectors, and the object itself. */
     std::uint64_t
@@ -209,6 +220,10 @@ class Router
     void switchAllocate(Cycle now);
     void switchAllocatePort(PortId o, Cycle now);
 
+    /** Charge one stall cycle to every head still pending after SA;
+     *  runs only while a BlameCollector is attached. */
+    void blamePass(Cycle now);
+
     /** Handle the table-routing escape timeout for a stalled head
      *  occupying slot @p s. */
     void maybeEscape(int s, Cycle now);
@@ -230,6 +245,8 @@ class Router
     MetricRegistry *telemetry_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
     Profiler *profiler_ = nullptr;
+    BlameCollector *blame_ = nullptr;
+    PortId ejectPort_ = INVALID_PORT;
     std::vector<int> scratchOrder_;   ///< SA visiting order (OldestFirst)
     std::vector<int> scratchGrants_;  ///< per-input-port grants this cycle
     std::vector<PortId> scratchOut_;  ///< per-input-port granted output

@@ -246,6 +246,16 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         r.memory = std::make_shared<MemoryAudit>(net.memoryAudit());
     };
 
+    // Blame attribution also covers the whole run: every packet is
+    // ledgered from creation, so the accounting identity holds for
+    // warmup and drain traffic too.
+    std::shared_ptr<BlameCollector> blame;
+    if (opts.collectBlame && kTelemetryEnabled) {
+        blame = net.makeBlameCollector();
+        net.attachBlame(blame.get());
+    }
+    auto finish_blame = [&](SimPointResult &r) { r.blame = blame; };
+
     Cycle audit_every = opts.auditEvery;
 #ifndef NDEBUG
     // Debug builds audit every telemetry epoch by default; release
@@ -427,6 +437,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
             res.latencyByHopsNs.push_back(s.mean());
         res.metrics = std::move(reg);
         finish_profile(res);
+        finish_blame(res);
         return res;
     }
 
@@ -493,6 +504,7 @@ runOpenLoop(const NetworkConfig &config, TrafficPattern pattern,
         res.latencyByHopsNs.push_back(s.mean());
     res.metrics = std::move(reg);
     finish_profile(res);
+    finish_blame(res);
     return res;
 }
 
@@ -655,6 +667,21 @@ maxMemoryAudit(const std::vector<SimPointResult> &results)
     return best;
 }
 
+std::shared_ptr<BlameCollector>
+mergeBlame(const std::vector<SimPointResult> &results)
+{
+    std::shared_ptr<BlameCollector> merged;
+    for (const auto &r : results) {
+        if (!r.blame)
+            continue;
+        if (!merged)
+            merged = std::make_shared<BlameCollector>(*r.blame);
+        else
+            merged->merge(*r.blame);
+    }
+    return merged;
+}
+
 bool
 writeRunReport(const std::string &path, const std::string &title,
                const std::vector<std::string> &labels,
@@ -674,6 +701,8 @@ writeRunReport(const std::string &path, const std::string &title,
         auto mem = maxMemoryAudit(results);
         report.setProfile(*prof, mem ? *mem : MemoryAudit{});
     }
+    if (auto b = mergeBlame(results))
+        report.setBlame(*b);
     return report.writeFile(path);
 }
 

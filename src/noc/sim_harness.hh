@@ -79,6 +79,12 @@ struct SimPointOptions
      *  result. Report-only: simulated results stay bit-identical.
      *  No-op in HNOC_TELEMETRY=OFF builds. */
     bool profile = false;
+    /** Attach a BlameCollector for the whole run and return the
+     *  per-packet stall-cause attribution in the result. Report-only:
+     *  simulated results stay bit-identical (the ledger is observation,
+     *  never consulted by the model). No-op in HNOC_TELEMETRY=OFF
+     *  builds. */
+    bool collectBlame = false;
     ///@}
 };
 
@@ -145,6 +151,10 @@ struct SimPointResult
     /** End-of-run per-component memory audit (grown capacities). */
     std::shared_ptr<MemoryAudit> memory;
     ///@}
+
+    /** Stall-cause blame attribution (opts.collectBlame). shared_ptr
+     *  so results stay cheap to copy through the batch layer. */
+    std::shared_ptr<BlameCollector> blame;
 };
 
 /** Run a single open-loop point. */
@@ -264,6 +274,16 @@ mergeProfiles(const std::vector<SimPointResult> &results);
  */
 std::shared_ptr<MemoryAudit>
 maxMemoryAudit(const std::vector<SimPointResult> &results);
+
+/**
+ * Merge the blame collectors of every point that ran with
+ * opts.collectBlame, in input order (all aggregates are sums plus a
+ * deterministic worst-packet leaderboard merge, so the result is
+ * independent of worker-thread count). @return nullptr when no point
+ * collected blame.
+ */
+std::shared_ptr<BlameCollector>
+mergeBlame(const std::vector<SimPointResult> &results);
 
 /**
  * Write a unified JSON run report (schema hnoc-run-report-v1) for a

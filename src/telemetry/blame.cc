@@ -1,0 +1,600 @@
+#include "telemetry/blame.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "telemetry/json_writer.hh"
+
+namespace hnoc
+{
+
+const char *
+blameCauseName(BlameCause c)
+{
+    switch (c) {
+    case BlameCause::SourceQueueing:
+        return "source_queueing";
+    case BlameCause::RoutePending:
+        return "route_pending";
+    case BlameCause::VaConflictLost:
+        return "va_conflict_lost";
+    case BlameCause::SaConflictLost:
+        return "sa_conflict_lost";
+    case BlameCause::CreditStarved:
+        return "credit_starved";
+    case BlameCause::EjectBackpressure:
+        return "eject_backpressure";
+    case BlameCause::LinkSerialization:
+        return "link_serialization";
+    case BlameCause::NumCauses:
+        break;
+    }
+    return "?";
+}
+
+const char *
+blameLinkClassName(BlameLinkClass c)
+{
+    switch (c) {
+    case BlameLinkClass::None:
+        return "none";
+    case BlameLinkClass::Local:
+        return "local";
+    case BlameLinkClass::Narrow:
+        return "narrow";
+    case BlameLinkClass::Wide:
+        return "wide";
+    case BlameLinkClass::NumClasses:
+        break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Sort key for the worst-packet leaderboard: latency desc, id asc. */
+bool
+worstBefore(const BlameCollector::WorstPacket &a,
+            const BlameCollector::WorstPacket &b)
+{
+    if (a.latency != b.latency)
+        return a.latency > b.latency;
+    return a.id < b.id;
+}
+
+} // namespace
+
+BlameCollector::BlameCollector(const Dims &dims) : dims_(dims)
+{
+    if (dims.routers <= 0 || dims.ports <= 0 || dims.gridCols <= 0)
+        panic("BlameCollector: invalid dims %dx%d (grid cols %d)",
+              dims.routers, dims.ports, dims.gridCols);
+    routerBig_.assign(static_cast<std::size_t>(dims.routers), 0);
+    portLinkClass_.assign(static_cast<std::size_t>(dims.routers) *
+                              static_cast<std::size_t>(dims.ports),
+                          BlameLinkClass::None);
+    perRouterCause_.assign(static_cast<std::size_t>(dims.routers) *
+                               kNumBlameCauses,
+                           0);
+    buckets_.resize(kLadderBuckets);
+    worst_.reserve(kWorstN + 1);
+}
+
+BlameCollector::BlameCollector(const BlameCollector &other)
+    : dims_(other.dims_), routerBig_(other.routerBig_),
+      portLinkClass_(other.portLinkClass_),
+      nodeRouter_(other.nodeRouter_), packets_(other.packets_),
+      identityViolations_(other.identityViolations_),
+      totalLatency_(other.totalLatency_),
+      totalMinHead_(other.totalMinHead_),
+      totalMinSer_(other.totalMinSer_), totalCause_(other.totalCause_),
+      perRouterCause_(other.perRouterCause_),
+      classCause_(other.classCause_), buckets_(other.buckets_),
+      worst_(other.worst_)
+{
+}
+
+void
+BlameCollector::setRouterClass(RouterId r, bool big)
+{
+    routerBig_[static_cast<std::size_t>(r)] = big ? 1 : 0;
+}
+
+void
+BlameCollector::setPortLinkClass(RouterId r, PortId p, BlameLinkClass cls)
+{
+    portLinkClass_[static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(dims_.ports) +
+                   static_cast<std::size_t>(p)] = cls;
+}
+
+void
+BlameCollector::setNodeRouter(NodeId n, RouterId r)
+{
+    if (nodeRouter_.size() <= static_cast<std::size_t>(n))
+        nodeRouter_.resize(static_cast<std::size_t>(n) + 1, 0);
+    nodeRouter_[static_cast<std::size_t>(n)] = r;
+}
+
+BlameLedger *
+BlameCollector::acquire()
+{
+    if (free_.empty()) {
+        slabs_.push_back(std::make_unique<BlameLedger>());
+        return slabs_.back().get();
+    }
+    BlameLedger *l = free_.back();
+    free_.pop_back();
+    return l;
+}
+
+void
+BlameCollector::release(BlameLedger *l)
+{
+    l->reset();
+    free_.push_back(l);
+}
+
+std::size_t
+BlameCollector::bucketOf(std::uint64_t latency) const
+{
+    constexpr std::uint64_t width = kLadderMax / kLadderBuckets;
+    std::uint64_t b = latency / width;
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(b, kLadderBuckets - 1));
+}
+
+void
+BlameCollector::commit(PacketId id, NodeId src, NodeId dst,
+                       Cycle createdAt, Cycle injectedAt, Cycle ejectedAt,
+                       const BlameLedger &l)
+{
+    std::uint64_t latency = ejectedAt - createdAt;
+
+    // Derive the two commit-time causes.
+    std::array<std::uint64_t, kNumBlameCauses> cycles = l.cycles;
+    std::uint64_t sq = injectedAt - createdAt;
+    cycles[static_cast<std::size_t>(BlameCause::SourceQueueing)] += sq;
+
+    std::uint64_t link_ser = 0;
+    bool tail_ok = l.headEjectAt != CYCLE_NEVER &&
+                   ejectedAt >= l.headEjectAt &&
+                   ejectedAt - l.headEjectAt >= l.minSerCycles;
+    if (tail_ok)
+        link_ser = (ejectedAt - l.headEjectAt) - l.minSerCycles;
+    cycles[static_cast<std::size_t>(BlameCause::LinkSerialization)] +=
+        link_ser;
+
+    // Exact accounting identity; a mismatch means a hook site missed
+    // (or double-charged) a stall cycle — count it, never hide it.
+    std::uint64_t sum = l.minHeadCycles + l.minSerCycles;
+    for (std::uint64_t c : cycles)
+        sum += c;
+    if (!tail_ok || sum != latency)
+        ++identityViolations_;
+
+    // Heat-map / class attribution for the derived causes. The
+    // in-network causes were already charged at their stall sites;
+    // source queueing lands on the source's router, tail drag on the
+    // destination's ejection funnel.
+    if (sq > 0) {
+        RouterId r = nodeRouter_[static_cast<std::size_t>(src)];
+        charge(r, INVALID_PORT, BlameCause::SourceQueueing, sq);
+    }
+    if (link_ser > 0) {
+        RouterId r = nodeRouter_[static_cast<std::size_t>(dst)];
+        auto ci =
+            static_cast<std::size_t>(BlameCause::LinkSerialization);
+        perRouterCause_[static_cast<std::size_t>(r) * kNumBlameCauses +
+                        ci] += link_ser;
+        int rc = routerBig_[static_cast<std::size_t>(r)] ? 1 : 0;
+        classCause_[static_cast<std::size_t>(
+            rc * kNumBlameLinkClasses +
+            static_cast<int>(BlameLinkClass::Local))][ci] += link_ser;
+    }
+
+    // Scalar aggregates (committed packets only).
+    ++packets_;
+    totalLatency_ += latency;
+    totalMinHead_ += l.minHeadCycles;
+    totalMinSer_ += l.minSerCycles;
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        totalCause_[static_cast<std::size_t>(c)] +=
+            cycles[static_cast<std::size_t>(c)];
+
+    // Latency-bucket ladder.
+    Bucket &b = buckets_[bucketOf(latency)];
+    ++b.count;
+    b.latency += latency;
+    b.minHead += l.minHeadCycles;
+    b.minSer += l.minSerCycles;
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        b.cause[static_cast<std::size_t>(c)] +=
+            cycles[static_cast<std::size_t>(c)];
+
+    // Worst-packet leaderboard.
+    if (worst_.size() < kWorstN || latency > worst_.back().latency ||
+        (latency == worst_.back().latency && id < worst_.back().id)) {
+        WorstPacket wp;
+        wp.id = id;
+        wp.src = src;
+        wp.dst = dst;
+        wp.latency = latency;
+        wp.minHead = l.minHeadCycles;
+        wp.minSer = l.minSerCycles;
+        wp.cycles = cycles;
+        worst_.insert(std::upper_bound(worst_.begin(), worst_.end(), wp,
+                                       worstBefore),
+                      wp);
+        if (worst_.size() > kWorstN)
+            worst_.pop_back();
+    }
+}
+
+void
+BlameCollector::merge(const BlameCollector &other)
+{
+    if (other.dims_.routers != dims_.routers ||
+        other.dims_.ports != dims_.ports)
+        panic("BlameCollector::merge: shape mismatch (%dx%d vs %dx%d)",
+              dims_.routers, dims_.ports, other.dims_.routers,
+              other.dims_.ports);
+    packets_ += other.packets_;
+    identityViolations_ += other.identityViolations_;
+    totalLatency_ += other.totalLatency_;
+    totalMinHead_ += other.totalMinHead_;
+    totalMinSer_ += other.totalMinSer_;
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        totalCause_[static_cast<std::size_t>(c)] +=
+            other.totalCause_[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < perRouterCause_.size(); ++i)
+        perRouterCause_[i] += other.perRouterCause_[i];
+    for (std::size_t k = 0; k < classCause_.size(); ++k)
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            classCause_[k][static_cast<std::size_t>(c)] +=
+                other.classCause_[k][static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        Bucket &a = buckets_[i];
+        const Bucket &b = other.buckets_[i];
+        a.count += b.count;
+        a.latency += b.latency;
+        a.minHead += b.minHead;
+        a.minSer += b.minSer;
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            a.cause[static_cast<std::size_t>(c)] +=
+                b.cause[static_cast<std::size_t>(c)];
+    }
+    worst_.insert(worst_.end(), other.worst_.begin(), other.worst_.end());
+    std::stable_sort(worst_.begin(), worst_.end(), worstBefore);
+    if (worst_.size() > kWorstN)
+        worst_.resize(kWorstN);
+}
+
+std::uint64_t
+BlameCollector::totalCause(BlameCause c) const
+{
+    return totalCause_[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t
+BlameCollector::footprintBytes() const
+{
+    std::uint64_t b = sizeof(*this);
+    b += routerBig_.capacity() * sizeof(std::uint8_t);
+    b += portLinkClass_.capacity() * sizeof(BlameLinkClass);
+    b += nodeRouter_.capacity() * sizeof(RouterId);
+    b += perRouterCause_.capacity() * sizeof(std::uint64_t);
+    b += buckets_.capacity() * sizeof(Bucket);
+    b += worst_.capacity() * sizeof(WorstPacket);
+    b += slabs_.size() * (sizeof(BlameLedger) +
+                          sizeof(std::unique_ptr<BlameLedger>));
+    b += free_.capacity() * sizeof(BlameLedger *);
+    return b;
+}
+
+std::vector<BlameCollector::Rung>
+BlameCollector::ladder() const
+{
+    static constexpr double kPcts[] = {50.0, 90.0, 99.0, 99.9};
+    std::vector<Rung> rungs;
+    if (packets_ == 0)
+        return rungs;
+    constexpr std::uint64_t width = kLadderMax / kLadderBuckets;
+    for (double pct : kPcts) {
+        // Smallest bucket whose cumulative count reaches the rank.
+        double rank = pct / 100.0 * static_cast<double>(packets_);
+        std::uint64_t cum = 0;
+        std::size_t first = kLadderBuckets - 1;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            cum += buckets_[i].count;
+            if (static_cast<double>(cum) >= rank && buckets_[i].count) {
+                first = i;
+                break;
+            }
+        }
+        Rung r;
+        r.pct = pct;
+        r.latency = first * width;
+        Bucket tail;
+        for (std::size_t i = first; i < buckets_.size(); ++i) {
+            const Bucket &b = buckets_[i];
+            tail.count += b.count;
+            tail.latency += b.latency;
+            tail.minHead += b.minHead;
+            tail.minSer += b.minSer;
+            for (int c = 0; c < kNumBlameCauses; ++c)
+                tail.cause[static_cast<std::size_t>(c)] +=
+                    b.cause[static_cast<std::size_t>(c)];
+        }
+        r.tailPackets = tail.count;
+        if (tail.count > 0) {
+            auto n = static_cast<double>(tail.count);
+            r.meanLatency = static_cast<double>(tail.latency) / n;
+            r.meanMinHead = static_cast<double>(tail.minHead) / n;
+            r.meanMinSer = static_cast<double>(tail.minSer) / n;
+            for (int c = 0; c < kNumBlameCauses; ++c)
+                r.meanCause[static_cast<std::size_t>(c)] =
+                    static_cast<double>(
+                        tail.cause[static_cast<std::size_t>(c)]) /
+                    n;
+        }
+        rungs.push_back(r);
+    }
+    return rungs;
+}
+
+void
+BlameCollector::writeJson(JsonWriter &w) const
+{
+    double total = totalLatency_ > 0
+                       ? static_cast<double>(totalLatency_)
+                       : 1.0;
+    double npkt = packets_ > 0 ? static_cast<double>(packets_) : 1.0;
+
+    w.beginObject();
+    w.keyValue("schema", "hnoc-latency-blame-v1");
+    w.keyValue("packets", packets_);
+    w.keyValue("identity_violations", identityViolations_);
+    w.keyValue("total_latency_cycles", totalLatency_);
+    w.keyValue("mean_latency_cycles",
+               static_cast<double>(totalLatency_) / npkt);
+
+    // Run-wide decomposition. Shares are of total measured latency, so
+    // the cause rows plus the two min terms sum to 100% (modulo
+    // identity violations, which are reported above).
+    w.key("causes");
+    w.beginObject();
+    auto cause_row = [&](const char *name, std::uint64_t cyc) {
+        w.key(name);
+        w.beginObject();
+        w.keyValue("cycles", cyc);
+        w.keyValue("share_pct", 100.0 * static_cast<double>(cyc) / total);
+        w.keyValue("per_packet", static_cast<double>(cyc) / npkt);
+        w.endObject();
+    };
+    cause_row("min_head_latency", totalMinHead_);
+    cause_row("min_serialization", totalMinSer_);
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        cause_row(blameCauseName(static_cast<BlameCause>(c)),
+                  totalCause_[static_cast<std::size_t>(c)]);
+    w.endObject();
+
+    // Percentile ladder: each rung decomposes the mean blame of the
+    // packets at or above that latency percentile.
+    w.key("percentiles");
+    w.beginArray();
+    for (const Rung &r : ladder()) {
+        w.beginObject();
+        w.keyValue("percentile", r.pct);
+        w.keyValue("latency_cycles", r.latency);
+        w.keyValue("tail_packets", r.tailPackets);
+        w.keyValue("tail_mean_latency", r.meanLatency);
+        w.key("tail_mean_blame");
+        w.beginObject();
+        w.keyValue("min_head_latency", r.meanMinHead);
+        w.keyValue("min_serialization", r.meanMinSer);
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            w.keyValue(blameCauseName(static_cast<BlameCause>(c)),
+                       r.meanCause[static_cast<std::size_t>(c)]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    // cause x router class x link class (the paper's big/small x
+    // wide/narrow split). All-zero rows are skipped.
+    w.key("classes");
+    w.beginArray();
+    for (int rc = 0; rc < 2; ++rc) {
+        for (int lc = 0; lc < kNumBlameLinkClasses; ++lc) {
+            const auto &row = classCause_[static_cast<std::size_t>(
+                rc * kNumBlameLinkClasses + lc)];
+            std::uint64_t row_total = 0;
+            for (std::uint64_t v : row)
+                row_total += v;
+            if (row_total == 0)
+                continue;
+            w.beginObject();
+            w.keyValue("router_class", rc ? "big" : "small");
+            w.keyValue("link_class",
+                       blameLinkClassName(
+                           static_cast<BlameLinkClass>(lc)));
+            w.keyValue("cycles", row_total);
+            w.key("by_cause");
+            w.beginObject();
+            for (int c = 0; c < kNumBlameCauses; ++c)
+                w.keyValue(blameCauseName(static_cast<BlameCause>(c)),
+                           row[static_cast<std::size_t>(c)]);
+            w.endObject();
+            w.endObject();
+        }
+    }
+    w.endArray();
+
+    // Fig-1-style per-router blame heat maps (row-major on the router
+    // grid). Unlike the scalar aggregates these include stall cycles
+    // charged to packets still in flight at the end of the run.
+    w.key("heatmap");
+    w.beginObject();
+    w.keyValue("grid_cols", dims_.gridCols);
+    std::vector<std::uint64_t> row(
+        static_cast<std::size_t>(dims_.routers));
+    for (int r = 0; r < dims_.routers; ++r) {
+        std::uint64_t t = 0;
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            t += perRouterCause_[static_cast<std::size_t>(r) *
+                                     kNumBlameCauses +
+                                 static_cast<std::size_t>(c)];
+        row[static_cast<std::size_t>(r)] = t;
+    }
+    w.keyArray("total", row);
+    w.key("by_cause");
+    w.beginObject();
+    for (int c = 0; c < kNumBlameCauses; ++c) {
+        for (int r = 0; r < dims_.routers; ++r)
+            row[static_cast<std::size_t>(r)] =
+                perRouterCause_[static_cast<std::size_t>(r) *
+                                    kNumBlameCauses +
+                                static_cast<std::size_t>(c)];
+        w.keyArray(blameCauseName(static_cast<BlameCause>(c)), row);
+    }
+    w.endObject();
+    w.endObject();
+
+    w.key("worst_packets");
+    w.beginArray();
+    for (const WorstPacket &p : worst_) {
+        w.beginObject();
+        w.keyValue("id", p.id);
+        w.keyValue("src", p.src);
+        w.keyValue("dst", p.dst);
+        w.keyValue("latency_cycles", p.latency);
+        w.keyValue("min_head_latency", p.minHead);
+        w.keyValue("min_serialization", p.minSer);
+        w.key("blame");
+        w.beginObject();
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            w.keyValue(blameCauseName(static_cast<BlameCause>(c)),
+                       p.cycles[static_cast<std::size_t>(c)]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::string
+BlameCollector::json() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+std::string
+BlameCollector::table() const
+{
+    char buf[256];
+    std::string out;
+    double total = totalLatency_ > 0
+                       ? static_cast<double>(totalLatency_)
+                       : 1.0;
+    double npkt = packets_ > 0 ? static_cast<double>(packets_) : 1.0;
+    std::snprintf(buf, sizeof(buf),
+                  "latency blame: %llu packets, mean %.2f cyc, "
+                  "%llu identity violations\n",
+                  static_cast<unsigned long long>(packets_),
+                  static_cast<double>(totalLatency_) / npkt,
+                  static_cast<unsigned long long>(identityViolations_));
+    out += buf;
+
+    out += "  cause                 cycles     share    per-pkt\n";
+    auto cause_line = [&](const char *name, std::uint64_t cyc) {
+        std::snprintf(buf, sizeof(buf), "  %-18s %10llu   %6.2f%%   %8.3f\n",
+                      name, static_cast<unsigned long long>(cyc),
+                      100.0 * static_cast<double>(cyc) / total,
+                      static_cast<double>(cyc) / npkt);
+        out += buf;
+    };
+    cause_line("min_head_latency", totalMinHead_);
+    cause_line("min_serialization", totalMinSer_);
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        cause_line(blameCauseName(static_cast<BlameCause>(c)),
+                   totalCause_[static_cast<std::size_t>(c)]);
+
+    out += "  percentile ladder (tail-mean blame decomposition):\n";
+    for (const Rung &r : ladder()) {
+        std::string top;
+        // Name the dominant stall cause of the tail (min terms are
+        // structural, not stalls, so they are excluded from "top").
+        int best = -1;
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            if (best < 0 ||
+                r.meanCause[static_cast<std::size_t>(c)] >
+                    r.meanCause[static_cast<std::size_t>(best)])
+                best = c;
+        std::snprintf(
+            buf, sizeof(buf),
+            "    p%-5g >= %4llu cyc (%llu pkts, mean %.1f): "
+            "min %.1f+%.1f, top stall %s %.1f\n",
+            r.pct, static_cast<unsigned long long>(r.latency),
+            static_cast<unsigned long long>(r.tailPackets), r.meanLatency,
+            r.meanMinHead, r.meanMinSer,
+            blameCauseName(static_cast<BlameCause>(best)),
+            r.meanCause[static_cast<std::size_t>(best)]);
+        out += buf;
+    }
+
+    // Per-router heat maps: total blame plus the two most-charged
+    // stall causes. Values are normalized to percent of the map's own
+    // total so the fixed-width cell format stays readable at any run
+    // length (the JSON report keeps the raw cycle counts).
+    auto normalize = [](std::vector<double> &v) {
+        double sum = 0.0;
+        for (double x : v)
+            sum += x;
+        if (sum <= 0.0)
+            return;
+        for (double &x : v)
+            x = 100.0 * x / sum;
+    };
+    std::vector<double> vals(static_cast<std::size_t>(dims_.routers));
+    for (int r = 0; r < dims_.routers; ++r) {
+        std::uint64_t t = 0;
+        for (int c = 0; c < kNumBlameCauses; ++c)
+            t += perRouterCause_[static_cast<std::size_t>(r) *
+                                     kNumBlameCauses +
+                                 static_cast<std::size_t>(c)];
+        vals[static_cast<std::size_t>(r)] = static_cast<double>(t);
+    }
+    normalize(vals);
+    out += formatHeatMap(vals, dims_.gridCols,
+                         "blame heat map (all causes, % of total)");
+    std::array<int, kNumBlameCauses> order;
+    for (int c = 0; c < kNumBlameCauses; ++c)
+        order[static_cast<std::size_t>(c)] = c;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return totalCause_[static_cast<std::size_t>(a)] >
+               totalCause_[static_cast<std::size_t>(b)];
+    });
+    for (int k = 0; k < 2; ++k) {
+        int c = order[static_cast<std::size_t>(k)];
+        if (totalCause_[static_cast<std::size_t>(c)] == 0)
+            break;
+        for (int r = 0; r < dims_.routers; ++r)
+            vals[static_cast<std::size_t>(r)] = static_cast<double>(
+                perRouterCause_[static_cast<std::size_t>(r) *
+                                    kNumBlameCauses +
+                                static_cast<std::size_t>(c)]);
+        normalize(vals);
+        std::snprintf(buf, sizeof(buf), "blame heat map (%s, %% of total)",
+                      blameCauseName(static_cast<BlameCause>(c)));
+        out += formatHeatMap(vals, dims_.gridCols, buf);
+    }
+    return out;
+}
+
+} // namespace hnoc

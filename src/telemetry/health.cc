@@ -4,8 +4,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include <sys/resource.h>
-
+#include "common/portability.hh"
 #include "telemetry/metrics.hh"
 
 namespace hnoc
@@ -43,17 +42,6 @@ siRate(char *buf, std::size_t n, double v)
         std::snprintf(buf, n, "%.1f k", v / 1e3);
     else
         std::snprintf(buf, n, "%.0f ", v);
-}
-
-/** Peak resident set size of this process (bytes); 0 if unknown.
- *  ru_maxrss is kilobytes on Linux. */
-std::uint64_t
-peakRssBytes()
-{
-    struct rusage ru{};
-    if (getrusage(RUSAGE_SELF, &ru) != 0)
-        return 0;
-    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
 } // namespace

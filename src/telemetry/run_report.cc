@@ -48,6 +48,12 @@ RunReport::setProfile(const Profiler &prof, const MemoryAudit &audit)
 }
 
 void
+RunReport::setBlame(const BlameCollector &blame)
+{
+    blame_ = std::make_unique<BlameCollector>(blame);
+}
+
+void
 RunReport::writePoint(JsonWriter &w, const std::string &label,
                       const SimPointResult &res) const
 {
@@ -136,6 +142,11 @@ RunReport::json() const
         w.key("memory");
         memAudit_.writeJson(w);
         w.endObject();
+    }
+
+    if (blame_) {
+        w.key("latency_blame");
+        blame_->writeJson(w);
     }
 
     w.endObject();

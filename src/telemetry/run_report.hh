@@ -60,6 +60,13 @@ class RunReport
      */
     void setProfile(const Profiler &prof, const MemoryAudit &audit);
 
+    /**
+     * Attach the merged stall-cause blame attribution. Emitted as the
+     * optional `latency_blame` section of the hnoc-run-report-v1
+     * document (schema hnoc-latency-blame-v1).
+     */
+    void setBlame(const BlameCollector &blame);
+
     std::size_t points() const { return points_.size(); }
 
     /** @return the report as a JSON document. */
@@ -83,6 +90,7 @@ class RunReport
     std::vector<std::pair<std::string, MetricRegistry>> registries_;
     std::unique_ptr<Profiler> profile_;
     MemoryAudit memAudit_;
+    std::unique_ptr<BlameCollector> blame_;
 };
 
 } // namespace hnoc

@@ -88,6 +88,38 @@ if(NOT STEP_OUT MATCHES "hnoc-postmortem-v1")
         "inspect_e2e: postmortem output lacks schema:\n${STEP_OUT}")
 endif()
 
+# Blame pipeline: one run with --blame that also trips the watchdog,
+# giving both a latency_blame report section and a flight-recorder
+# postmortem — enough to exercise `hnoc_inspect blame` including the
+# critical-path replay. In HNOC_TELEMETRY=OFF builds the report has no
+# latency_blame section; the inspector must then fail cleanly (exit 1
+# citing the missing section), which this step accepts.
+run_step("cli blame" "${HNOC_CLI}"
+    --layout Diagonal+BL --pattern uniform --rate 0.02 --seed 1
+    --blame --watchdog=2
+    --json "${WORK_DIR}/blame_run.json"
+    --postmortem "${WORK_DIR}/blame_postmortem.json")
+execute_process(
+    COMMAND "${HNOC_INSPECT}" blame "${WORK_DIR}/blame_run.json"
+        --events "${WORK_DIR}/blame_postmortem.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    if(NOT out MATCHES "latency blame")
+        message(FATAL_ERROR "inspect_e2e: blame lacks summary:\n${out}")
+    endif()
+    if(NOT out MATCHES "percentile ladder")
+        message(FATAL_ERROR "inspect_e2e: blame lacks ladder:\n${out}")
+    endif()
+    if(NOT out MATCHES "critical-path replay")
+        message(FATAL_ERROR "inspect_e2e: blame lacks replay:\n${out}")
+    endif()
+elseif(NOT err MATCHES "no latency_blame")
+    message(FATAL_ERROR
+        "inspect_e2e: blame failed unexpectedly (exit ${rc}):\n${err}")
+endif()
+
 # A malformed document must be a clean, nonzero-exit error.
 file(WRITE "${WORK_DIR}/broken.json" "{\"schema\": ")
 execute_process(

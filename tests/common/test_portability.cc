@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "common/portability.hh"
+
+namespace hnoc
+{
+namespace
+{
+
+TEST(Portability, FallbackReportsZeroNotGarbage)
+{
+    // The fallback is the documented "no data" value on platforms
+    // without getrusage; it must be exactly zero so health reports can
+    // distinguish "unavailable" from a real measurement.
+    EXPECT_EQ(detail::peakRssFallback(), 0u);
+}
+
+TEST(Portability, PeakRssIsPositiveWhenProbeExists)
+{
+    if (!kHasRusage)
+        GTEST_SKIP() << "no getrusage on this platform";
+    // Any running process has a nonzero peak RSS; also sanity-bound it
+    // below 1 TiB to catch unit mix-ups (KiB vs bytes).
+    std::uint64_t rss = peakRssBytes();
+    EXPECT_GT(rss, 0u);
+    EXPECT_LT(rss, 1ull << 40);
+}
+
+TEST(Portability, PeakRssMonotonicWithinProcess)
+{
+    if (!kHasRusage)
+        GTEST_SKIP() << "no getrusage on this platform";
+    std::uint64_t a = peakRssBytes();
+    std::uint64_t b = peakRssBytes();
+    EXPECT_GE(b, a); // peak never decreases
+}
+
+#if defined(__linux__)
+TEST(Portability, LinuxAlwaysHasRusage)
+{
+    EXPECT_TRUE(kHasRusage);
+}
+#endif
+
+} // namespace
+} // namespace hnoc

@@ -574,6 +574,50 @@ def self_test():
             "--min-reduction-pct",
         )
 
+        # The telemetry-overhead job shape with blame hooks compiled
+        # in: the OFF-vs-ON comparison still reads
+        # BM_NetworkStepBaseline (hooks present, nothing attached) and
+        # must ride the same <=2% gate, while the attached-collector
+        # price is checked cross-benchmark inside the ON file under a
+        # generous bound (attachment may cost, never silently explode).
+        blame_off = bench_file(
+            tmp,
+            "blame_off.json",
+            [entry("BM_NetworkStepBaseline", 100.0)],
+        )
+        blame_on = bench_file(
+            tmp,
+            "blame_on.json",
+            [
+                entry("BM_NetworkStepBaseline", 101.0),
+                entry("BM_NetworkStepBlame", 125.0),
+            ],
+        )
+        check(
+            "blame hooks ride the ON-vs-OFF gate",
+            compare(
+                blame_off, blame_on, "BM_NetworkStepBaseline", 2.0,
+                out=devnull,
+            ),
+            0,
+        )
+        check(
+            "attached blame collector within price bound",
+            compare(
+                blame_on, blame_on, "BM_NetworkStepBaseline", 30.0,
+                out=devnull, candidate_benchmark="BM_NetworkStepBlame",
+            ),
+            0,
+        )
+        check(
+            "attached blame collector over price bound",
+            compare(
+                blame_on, blame_on, "BM_NetworkStepBaseline", 10.0,
+                out=devnull, candidate_benchmark="BM_NetworkStepBlame",
+            ),
+            1,
+        )
+
         # Trajectory-v1 snapshots as inputs (recorded baselines).
         traj = os.path.join(tmp, "traj.json")
         with open(traj, "w") as f:

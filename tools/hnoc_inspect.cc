@@ -67,6 +67,22 @@ usage()
         "the phase\n"
         "                                 spans as a Chrome-trace "
         "JSON\n"
+        "  blame <report.json> [--events DUMP.json] [--packet N]\n"
+        "                                 stall-cause blame attribution "
+        "of a\n"
+        "                                 --blame run: cause "
+        "decomposition,\n"
+        "                                 percentile ladder, router/link "
+        "class\n"
+        "                                 split and worst packets; with\n"
+        "                                 --events, replay one packet's\n"
+        "                                 critical path cycle-by-cycle "
+        "from an\n"
+        "                                 hnoc-postmortem-v1 flight "
+        "recorder\n"
+        "                                 dump (--packet picks the id,\n"
+        "                                 default: worst recorded "
+        "packet)\n"
         "  postmortem <dump.json> [-n N]  summarize an "
         "hnoc-postmortem-v1 dump,\n"
         "                                 printing the last N recorder "
@@ -365,6 +381,32 @@ cmdDiff(const std::string &path_a, const std::string &path_b,
         (void)p;
         std::printf("%-24s only in %s\n", label.c_str(), path_b.c_str());
     }
+
+    // Blame-share drift, when both runs carried --blame data: a cause
+    // whose share of total latency moved by more than the threshold
+    // (in percentage points) marks a behavior change even when the
+    // headline latency barely moved.
+    const JsonValue *bla = a.find("latency_blame");
+    const JsonValue *blb = b.find("latency_blame");
+    const JsonValue *ca = bla ? bla->find("causes") : nullptr;
+    const JsonValue *cb = blb ? blb->find("causes") : nullptr;
+    if (ca && cb) {
+        std::printf("\nblame share (%% of total latency)\n");
+        std::printf("%-20s %10s %10s %9s\n", "cause", "a", "b",
+                    "delta pp");
+        for (const auto &[name, va] : ca->object) {
+            const JsonValue *vb = cb->find(name);
+            double sa = va.numAt("share_pct", 0);
+            double sb = vb ? vb->numAt("share_pct", 0) : 0.0;
+            bool over = std::fabs(sb - sa) > threshold_pct;
+            if (over)
+                ++flagged;
+            std::printf("%-20s %9.2f%% %9.2f%% %+8.2f%s\n",
+                        name.c_str(), sa, sb, sb - sa,
+                        over ? "  <-- over threshold" : "");
+        }
+    }
+
     std::printf("\n%d point(s) compared, %d metric delta(s) over "
                 "%.1f%%\n",
                 compared, flagged, threshold_pct);
@@ -550,6 +592,183 @@ cmdProfile(const std::string &path, const std::string &trace_path)
         std::printf("\nphase trace: %s (open in chrome://tracing or "
                     "Perfetto)\n",
                     trace_path.c_str());
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------------ blame
+
+/** Largest entry of a tail_mean_blame / by_cause object, skipping the
+ *  zero-load min terms. @return pointer to the winning pair or null. */
+const std::pair<std::string, JsonValue> *
+topStall(const JsonValue &blame)
+{
+    const std::pair<std::string, JsonValue> *best = nullptr;
+    for (const auto &kv : blame.object) {
+        if (kv.first == "min_head_latency" ||
+            kv.first == "min_serialization")
+            continue;
+        if (!kv.second.isNumber())
+            continue;
+        if (!best || kv.second.number > best->second.number)
+            best = &kv;
+    }
+    return best;
+}
+
+int
+cmdBlame(const std::string &path, const std::string &events_path,
+         double packet_sel)
+{
+    JsonValue doc = load(path);
+    requireSchema(doc, "hnoc-run-report-v1", path);
+
+    const JsonValue *bl = doc.find("latency_blame");
+    if (!bl) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s carries no latency_blame "
+                     "section (rerun with --blame)\n",
+                     path.c_str());
+        return 1;
+    }
+
+    double packets = bl->numAt("packets", 0);
+    std::printf("latency blame: %.0f packet(s), mean %.2f cyc, %.0f "
+                "identity violation(s)\n",
+                packets, bl->numAt("mean_latency_cycles", 0),
+                bl->numAt("identity_violations", 0));
+
+    if (const JsonValue *causes = bl->find("causes")) {
+        std::printf("\n%-20s %14s %8s %10s\n", "cause", "cycles",
+                    "share", "per-pkt");
+        for (const auto &[name, c] : causes->object)
+            std::printf("%-20s %14.0f %7.2f%% %10.3f\n", name.c_str(),
+                        c.numAt("cycles", 0), c.numAt("share_pct", 0),
+                        c.numAt("per_packet", 0));
+    }
+
+    if (const JsonValue *rungs = bl->find("percentiles")) {
+        std::printf("\npercentile ladder (tail-mean blame)\n");
+        for (const JsonValue &r : rungs->array) {
+            std::printf("  p%-5g >= %5.0f cyc: %8.0f pkts, mean %8.1f",
+                        r.numAt("percentile", 0),
+                        r.numAt("latency_cycles", 0),
+                        r.numAt("tail_packets", 0),
+                        r.numAt("tail_mean_latency", 0));
+            if (const JsonValue *tm = r.find("tail_mean_blame"))
+                if (const auto *best = topStall(*tm))
+                    std::printf(", top stall %s %.1f",
+                                best->first.c_str(),
+                                best->second.number);
+            std::printf("\n");
+        }
+    }
+
+    if (const JsonValue *classes = bl->find("classes")) {
+        std::printf("\nrouter class x link class split\n");
+        std::printf("%-7s %-7s %14s  %s\n", "router", "link", "cycles",
+                    "top cause");
+        for (const JsonValue &c : classes->array) {
+            std::printf("%-7s %-7s %14.0f", c.strAt("router_class").c_str(),
+                        c.strAt("link_class").c_str(),
+                        c.numAt("cycles", 0));
+            if (const JsonValue *by = c.find("by_cause"))
+                if (const auto *best = topStall(*by))
+                    std::printf("  %s %.0f", best->first.c_str(),
+                                best->second.number);
+            std::printf("\n");
+        }
+    }
+
+    const JsonValue *worst = bl->find("worst_packets");
+    if (worst && !worst->array.empty()) {
+        std::printf("\nworst packets\n");
+        std::printf("%10s %5s %5s %9s %8s %8s  %s\n", "id", "src",
+                    "dst", "latency", "min hd", "min ser", "top stall");
+        for (const JsonValue &p : worst->array) {
+            std::printf("%10.0f %5.0f %5.0f %9.0f %8.0f %8.0f",
+                        p.numAt("id", 0), p.numAt("src", 0),
+                        p.numAt("dst", 0), p.numAt("latency_cycles", 0),
+                        p.numAt("min_head_latency", 0),
+                        p.numAt("min_serialization", 0));
+            if (const JsonValue *b = p.find("blame"))
+                if (const auto *best = topStall(*b))
+                    std::printf("  %s %.0f", best->first.c_str(),
+                                best->second.number);
+            std::printf("\n");
+        }
+    }
+
+    if (events_path.empty())
+        return 0;
+
+    // Critical-path replay: walk one packet's flight-recorder events
+    // in time order, printing the per-hop gaps that make up its
+    // latency. The recorder is a ring buffer, so only the recent
+    // window of the run is available.
+    JsonValue dump = load(events_path);
+    requireSchema(dump, "hnoc-postmortem-v1", events_path);
+    const JsonValue *fr = dump.find("flight_recorder");
+    if (!fr) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: %s carries no flight recorder "
+                     "(rerun with --postmortem)\n",
+                     events_path.c_str());
+        return 1;
+    }
+    const auto &events = fr->arrayAt("events");
+
+    // Pick the packet: --packet wins; otherwise prefer the worst
+    // report packet that the recorder window still holds; otherwise
+    // the packet with the most recorded events.
+    std::map<double, std::uint64_t> counts;
+    for (const JsonValue &e : events)
+        if (e.find("pkt"))
+            ++counts[e.numAt("pkt", -1)];
+    double pkt = packet_sel;
+    if (pkt < 0 && worst) {
+        for (const JsonValue &p : worst->array) {
+            double id = p.numAt("id", -1);
+            if (counts.count(id)) {
+                pkt = id;
+                break;
+            }
+        }
+    }
+    if (pkt < 0) {
+        std::uint64_t best_n = 0;
+        for (const auto &[id, n] : counts)
+            if (n > best_n) {
+                best_n = n;
+                pkt = id;
+            }
+    }
+    if (pkt < 0 || !counts.count(pkt)) {
+        std::fprintf(stderr,
+                     "hnoc_inspect: packet %.0f not in the recorder "
+                     "window of %s\n",
+                     pkt, events_path.c_str());
+        return 1;
+    }
+
+    std::printf("\ncritical-path replay: packet %.0f (%llu recorded "
+                "event(s))\n",
+                pkt, static_cast<unsigned long long>(counts[pkt]));
+    double prev_t = -1.0;
+    for (const JsonValue &e : events) {
+        if (!e.find("pkt") || e.numAt("pkt", -1) != pkt)
+            continue;
+        double t = e.numAt("t", 0);
+        std::printf("  t=%-8.0f", t);
+        if (prev_t >= 0 && t > prev_t)
+            std::printf(" (+%-5.0f)", t - prev_t);
+        else
+            std::printf("         ");
+        std::printf(" %-12s r=%-3.0f p=%-2.0f vc=%-2.0f%s\n",
+                    e.strAt("ev").c_str(), e.numAt("r", 0),
+                    e.numAt("p", 0), e.numAt("vc", 0),
+                    e.boolAt("head") ? " head" : "");
+        prev_t = t;
     }
     return 0;
 }
@@ -805,6 +1024,23 @@ main(int argc, char **argv)
             }
         }
         return cmdProfile(argv[2], trace_path);
+    }
+    if (cmd == "blame") {
+        if (argc < 3)
+            return usage();
+        std::string events_path;
+        double packet = -1.0;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+                events_path = argv[++i];
+            } else if (std::strcmp(argv[i], "--packet") == 0 &&
+                       i + 1 < argc) {
+                packet = std::atof(argv[++i]);
+            } else {
+                return usage();
+            }
+        }
+        return cmdBlame(argv[2], events_path, packet);
     }
     if (cmd == "postmortem") {
         if (argc < 3)
