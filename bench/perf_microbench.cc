@@ -7,7 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/job_pool.hh"
@@ -237,6 +239,9 @@ profiledStepLoad(benchmark::State &state, LayoutKind kind,
     share("pct_switch_allocate", prof.ns(ProfPhase::SwitchAllocate));
     share("pct_ni_inject", prof.ns(ProfPhase::NiInject));
     share("pct_scan_overhead", prof.unattributedNs());
+    if (prof.numBlocks() > 0)
+        state.counters["bytes_streamed_per_cycle"] =
+            benchmark::Counter(prof.bytesStreamedPerCycle());
     state.counters["visits_per_cycle_sa"] = benchmark::Counter(
         static_cast<double>(prof.visits(ProfPhase::SwitchAllocate)) /
         static_cast<double>(prof.cycles() ? prof.cycles() : 1));
@@ -445,4 +450,27 @@ BENCHMARK(BM_ResourceAccounting);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Flag-equivalent default repetitions: per-benchmark ->Repetitions()
+// would rename every series to "<name>/repeats:N" and break the
+// trajectory/CI series keys, so inject the flag instead when the
+// caller did not pass one (explicit flags still win).
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    char default_reps[] = "--benchmark_repetitions=3";
+    bool has_reps = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_repetitions",
+                         sizeof("--benchmark_repetitions") - 1) == 0)
+            has_reps = true;
+    if (!has_reps)
+        args.insert(args.begin() + 1, default_reps);
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -2,10 +2,11 @@
  * @file
  * Simulator cost scaling curve: wall-clock ns per simulated cycle per
  * tile and simulator bytes per tile as the mesh grows 8x8 -> 16x16 ->
- * 32x32, for the homogeneous baseline and the Diagonal+BL
- * heterogeneous layout. One google-benchmark per (layout, radix)
- * point, named `scaling/<layout>_<radix>`; user counters carry the
- * committed-trajectory inputs:
+ * 32x32 -> 48x48, for the homogeneous baseline and the Diagonal+BL
+ * heterogeneous layout, plus a 16x16 concentration-4 concentrated
+ * mesh (1024 tiles on 256 routers — a different router/NI balance).
+ * One google-benchmark per point, named `scaling/<layout>_<radix>`;
+ * user counters carry the committed-trajectory inputs:
  *
  *   ns_per_cycle_per_tile  timed over an UNPROFILED mid-load run, so
  *                          the number is the simulator's real cost,
@@ -27,6 +28,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <vector>
 
 #include "heteronoc/layout.hh"
 #include "noc/network.hh"
@@ -81,12 +84,15 @@ gridCols(int nodes)
     return cols;
 }
 
+/** One scaling point over an arbitrary config; @p load_radix is the
+ *  mesh radix used to normalise offered load to a constant fraction
+ *  of bisection saturation (router-grid columns for the cmesh). */
 void
-scaling(benchmark::State &state, LayoutKind kind, int radix)
+scalingPoint(benchmark::State &state, const NetworkConfig &cfg,
+             int load_radix)
 {
-    NetworkConfig cfg = makeLayoutConfig(kind, radix);
     int nodes = cfg.numNodes();
-    double pkt_rate = packetRate(cfg, radix);
+    double pkt_rate = packetRate(cfg, load_radix);
 
     Network net(cfg);
     TrafficGenerator gen(TrafficPattern::UniformRandom, nodes,
@@ -160,7 +166,31 @@ scaling(benchmark::State &state, LayoutKind kind, int radix)
             benchmark::Counter(pct(ProfPhase::SwitchAllocate));
         state.counters["pct_scan_overhead"] = benchmark::Counter(
             100.0 * static_cast<double>(prof.unattributedNs()) / total);
+        if (prof.numBlocks() > 0)
+            state.counters["bytes_streamed_per_cycle"] =
+                benchmark::Counter(prof.bytesStreamedPerCycle());
     }
+}
+
+void
+scaling(benchmark::State &state, LayoutKind kind, int radix)
+{
+    scalingPoint(state, makeLayoutConfig(kind, radix), radix);
+}
+
+/** Concentrated-mesh point: @p radix x @p radix routers, each with
+ *  @p concentration terminals (16x16 c4 = 1024 tiles on 256 routers —
+ *  a different router/NI balance than any pure mesh point). */
+void
+scalingCmesh(benchmark::State &state, int radix, int concentration)
+{
+    NetworkConfig cfg;
+    cfg.name = "scaling_cmesh";
+    cfg.topology = TopologyType::ConcentratedMesh;
+    cfg.radixX = radix;
+    cfg.radixY = radix;
+    cfg.concentration = concentration;
+    scalingPoint(state, cfg, radix);
 }
 
 BENCHMARK_CAPTURE(scaling, mesh_8, LayoutKind::Baseline, 8);
@@ -169,7 +199,32 @@ BENCHMARK_CAPTURE(scaling, mesh_16, LayoutKind::Baseline, 16);
 BENCHMARK_CAPTURE(scaling, hetero_16, LayoutKind::DiagonalBL, 16);
 BENCHMARK_CAPTURE(scaling, mesh_32, LayoutKind::Baseline, 32);
 BENCHMARK_CAPTURE(scaling, hetero_32, LayoutKind::DiagonalBL, 32);
+BENCHMARK_CAPTURE(scalingCmesh, cmesh_16, 16, 4);
+BENCHMARK_CAPTURE(scaling, mesh_48, LayoutKind::Baseline, 48);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Flag-equivalent default repetitions: per-benchmark ->Repetitions()
+// would rename every series to "<name>/repeats:N" and break the
+// trajectory/CI series keys, so inject the flag instead when the
+// caller did not pass one (explicit flags still win).
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    char default_reps[] = "--benchmark_repetitions=3";
+    bool has_reps = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_repetitions",
+                         sizeof("--benchmark_repetitions") - 1) == 0)
+            has_reps = true;
+    if (!has_reps)
+        args.insert(args.begin() + 1, default_reps);
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -25,6 +25,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace hnoc
@@ -47,9 +48,53 @@ class RingBuffer
     {
         cap_ = roundUpPow2(capacity < 1 ? 1 : capacity);
         buf_ = std::make_unique<T[]>(cap_);
+        ptr_ = buf_.get();
         head_ = 0;
         count_ = 0;
         growable_ = growable;
+    }
+
+    /** Round up to the capacity reset(@p capacity) would allocate. */
+    static std::size_t
+    boundCapacity(std::size_t capacity)
+    {
+        return roundUpPow2(capacity < 1 ? 1 : capacity);
+    }
+
+    /**
+     * Bind to caller-owned storage of exactly boundCapacity(@p
+     * capacity) slots (drops contents; the buffer becomes
+     * fixed-capacity). The storage must outlive this buffer and never
+     * move — used to pack many FIFOs into one contiguous hot
+     * allocation (§6g).
+     */
+    void
+    bindStorage(T *storage, std::size_t capacity)
+    {
+        buf_.reset();
+        ptr_ = storage;
+        cap_ = boundCapacity(capacity);
+        head_ = 0;
+        count_ = 0;
+        growable_ = false;
+    }
+
+    /**
+     * Move the live contents into caller-owned @p storage of the same
+     * capacity (elements keep their ring positions, so head/count are
+     * preserved) and bind to it; the previously owned storage is
+     * released and the buffer becomes fixed-capacity.
+     */
+    void
+    moveStorageTo(T *storage)
+    {
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::size_t s = (head_ + i) & (cap_ - 1);
+            storage[s] = std::move(ptr_[s]);
+        }
+        buf_.reset();
+        ptr_ = storage;
+        growable_ = false;
     }
 
     bool empty() const { return count_ == 0; }
@@ -65,20 +110,28 @@ class RingBuffer
                 fatal("ring buffer overflow (fixed capacity %zu)", cap_);
             grow();
         }
-        buf_[(head_ + count_) & (cap_ - 1)] = v;
+        ptr_[(head_ + count_) & (cap_ - 1)] = v;
         ++count_;
     }
 
     T &
     front()
     {
-        return buf_[head_];
+        return ptr_[head_];
     }
 
     const T &
     front() const
     {
-        return buf_[head_];
+        return ptr_[head_];
+    }
+
+    /** Prefetch the front slot (safe on an empty buffer — the slot
+     *  exists, it just holds no live element). */
+    void
+    prefetchFront() const
+    {
+        bitops::prefetch(ptr_ + head_);
     }
 
     void
@@ -92,7 +145,7 @@ class RingBuffer
     const T &
     operator[](std::size_t i) const
     {
-        return buf_[(head_ + i) & (cap_ - 1)];
+        return ptr_[(head_ + i) & (cap_ - 1)];
     }
 
     void
@@ -118,13 +171,15 @@ class RingBuffer
         std::size_t new_cap = cap_ ? cap_ * 2 : 1;
         auto next = std::make_unique<T[]>(new_cap);
         for (std::size_t i = 0; i < count_; ++i)
-            next[i] = std::move(buf_[(head_ + i) & (cap_ - 1)]);
+            next[i] = std::move(ptr_[(head_ + i) & (cap_ - 1)]);
         buf_ = std::move(next);
+        ptr_ = buf_.get();
         cap_ = new_cap;
         head_ = 0;
     }
 
-    std::unique_ptr<T[]> buf_;
+    std::unique_ptr<T[]> buf_; ///< owned storage (null when bound)
+    T *ptr_ = nullptr;         ///< element base (owned or bound)
     std::size_t cap_ = 0;
     std::size_t head_ = 0;
     std::size_t count_ = 0;

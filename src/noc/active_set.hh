@@ -1,12 +1,11 @@
 /**
  * @file
- * Active-set scheduling hook shared by routers, channels, and NIs.
+ * Active-set scheduling hooks shared by routers, channels, and NIs.
  *
  * The Network maintains one dense busy bitmap per component kind
- * (indexed by component id, scanned in index order so iteration stays
- * canonical) plus a population counter for the all-idle fast path.
- * Each component owns an ActivitySlot bound to its bitmap cell and
- * flips it on its own idle/busy transitions:
+ * (indexed by component id) plus a population counter for the
+ * all-idle fast path. Each component owns an ActivitySlot bound to
+ * its bitmap cell and flips it on its own idle/busy transitions:
  *
  *  - a channel is busy while its flit or credit pipe is non-empty;
  *  - a router is busy while any input VC holds a flit (flitCount_ > 0
@@ -20,18 +19,173 @@
  * The flags are exact, not heuristic: a wakeup is just the producer
  * side of an event (flit send, credit send, packet enqueue) marking
  * the consumer's slot busy before the consumer's next scan.
+ *
+ * Dense active lists (§6g): scanning the whole bitmap every cycle
+ * costs O(total) even when almost everything is idle. An ActiveList
+ * keeps the busy members of one bitmap as a sorted index list:
+ * components append themselves on their idle→busy transition (via
+ * wake hooks registered on the ActivitySlot), newly woken indices are
+ * merged in canonical ascending order before each scan, and entries
+ * whose busy byte has cleared are compacted out in place during the
+ * scan. Iteration therefore visits — and costs — O(active), while
+ * preserving the exact index order the bitmap scan used, which is
+ * what bit-identity of the simulation depends on. All storage is
+ * reserved once at bind time, so the steady state allocates nothing.
  */
 
 #ifndef HNOC_NOC_ACTIVE_SET_HH
 #define HNOC_NOC_ACTIVE_SET_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace hnoc
 {
 
-/** One component's cell in the Network's dense busy bitmap. */
+/**
+ * Sorted dense list of busy component indices for one bitmap.
+ *
+ * Wake protocol: wake(i) is idempotent (an in-list byte suppresses
+ * duplicate appends) and O(1) — woken indices collect unsorted in a
+ * pending vector. mergePending() sorts the pending batch and merges
+ * it with the main list (both sorted), restoring canonical ascending
+ * order; forEachActive() runs the merge, then visits members in
+ * ascending index order, keeping those whose busy byte is still set
+ * and dropping the rest (write-index compaction). A dropped index
+ * clears its in-list byte, so a later re-wake re-appends it.
+ */
+class ActiveList
+{
+  public:
+    /**
+     * Size all storage once, at network construction: membership
+     * bytes cover ids [0, id_space), and the member vectors hold up
+     * to @p max_members entries (the ids that can ever wake this
+     * list). Nothing below ever reallocates afterwards.
+     */
+    void
+    reserve(std::size_t id_space, std::size_t max_members)
+    {
+        items_.clear();
+        items_.reserve(max_members);
+        pending_.clear();
+        pending_.reserve(max_members);
+        scratch_.reserve(max_members);
+        inList_.assign(id_space, 0);
+    }
+
+    /** Append index @p i on its idle→busy transition (idempotent). */
+    void
+    wake(std::uint32_t i)
+    {
+        if (inList_[i] == 0) {
+            inList_[i] = 1;
+            pending_.push_back(i);
+        }
+    }
+
+    /** Merge newly woken indices into the sorted member list. */
+    void
+    mergePending()
+    {
+        if (pending_.empty())
+            return;
+        std::sort(pending_.begin(), pending_.end());
+        scratch_.clear();
+        std::size_t a = 0;
+        std::size_t b = 0;
+        while (a < items_.size() && b < pending_.size())
+            scratch_.push_back(items_[a] < pending_[b] ? items_[a++]
+                                                       : pending_[b++]);
+        while (a < items_.size())
+            scratch_.push_back(items_[a++]);
+        while (b < pending_.size())
+            scratch_.push_back(pending_[b++]);
+        items_.swap(scratch_);
+        pending_.clear();
+    }
+
+    /**
+     * Visit every member whose @p busy byte is set, in ascending
+     * index order; compact out members whose byte has cleared. The
+     * busy check happens before the visit, so a visit that idles its
+     * own component keeps the entry for one more (dropping) scan —
+     * deterministic either way.
+     */
+    template <typename Fn>
+    void
+    forEachActive(const std::uint8_t *busy, Fn &&fn)
+    {
+        mergePending();
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            std::uint32_t id = items_[i];
+            if (busy[id]) {
+                fn(id);
+                items_[keep++] = id;
+            } else {
+                inList_[id] = 0;
+            }
+        }
+        items_.resize(keep);
+    }
+
+    /**
+     * forEachActive with a one-ahead look: @p pre(next_id) runs
+     * before @p fn(current_id), giving the caller a window to issue a
+     * memory prefetch for the next member while the current one is
+     * processed. @p pre may fire for an entry whose busy byte has
+     * already cleared (a wasted prefetch, never a visible effect).
+     */
+    template <typename Fn, typename Pre>
+    void
+    forEachActive(const std::uint8_t *busy, Fn &&fn, Pre &&pre)
+    {
+        mergePending();
+        std::size_t keep = 0;
+        std::size_t n = items_.size();
+        if (n > 0)
+            pre(items_[0]);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t id = items_[i];
+            if (i + 1 < n)
+                pre(items_[i + 1]);
+            if (busy[id]) {
+                fn(id);
+                items_[keep++] = id;
+            } else {
+                inList_[id] = 0;
+            }
+        }
+        items_.resize(keep);
+    }
+
+    /** Current member count (stale idle entries included until the
+     *  next scan compacts them). */
+    std::size_t size() const { return items_.size() + pending_.size(); }
+
+    /** Steady-state storage (reserved once; memory-audit row). */
+    std::uint64_t
+    footprintBytes() const
+    {
+        return (items_.capacity() + pending_.capacity() +
+                scratch_.capacity()) *
+                   sizeof(std::uint32_t) +
+               inList_.capacity();
+    }
+
+  private:
+    std::vector<std::uint32_t> items_;   ///< sorted current members
+    std::vector<std::uint32_t> pending_; ///< woken since last merge
+    std::vector<std::uint32_t> scratch_; ///< merge target (swapped)
+    std::vector<std::uint8_t> inList_;   ///< membership byte per index
+};
+
+/** One component's cell in the Network's dense busy bitmap, plus up
+ *  to two active-list wake hooks (a channel participates in both a
+ *  flit-delivery list and a credit-delivery list). */
 class ActivitySlot
 {
   public:
@@ -44,6 +198,19 @@ class ActivitySlot
         count_ = count;
     }
 
+    /** Register an active list to wake (with index @p id) on every
+     *  idle→busy transition. Register hooks before bind() so a bind
+     *  of an already-busy component enlists it. */
+    void
+    addWakeHook(ActiveList *list, std::uint32_t id)
+    {
+        if (hooks_[0].list == nullptr) {
+            hooks_[0] = {list, id};
+        } else {
+            hooks_[1] = {list, id};
+        }
+    }
+
     /** Mark busy (idempotent). No-op while unbound. */
     void
     markBusy()
@@ -51,6 +218,10 @@ class ActivitySlot
         if (flag_ && *flag_ == 0) {
             *flag_ = 1;
             ++*count_;
+            if (hooks_[0].list)
+                hooks_[0].list->wake(hooks_[0].id);
+            if (hooks_[1].list)
+                hooks_[1].list->wake(hooks_[1].id);
         }
     }
 
@@ -65,8 +236,15 @@ class ActivitySlot
     }
 
   private:
+    struct WakeHook
+    {
+        ActiveList *list = nullptr;
+        std::uint32_t id = 0;
+    };
+
     std::uint8_t *flag_ = nullptr;
     std::size_t *count_ = nullptr;
+    WakeHook hooks_[2];
 };
 
 } // namespace hnoc

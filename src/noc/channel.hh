@@ -21,6 +21,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
+#include "common/hot_arena.hh"
 #include "common/logging.hh"
 #include "common/ring_buffer.hh"
 #include "noc/active_set.hh"
@@ -152,6 +154,52 @@ class Channel
         return flitPipe_.empty() && creditPipe_.empty();
     }
 
+    /** Bytes moveToArena() will carve (each pipe 64-B aligned). */
+    std::size_t
+    arenaBytes() const
+    {
+        auto r64 = [](std::size_t b) { return (b + 63) / 64 * 64; };
+        return r64(flitPipe_.capacity() * sizeof(TimedFlit)) +
+               r64(creditPipe_.capacity() * sizeof(TimedCredit));
+    }
+
+    /** Relocate both pipes' storage into @p arena (§6g), preserving
+     *  in-flight contents. Exhaustion keeps the self-owned storage —
+     *  placement is a performance property only. */
+    void
+    moveToArena(HotArena &arena)
+    {
+        auto *nf = reinterpret_cast<TimedFlit *>(
+            arena.alloc(flitPipe_.capacity() * sizeof(TimedFlit)));
+        if (nf != nullptr)
+            flitPipe_.moveStorageTo(nf);
+        auto *nc = reinterpret_cast<TimedCredit *>(
+            arena.alloc(creditPipe_.capacity() * sizeof(TimedCredit)));
+        if (nc != nullptr)
+            creditPipe_.moveStorageTo(nc);
+    }
+
+    /** Pull this channel's delivery state toward the cache one
+     *  active-list entry ahead of its deliver call (§6g): the object
+     *  header (pipe bookkeeping) and both pipes' front slots. */
+    void
+    prefetchDelivery() const
+    {
+        bitops::prefetch(this);
+        flitPipe_.prefetchFront();
+        creditPipe_.prefetchFront();
+    }
+
+    /** Register a dense active list woken (with @p id) on this
+     *  channel's idle→busy transitions; a channel typically joins two
+     *  lists (flit-delivery role and credit-delivery role). Call
+     *  before bindActivitySlot. */
+    void
+    addActivityWake(ActiveList *list, std::uint32_t id)
+    {
+        slot_.addWakeHook(list, id);
+    }
+
     /** Bind this channel's cell in the Network's active-set bitmap. */
     void
     bindActivitySlot(std::uint8_t *flag, std::size_t *count)
@@ -260,6 +308,9 @@ class Channel
                static_cast<std::size_t>(delay + 2);
     }
 
+    // Hot-first member order (§6g): everything the per-cycle send /
+    // deliver path touches sits at the front of the object; the
+    // telemetry attachment trio trails as the cold tail.
     int id_;
     int widthBits_;
     int lanes_;
@@ -270,15 +321,15 @@ class Channel
     RingBuffer<TimedCredit> creditPipe_;
     ActivitySlot slot_;
 
-    MetricRegistry *telemetry_ = nullptr;
-    int telRouter_ = -1;
-    int telPort_ = -1;
-
     Cycle lastSendCycle_ = CYCLE_NEVER;
     int sendsThisCycle_ = 0;
     std::uint64_t flitsSent_ = 0;
     std::uint64_t busyCycles_ = 0;
     std::uint64_t pairedCycles_ = 0;
+
+    MetricRegistry *telemetry_ = nullptr;
+    int telRouter_ = -1;
+    int telPort_ = -1;
 };
 
 } // namespace hnoc

@@ -158,6 +158,7 @@ configToString(const NetworkConfig &c)
                                                 : "round-robin")
         << '\n';
     out << "always_step=" << (c.alwaysStep ? 1 : 0) << '\n';
+    out << "block_tiles=" << c.blockTiles << '\n';
     out << "pipeline_stages=" << c.pipelineStages << '\n';
     out << "link_latency=" << c.linkLatency << '\n';
     out << "clock_ghz=" << c.clockGHz << '\n';
@@ -224,6 +225,8 @@ configFromString(const std::string &text)
                                                : SaPolicy::RoundRobin;
         else if (key == "always_step")
             c.alwaysStep = std::stoi(val) != 0;
+        else if (key == "block_tiles")
+            c.blockTiles = std::stoi(val);
         else if (key == "pipeline_stages")
             c.pipelineStages = std::stoi(val);
         else if (key == "link_latency")

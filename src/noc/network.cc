@@ -1,6 +1,7 @@
 #include "noc/network.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,6 +23,19 @@ alwaysStepFromEnv()
     const char *v = std::getenv("HNOC_ALWAYS_STEP");
     return v && *v && !(v[0] == '0' && v[1] == '\0');
 }
+
+/** HNOC_BLOCK_TILES=<n> overrides the block-size knob (0 = config). */
+int
+blockTilesFromEnv()
+{
+    const char *v = std::getenv("HNOC_BLOCK_TILES");
+    return v && *v ? std::atoi(v) : 0;
+}
+
+/** Per-block L2 working-set budget for block auto-sizing. Half a
+ *  typical 1-2 MB private L2: the block's hot state must share the
+ *  cache with packets, scratch, and the next block's prefetches. */
+constexpr std::uint64_t kBlockL2Bytes = 768 * 1024;
 
 } // namespace
 
@@ -51,20 +65,66 @@ Network::Network(const NetworkConfig &config)
 
     alwaysStep_ = config_.alwaysStep || alwaysStepFromEnv();
 
-    build();
+    // The blocked step order delivers cross-block traffic in per-block
+    // passes; a zero-delay channel could make a same-cycle send
+    // deliverable before its receiver's pass has run, so every delay
+    // (flit and credit paths both derive from linkLatency) must be
+    // at least one cycle.
+    if (config_.linkLatency < 1)
+        fatal("linkLatency %d < 1: every channel delay must be >= 1 "
+              "cycle", config_.linkLatency);
+    if (config_.blockTiles < 0)
+        fatal("blockTiles %d < 0 (0 means auto-size)",
+              config_.blockTiles);
 
-    // Bind every component's ActivitySlot into the dense busy bitmaps.
-    // The bitmaps are sized exactly once here; the slots keep raw
-    // pointers into them, so they must never reallocate.
+    build();
+    setupBlocks();
+    packHotArena();
+
+    // Register active-list wake hooks, then bind every component's
+    // ActivitySlot into the dense busy bitmaps (in that order: a bind
+    // of an already-busy component must enlist it). The bitmaps are
+    // sized exactly once here; the slots keep raw pointers into them,
+    // so they must never reallocate.
     endBusy_.assign(ends_.size(), 0);
     routerBusy_.assign(routers_.size(), 0);
     niBusy_.assign(nis_.size(), 0);
-    for (std::size_t i = 0; i < ends_.size(); ++i)
-        ends_[i].chan->bindActivitySlot(&endBusy_[i], &busyEnds_);
-    for (std::size_t i = 0; i < routers_.size(); ++i)
-        routers_[i]->bindActivitySlot(&routerBusy_[i], &busyRouters_);
-    for (std::size_t i = 0; i < nis_.size(); ++i)
+    for (std::size_t i = 0; i < ends_.size(); ++i) {
+        const ChannelEnds &e = ends_[i];
+        auto id = static_cast<std::uint32_t>(i);
+        if (!e.sinkIsRouter) {
+            e.chan->addActivityWake(&ejectEnds_, id);
+        } else {
+            e.chan->addActivityWake(
+                &blockFlitEnds_[static_cast<std::size_t>(
+                    blockOf(e.sinkRouter))],
+                id);
+            // Credits return to the driver: a router, or — for
+            // NI-driven injection channels — the NI attached to the
+            // sink router, so either way the block that steps the
+            // receiver also delivers its credits.
+            RouterId cr =
+                e.driverIsRouter ? e.driverRouter : e.sinkRouter;
+            e.chan->addActivityWake(
+                &blockCreditEnds_[static_cast<std::size_t>(blockOf(cr))],
+                id);
+        }
+        e.chan->bindActivitySlot(&endBusy_[i], &busyEnds_);
+    }
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+        routers_[i].addActivityWake(
+            &blockRouters_[static_cast<std::size_t>(
+                blockOf(static_cast<RouterId>(i)))],
+            static_cast<std::uint32_t>(i));
+        routers_[i].bindActivitySlot(&routerBusy_[i], &busyRouters_);
+    }
+    for (std::size_t i = 0; i < nis_.size(); ++i) {
+        RouterId r = topo_->routerOfNode(static_cast<NodeId>(i));
+        nis_[i]->addActivityWake(
+            &blockNis_[static_cast<std::size_t>(blockOf(r))],
+            static_cast<std::uint32_t>(i));
         nis_[i]->bindActivitySlot(&niBusy_[i], &busyNis_);
+    }
 }
 
 Network::~Network() = default;
@@ -89,12 +149,17 @@ Network::build()
     int ports = topo_->portsPerRouter();
     int inter_delay = (config_.pipelineStages - 1) + config_.linkLatency;
 
+    // Routers live by value in one contiguous vector: the per-cycle
+    // step pass walks them in index (= block) order, so the object
+    // headers stream linearly instead of chasing per-router heap
+    // pointers. reserve() pins the addresses before activity-slot
+    // binding takes them.
     routers_.reserve(static_cast<std::size_t>(n_routers));
     for (RouterId r = 0; r < n_routers; ++r) {
-        routers_.push_back(std::make_unique<Router>(
+        routers_.emplace_back(
             r, ports, config_.vcsOf(r), config_.bufferDepth, *routing_,
             config_.escapeThreshold, config_.intraPacketPairing,
-            config_.saPolicy));
+            config_.saPolicy);
     }
 
     // Inter-router channels: one per directed (router, dir-port) pair.
@@ -106,9 +171,9 @@ Network::build()
             Channel *ch =
                 makeChannel(config_.channelBits(r, peer.router),
                             inter_delay, config_.linkLatency);
-            routers_[static_cast<std::size_t>(r)]->connectOutput(
+            routers_[static_cast<std::size_t>(r)].connectOutput(
                 p, ch, config_.vcsOf(peer.router), config_.bufferDepth);
-            routers_[static_cast<std::size_t>(peer.router)]->connectInput(
+            routers_[static_cast<std::size_t>(peer.router)].connectInput(
                 peer.port, ch);
 
             ChannelEnds e;
@@ -129,7 +194,7 @@ Network::build()
     for (NodeId n = 0; n < n_nodes; ++n) {
         RouterId r = topo_->routerOfNode(n);
         PortId lp = topo_->localPortOfNode(n);
-        Router &router = *routers_[static_cast<std::size_t>(r)];
+        Router &router = routers_[static_cast<std::size_t>(r)];
         nis_.push_back(std::make_unique<NetworkInterface>(n, this));
         NetworkInterface &ni = *nis_.back();
 
@@ -165,6 +230,114 @@ Network::build()
         ee.driverRouter = r;
         ee.driverPort = lp;
         ends_.push_back(ee);
+    }
+
+    // All ports are wired: pack each router's per-output credit
+    // counters into their aligned hot rows.
+    for (auto &router : routers_)
+        router.finalizeWiring();
+}
+
+void
+Network::setupBlocks()
+{
+    int n_routers = topo_->numRouters();
+
+    int tiles = blockTilesFromEnv();
+    if (tiles <= 0)
+        tiles = config_.blockTiles;
+    if (tiles <= 0) {
+        // Auto-size: fit one block's component state (routers +
+        // channels + NIs, measured from the real footprints) in the
+        // L2 budget, rounded down to whole mesh rows so blocks stay
+        // spatially contiguous.
+        std::uint64_t bytes = 0;
+        for (const auto &r : routers_)
+            bytes += r.footprintBytes();
+        for (const auto &c : channels_)
+            bytes += c->footprintBytes();
+        for (const auto &ni : nis_)
+            bytes += ni->footprintBytes();
+        std::uint64_t per_router =
+            std::max<std::uint64_t>(1, bytes /
+                static_cast<std::uint64_t>(n_routers));
+        tiles = static_cast<int>(
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(n_routers),
+                                    kBlockL2Bytes / per_router));
+        int cols = topo_->gridCols();
+        if (tiles > cols)
+            tiles = tiles / cols * cols;
+        if (tiles < 1)
+            tiles = 1;
+    }
+    blockTiles_ = std::min(tiles, n_routers);
+    numBlocks_ = (n_routers + blockTiles_ - 1) / blockTiles_;
+
+    // Size each block's active lists to its exact membership so the
+    // steady state never reallocates.
+    auto nb = static_cast<std::size_t>(numBlocks_);
+    std::vector<std::size_t> flit_count(nb, 0);
+    std::vector<std::size_t> credit_count(nb, 0);
+    std::vector<std::size_t> router_count(nb, 0);
+    std::vector<std::size_t> ni_count(nb, 0);
+    std::size_t eject_count = 0;
+    for (const ChannelEnds &e : ends_) {
+        if (!e.sinkIsRouter) {
+            ++eject_count;
+            continue;
+        }
+        ++flit_count[static_cast<std::size_t>(blockOf(e.sinkRouter))];
+        RouterId cr = e.driverIsRouter ? e.driverRouter : e.sinkRouter;
+        ++credit_count[static_cast<std::size_t>(blockOf(cr))];
+    }
+    for (RouterId r = 0; r < n_routers; ++r)
+        ++router_count[static_cast<std::size_t>(blockOf(r))];
+    for (NodeId n = 0; n < topo_->numNodes(); ++n)
+        ++ni_count[static_cast<std::size_t>(
+            blockOf(topo_->routerOfNode(n)))];
+
+    ejectEnds_.reserve(ends_.size(), eject_count);
+    blockFlitEnds_.resize(nb);
+    blockCreditEnds_.resize(nb);
+    blockRouters_.resize(nb);
+    blockNis_.resize(nb);
+    for (std::size_t b = 0; b < nb; ++b) {
+        blockFlitEnds_[b].reserve(ends_.size(), flit_count[b]);
+        blockCreditEnds_[b].reserve(ends_.size(), credit_count[b]);
+        blockRouters_[b].reserve(routers_.size(), router_count[b]);
+        blockNis_[b].reserve(nis_.size(), ni_count[b]);
+    }
+}
+
+void
+Network::packHotArena()
+{
+    std::size_t bytes = 0;
+    for (const auto &r : routers_)
+        bytes += r.coreArenaBytes();
+    for (const auto &c : channels_)
+        bytes += c->arenaBytes();
+    hotArena_.reserve(bytes);
+
+    // Carve in the blocked step loop's visit order (§6g): terminal
+    // ejection channels first (the global eject pass), then for each
+    // block its delivered channels followed by its routers, so the
+    // per-cycle stream walks the arena front to back.
+    for (const ChannelEnds &e : ends_)
+        if (!e.sinkIsRouter)
+            e.chan->moveToArena(hotArena_);
+    auto n_routers = static_cast<RouterId>(routers_.size());
+    for (int b = 0; b < numBlocks_; ++b) {
+        for (const ChannelEnds &e : ends_)
+            if (e.sinkIsRouter && blockOf(e.sinkRouter) == b)
+                e.chan->moveToArena(hotArena_);
+        auto lo = static_cast<RouterId>(b) *
+                  static_cast<RouterId>(blockTiles_);
+        RouterId hi = std::min(
+            lo + static_cast<RouterId>(blockTiles_), n_routers);
+        for (RouterId r = lo; r < hi; ++r)
+            routers_[static_cast<std::size_t>(r)].moveCoreToArena(
+                hotArena_);
     }
 }
 
@@ -237,7 +410,7 @@ Network::setObserver(NetworkObserver *observer)
 {
     observer_ = observer;
     for (auto &r : routers_)
-        r->setObserver(observer);
+        r.setObserver(observer);
 }
 
 std::unique_ptr<MetricRegistry>
@@ -254,7 +427,7 @@ Network::makeMetricRegistry(Cycle epoch_cycles) const
     auto reg = std::make_unique<MetricRegistry>(dims, epoch_cycles);
     for (RouterId r = 0; r < topo_->numRouters(); ++r)
         reg->setBufferCapacity(
-            r, routers_[static_cast<std::size_t>(r)]->bufferCapacity());
+            r, routers_[static_cast<std::size_t>(r)].bufferCapacity());
     for (const ChannelEnds &e : ends_) {
         if (!e.driverIsRouter)
             continue;
@@ -270,7 +443,7 @@ Network::attachTelemetry(MetricRegistry *reg)
 {
     telemetry_ = reg;
     for (auto &r : routers_)
-        r->setTelemetry(reg);
+        r.setTelemetry(reg);
     for (ChannelEnds &e : ends_) {
         if (e.driverIsRouter)
             e.chan->setTelemetry(reg, e.driverRouter, e.driverPort);
@@ -292,7 +465,7 @@ Network::attachFlightRecorder(FlightRecorder *fr)
 {
     recorder_ = fr;
     for (auto &r : routers_)
-        r->setFlightRecorder(fr);
+        r.setFlightRecorder(fr);
 }
 
 void
@@ -300,7 +473,31 @@ Network::attachProfiler(Profiler *prof)
 {
     profiler_ = prof;
     for (auto &r : routers_)
-        r->setProfiler(prof);
+        r.setProfiler(prof);
+    if (prof && !alwaysStep_) {
+        // Arm per-block attribution: each block's pass time plus its
+        // steady-state hot footprint (routers, channels keyed by the
+        // block that delivers their flits, attached NIs), from which
+        // reports derive bytes-streamed-per-cycle.
+        auto nb = static_cast<std::size_t>(numBlocks_);
+        prof->enableBlocks(nb);
+        std::vector<std::uint64_t> bytes(nb, 0);
+        for (std::size_t i = 0; i < routers_.size(); ++i)
+            bytes[static_cast<std::size_t>(
+                blockOf(static_cast<RouterId>(i)))] +=
+                routers_[i].footprintBytes();
+        for (const ChannelEnds &e : ends_) {
+            RouterId r = e.sinkIsRouter ? e.sinkRouter : e.driverRouter;
+            bytes[static_cast<std::size_t>(blockOf(r))] +=
+                e.chan->footprintBytes();
+        }
+        for (std::size_t i = 0; i < nis_.size(); ++i)
+            bytes[static_cast<std::size_t>(blockOf(
+                topo_->routerOfNode(static_cast<NodeId>(i))))] +=
+                nis_[i]->footprintBytes();
+        for (std::size_t b = 0; b < nb; ++b)
+            prof->setBlockBytes(b, bytes[b]);
+    }
 }
 
 std::unique_ptr<BlameCollector>
@@ -338,7 +535,7 @@ Network::attachBlame(BlameCollector *b)
 {
     blame_ = b;
     for (auto &r : routers_)
-        r->setBlame(b);
+        r.setBlame(b);
 }
 
 MemoryAudit
@@ -349,7 +546,7 @@ Network::memoryAudit() const
 
     std::uint64_t b = 0;
     for (const auto &r : routers_)
-        b += r->footprintBytes();
+        b += r.footprintBytes();
     a.add("routers", b, routers_.size());
 
     b = 0;
@@ -368,10 +565,22 @@ Network::memoryAudit() const
               freeList_.capacity() * sizeof(Packet *),
           packetArena_.size());
 
+    std::uint64_t lists = ejectEnds_.footprintBytes();
+    for (const ActiveList *vec :
+         {blockFlitEnds_.data(), blockCreditEnds_.data(),
+          blockRouters_.data(), blockNis_.data()})
+        for (std::size_t i = 0; i < static_cast<std::size_t>(numBlocks_);
+             ++i)
+            lists += vec[i].footprintBytes() + sizeof(ActiveList);
     a.add("active_set",
           endBusy_.capacity() + routerBusy_.capacity() +
-              niBusy_.capacity() + ends_.capacity() * sizeof(ChannelEnds),
+              niBusy_.capacity() +
+              ends_.capacity() * sizeof(ChannelEnds) + lists,
           endBusy_.size() + routerBusy_.size() + niBusy_.size());
+
+    if (hotArena_.reservedBytes() > 0)
+        a.add("hot_arena_pad",
+              hotArena_.reservedBytes() - hotArena_.used(), 1);
 
     if (telemetry_)
         a.add("metric_registry", telemetry_->footprintBytes(), 1);
@@ -402,7 +611,7 @@ Network::healthSample() const
     s.vcOccupancy.assign(
         static_cast<std::size_t>(s.routers * s.ports * s.vcs), 0);
     for (RouterId r = 0; r < s.routers; ++r) {
-        const Router &router = *routers_[static_cast<std::size_t>(r)];
+        const Router &router = routers_[static_cast<std::size_t>(r)];
         s.bufferOccupancy.push_back(router.bufferOccupancy());
         int router_vcs = router.vcsPerPort();
         for (PortId p = 0; p < s.ports; ++p)
@@ -423,14 +632,14 @@ Network::auditCreditConservation(std::string *err) const
         // occupancy is always zero).
         int vcs = e.sinkIsRouter
                       ? routers_[static_cast<std::size_t>(e.sinkRouter)]
-                            ->vcsPerPort()
+                            .vcsPerPort()
                       : routers_[static_cast<std::size_t>(e.driverRouter)]
-                            ->outputVcCount(e.driverPort);
+                            .outputVcCount(e.driverPort);
         for (VcId v = 0; v < vcs; ++v) {
             int driver_credits =
                 e.driverIsRouter
                     ? routers_[static_cast<std::size_t>(e.driverRouter)]
-                          ->outputCredits(e.driverPort, v)
+                          .outputCredits(e.driverPort, v)
                     : nis_[static_cast<std::size_t>(e.driverNode)]
                           ->injectionCredits(v);
             int in_flight_flits = e.chan->pipeFlits(v);
@@ -438,7 +647,7 @@ Network::auditCreditConservation(std::string *err) const
             int sink_occ =
                 e.sinkIsRouter
                     ? routers_[static_cast<std::size_t>(e.sinkRouter)]
-                          ->inputVcOccupancy(e.sinkPort, v)
+                          .inputVcOccupancy(e.sinkPort, v)
                     : 0;
             int total = driver_credits + in_flight_flits +
                         in_flight_credits + sink_occ;
@@ -493,7 +702,7 @@ Network::postmortemJson(const std::string &reason) const
     // emitted.
     w.key("routers").beginArray();
     for (RouterId r = 0; r < topo_->numRouters(); ++r) {
-        const Router &router = *routers_[static_cast<std::size_t>(r)];
+        const Router &router = routers_[static_cast<std::size_t>(r)];
         w.beginObject();
         w.keyValue("id", r);
         w.keyValue("occupancy", router.bufferOccupancy());
@@ -608,19 +817,15 @@ Network::step()
     Profiler *prof = kTelemetryEnabled ? profiler_ : nullptr;
     ProfScope stepScope(prof, ProfPhase::StepTotal);
 
-    // Phase A: channel delivery (flits, then credits). Active-set
-    // scheduling visits only channels whose busy byte is set — the
-    // byte tracks !idle() exactly (set on send, cleared when the last
-    // pipe entry drains) — and scans them in index order, so delivery
-    // order (and thus floating-point accumulation order in client
-    // callbacks) matches the exhaustive loop bit for bit.
-    auto deliverEnd = [&](ChannelEnds &e) {
-        // Flits and credits are handed straight to their receiver —
-        // router input-VC SoA arrays or the NI — without staging in a
-        // scratch vector; per-channel delivery order (flits, then
-        // credits, each oldest-first) is unchanged.
+    // Channel delivery (flits, then credits) is split into a flit
+    // role and a credit role so the cache-blocked path can run each
+    // in its receiver's block pass. Flits and credits are handed
+    // straight to their receiver — router input-VC SoA arrays or the
+    // NI — without staging in a scratch vector; per-channel delivery
+    // order (flits, then credits, each oldest-first) is unchanged.
+    auto deliverFlitsOf = [&](ChannelEnds &e) {
         if (e.sinkIsRouter) {
-            Router &r = *routers_[static_cast<std::size_t>(e.sinkRouter)];
+            Router &r = routers_[static_cast<std::size_t>(e.sinkRouter)];
             e.chan->deliverFlitsTo(now, [&](const Flit &f) {
                 r.receiveFlit(e.sinkPort, f, now);
             });
@@ -685,9 +890,11 @@ Network::step()
                 }
             });
         }
+    };
+    auto deliverCreditsOf = [&](ChannelEnds &e) {
         if (e.driverIsRouter) {
             Router &r =
-                *routers_[static_cast<std::size_t>(e.driverRouter)];
+                routers_[static_cast<std::size_t>(e.driverRouter)];
             e.chan->deliverCreditsTo(now, [&](VcId vc) {
                 r.receiveCredit(e.driverPort, vc, now);
             });
@@ -698,49 +905,125 @@ Network::step()
                                      [&](VcId vc) { ni.receiveCredit(vc); });
         }
     };
-    for (std::size_t i = 0, n = ends_.size();
-         i < n && (alwaysStep_ || busyEnds_ > 0); ++i) {
-        if (alwaysStep_ ? ends_[i].chan->idle() : endBusy_[i] == 0)
-            continue;
-        if (prof) {
-            // Router-sink channels file under channel_delivery; the
-            // terminal ejection channels (flit consumption + credit
-            // return at the NI) under ni_eject.
-            ProfScope s(prof, ends_[i].sinkIsRouter
-                                  ? ProfPhase::ChannelDelivery
-                                  : ProfPhase::NiEject);
-            deliverEnd(ends_[i]);
-        } else {
-            deliverEnd(ends_[i]);
-        }
-    }
+    auto deliverEnd = [&](ChannelEnds &e) {
+        deliverFlitsOf(e);
+        deliverCreditsOf(e);
+    };
 
-    // Phase B: router pipelines. A skipped router holds no flits, so
-    // RC/VA/SA and the occupancy sample are all no-ops and its
-    // round-robin pointers (pure functions of the cycle number) need
-    // no stepping to advance. RC/VA/SA phase timers live inside
-    // Router::step (the routers share this network's profiler).
     if (alwaysStep_) {
+        // Exhaustive phase-major reference loop: every channel end,
+        // every router, every NI, in canonical index order.
+        for (std::size_t i = 0, n = ends_.size(); i < n; ++i) {
+            if (ends_[i].chan->idle())
+                continue;
+            if (prof) {
+                // Router-sink channels file under channel_delivery;
+                // the terminal ejection channels (flit consumption +
+                // credit return at the NI) under ni_eject.
+                ProfScope s(prof, ends_[i].sinkIsRouter
+                                      ? ProfPhase::ChannelDelivery
+                                      : ProfPhase::NiEject);
+                deliverEnd(ends_[i]);
+            } else {
+                deliverEnd(ends_[i]);
+            }
+        }
         for (auto &r : routers_)
-            r->step(now);
-    } else if (busyRouters_ > 0) {
-        for (std::size_t i = 0, n = routers_.size(); i < n; ++i)
-            if (routerBusy_[i])
-                routers_[i]->step(now);
-    }
-
-    // Phase C: NI injection. A skipped NI has an empty source queue
-    // and no mid-packet stream, so stepInject would fall straight
-    // through.
-    {
-        ProfScope s(prof, ProfPhase::NiInject);
-        if (alwaysStep_) {
+            r.step(now);
+        {
+            ProfScope s(prof, ProfPhase::NiInject);
             for (auto &ni : nis_)
                 ni->stepInject(now);
-        } else if (busyNis_ > 0) {
-            for (std::size_t i = 0, n = nis_.size(); i < n; ++i)
-                if (niBusy_[i])
+        }
+    } else {
+        // Cache-blocked tile-major passes (§6g). Every channel delay
+        // is >= 1 cycle, so nothing sent this cycle becomes
+        // deliverable this cycle, and deliveries to distinct
+        // receivers commute — the per-receiver event order (one
+        // point-to-point channel per receiver, FIFO pipes) and the
+        // canonical node order of terminal ejections are what the
+        // results depend on, and both are preserved. See DESIGN.md
+        // §6g for the full bit-identity argument.
+        //
+        // Eject pass first: terminal (NI-sink) ends in canonical node
+        // order — flit consumption, delivery callbacks, and the
+        // credit return to the driver router's ejection port (a
+        // commutative counter increment that precedes every router
+        // step).
+        // Prefetch look-ahead pays only when the chip's working set
+        // exceeds one cache block (multi-block networks streaming
+        // from L3); on a single-block network everything is already
+        // resident and the extra per-entry work is pure scan
+        // overhead.
+        const bool look_ahead = numBlocks_ > 1;
+        if (busyEnds_ > 0) {
+            ProfScope s(prof, ProfPhase::NiEject);
+            auto visit = [&](std::uint32_t i) { deliverEnd(ends_[i]); };
+            if (look_ahead)
+                ejectEnds_.forEachActive(
+                    endBusy_.data(), visit, [&](std::uint32_t i) {
+                        ends_[i].chan->prefetchDelivery();
+                    });
+            else
+                ejectEnds_.forEachActive(endBusy_.data(), visit);
+        }
+        // Then per block: deliver the block's inbound flits and
+        // outbound-channel credits, step its routers, inject from its
+        // NIs — touching each block's packed hot state once per cycle
+        // while it is cache-resident.
+        for (int b = 0; b < numBlocks_; ++b) {
+            auto bi = static_cast<std::size_t>(b);
+            ActiveList &fl = blockFlitEnds_[bi];
+            ActiveList &cl = blockCreditEnds_[bi];
+            ActiveList &rl = blockRouters_[bi];
+            ActiveList &nl = blockNis_[bi];
+            if (fl.size() == 0 && cl.size() == 0 && rl.size() == 0 &&
+                nl.size() == 0)
+                continue;
+            std::chrono::steady_clock::time_point t0;
+            if (prof)
+                t0 = std::chrono::steady_clock::now();
+            {
+                ProfScope s(prof, ProfPhase::ChannelDelivery);
+                auto visit_f = [&](std::uint32_t i) {
+                    deliverFlitsOf(ends_[i]);
+                };
+                auto visit_c = [&](std::uint32_t i) {
+                    deliverCreditsOf(ends_[i]);
+                };
+                if (look_ahead) {
+                    auto pre_chan = [&](std::uint32_t i) {
+                        ends_[i].chan->prefetchDelivery();
+                    };
+                    fl.forEachActive(endBusy_.data(), visit_f, pre_chan);
+                    cl.forEachActive(endBusy_.data(), visit_c, pre_chan);
+                } else {
+                    fl.forEachActive(endBusy_.data(), visit_f);
+                    cl.forEachActive(endBusy_.data(), visit_c);
+                }
+            }
+            auto visit_r = [&](std::uint32_t i) {
+                routers_[i].step(now);
+            };
+            if (look_ahead)
+                rl.forEachActive(
+                    routerBusy_.data(), visit_r,
+                    [&](std::uint32_t i) { routers_[i].prefetchStep(); });
+            else
+                rl.forEachActive(routerBusy_.data(), visit_r);
+            {
+                ProfScope s(prof, ProfPhase::NiInject);
+                nl.forEachActive(niBusy_.data(), [&](std::uint32_t i) {
                     nis_[i]->stepInject(now);
+                });
+            }
+            if (prof)
+                prof->addBlock(
+                    bi, static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count()));
         }
     }
 
@@ -789,8 +1072,8 @@ Network::resetMeasurement()
 {
     measureStart_ = cycle_;
     for (auto &r : routers_) {
-        r->activity() = RouterActivity{};
-        r->resetOccupancy();
+        r.activity() = RouterActivity{};
+        r.resetOccupancy();
     }
     for (auto &c : channels_)
         c->resetStats();
@@ -803,9 +1086,9 @@ Network::bufferUtilizationPercent() const
     util.reserve(routers_.size());
     double cycles = static_cast<double>(measuredCycles());
     for (const auto &r : routers_) {
-        double cap = static_cast<double>(r->bufferCapacity());
+        double cap = static_cast<double>(r.bufferCapacity());
         util.push_back(cycles > 0.0
-                           ? 100.0 * r->occupancySum() / (cap * cycles)
+                           ? 100.0 * r.occupancySum() / (cap * cycles)
                            : 0.0);
     }
     return util;
@@ -846,7 +1129,7 @@ Network::powerReport() const
         auto model = RouterPowerModel::calibrated(
             config_.physParamsOf(r, ports), clockGHz_);
         RouterActivity act =
-            routers_[static_cast<std::size_t>(r)]->activity();
+            routers_[static_cast<std::size_t>(r)].activity();
         act.cycles = window;
         total += model.power(act);
     }
@@ -888,7 +1171,7 @@ Network::dumpState() const
     for (int r = 0; r < topo_->numRouters(); ++r) {
         std::snprintf(buf, sizeof(buf), "%4d",
                       routers_[static_cast<std::size_t>(r)]
-                          ->bufferOccupancy());
+                          .bufferOccupancy());
         out += buf;
         if ((r + 1) % cols == 0)
             out += '\n';

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hot_arena.hh"
 #include "common/types.hh"
 #include "noc/channel.hh"
 #include "noc/flit.hh"
@@ -79,6 +80,17 @@ class Network
      * bit-identical either way; the escape hatch exists to prove it.
      */
     bool alwaysStep() const { return alwaysStep_; }
+
+    /**
+     * @return routers per spatial block of the cache-blocked step
+     * order (§6g), after resolving config.blockTiles, the
+     * HNOC_BLOCK_TILES environment override, and L2 auto-sizing.
+     * Results are bit-identical for every block size.
+     */
+    int blockTiles() const { return blockTiles_; }
+
+    /** @return block count of the cache-blocked step order. */
+    int numBlocks() const { return numBlocks_; }
 
     /** Install a flit-event observer on every router (nullptr clears). */
     void setObserver(NetworkObserver *observer);
@@ -282,15 +294,27 @@ class Network
 
     void build();
     Channel *makeChannel(int width_bits, int flit_delay, int credit_delay);
+    void setupBlocks();
+    void packHotArena();
     Packet *allocPacket();
     void freePacket(Packet *pkt);
+
+    /** Spatial block of router @p r (contiguous id ranges). */
+    int
+    blockOf(RouterId r) const
+    {
+        return r / blockTiles_;
+    }
 
     NetworkConfig config_;
     std::unique_ptr<Topology> topo_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     double clockGHz_ = 2.2;
 
-    std::vector<std::unique_ptr<Router>> routers_;
+    /** Contiguous, by value, in step (= block) order — the per-cycle
+     *  pass streams the object headers linearly (§6g). Addresses are
+     *  pinned by the build-time reserve(). */
+    std::vector<Router> routers_;
     std::vector<std::unique_ptr<NetworkInterface>> nis_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<ChannelEnds> ends_;
@@ -310,6 +334,28 @@ class Network
     std::size_t busyRouters_ = 0;
     std::size_t busyNis_ = 0;
     bool alwaysStep_ = false;
+
+    /**
+     * Cache-blocked step order (§6g): routers partition into
+     * contiguous-id spatial blocks of blockTiles_ routers; each block
+     * owns dense active lists for the channel ends it delivers
+     * (flit role keyed by sink router, credit role keyed by driver
+     * router), its routers, and the NIs attached to its routers.
+     * Terminal ejection ends (NI sink) live in one global list
+     * scanned first each cycle in canonical order. Components enlist
+     * themselves via ActivitySlot wake hooks.
+     */
+    int blockTiles_ = 0;
+    int numBlocks_ = 1;
+
+    /** Block-ordered, huge-page-backed storage for router cores and
+     *  channel pipes (§6g); sized once by packHotArena(). */
+    HotArena hotArena_;
+    ActiveList ejectEnds_;
+    std::vector<ActiveList> blockFlitEnds_;
+    std::vector<ActiveList> blockCreditEnds_;
+    std::vector<ActiveList> blockRouters_;
+    std::vector<ActiveList> blockNis_;
 
     NetworkClient *client_ = nullptr;
     NetworkObserver *observer_ = nullptr;

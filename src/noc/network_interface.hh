@@ -94,6 +94,14 @@ class NetworkInterface
      */
     bool busy() const { return !sourceQueue_.empty() || activeStreams_ > 0; }
 
+    /** Register a dense active list woken (with @p id) on this NI's
+     *  idle→busy transitions; call before bindActivitySlot. */
+    void
+    addActivityWake(ActiveList *list, std::uint32_t id)
+    {
+        slot_.addWakeHook(list, id);
+    }
+
     /** Bind this NI's cell in the Network's active-set bitmap. */
     void
     bindActivitySlot(std::uint8_t *flag, std::size_t *count)
@@ -137,6 +145,9 @@ class NetworkInterface
 
     static constexpr std::size_t kInitialQueueCapacity = 16;
 
+    // Hot-first member order (§6g): the stepInject path reads the
+    // queue, streams, credits and pairing flag every active cycle;
+    // the stats attachment trails as the cold tail.
     NodeId node_;
     Network *net_;
     Channel *inj_ = nullptr;
@@ -145,9 +156,9 @@ class NetworkInterface
     std::vector<Stream> streams_;
     RingBuffer<Packet *> sourceQueue_;
     int activeStreams_ = 0; ///< streams with a packet in flight
+    bool intraPairing_ = true;
     ActivitySlot slot_;
     RouterActivity *linkActivity_ = nullptr;
-    bool intraPairing_ = true;
 };
 
 } // namespace hnoc

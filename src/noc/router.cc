@@ -15,8 +15,6 @@ Router::Router(RouterId id, int num_ports, int vcs, int buffer_depth,
       intraPacketPairing_(intra_packet_pairing), saPolicy_(sa_policy)
 {
     core_.init(num_ports, vcs, buffer_depth);
-    scratchGrants_.assign(static_cast<std::size_t>(num_ports), 0);
-    scratchOut_.assign(static_cast<std::size_t>(num_ports), INVALID_PORT);
 }
 
 void
@@ -45,7 +43,7 @@ Router::receiveFlit(PortId p, Flit flit, Cycle now)
     if (fifo.empty()) {
         core_.headArrive[si] = now; // this flit becomes the head
         if (!core_.active(s)) // an idle VC just gained a head needing RC
-            bitops::maskSet(core_.rcMask.data(), s);
+            bitops::maskSet(core_.rcMask, s);
     }
     flit.arrivedAt = now;
     fifo.push_back(flit);
@@ -79,19 +77,32 @@ Router::step(Cycle now)
     // Phase timers are report-only wall-clock accumulation: the
     // pipeline functions never read them, so attaching a profiler
     // cannot perturb simulation results. kTelemetryEnabled folds the
-    // pointer to nullptr in the OFF build, and ProfScope on nullptr is
-    // a single branch.
+    // pointer to nullptr in the OFF build. While attached, the three
+    // phase timings chain on shared clock reads (four reads, no
+    // inter-scope gaps), so no instrumentation slop between phases
+    // leaks into the unattributed scan-overhead residual.
     Profiler *prof = kTelemetryEnabled ? profiler_ : nullptr;
-    {
-        ProfScope s(prof, ProfPhase::RouteCompute);
+    if (prof) {
+        auto ns = [](Profiler::clock::time_point a,
+                     Profiler::clock::time_point b) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    b - a)
+                    .count());
+        };
+        auto t0 = Profiler::clock::now();
         routeCompute(now);
-    }
-    {
-        ProfScope s(prof, ProfPhase::VcAllocate);
+        auto t1 = Profiler::clock::now();
         vcAllocate(now);
-    }
-    {
-        ProfScope s(prof, ProfPhase::SwitchAllocate);
+        auto t2 = Profiler::clock::now();
+        switchAllocate(now);
+        auto t3 = Profiler::clock::now();
+        prof->add(ProfPhase::RouteCompute, ns(t0, t1));
+        prof->add(ProfPhase::VcAllocate, ns(t1, t2));
+        prof->add(ProfPhase::SwitchAllocate, ns(t2, t3));
+    } else {
+        routeCompute(now);
+        vcAllocate(now);
         switchAllocate(now);
     }
 
@@ -119,10 +130,10 @@ Router::routeCompute(Cycle now)
     // route (a slot cannot drain while inactive, so a set bit implies
     // a non-empty FIFO). Ascending bit order matches the legacy
     // port-major/VC-minor nested loops.
-    if (!bitops::maskAny(core_.rcMask.data(), core_.words))
+    if (!bitops::maskAny(core_.rcMask, core_.words))
         return;
     bitops::forEachSetCyclic(
-        core_.rcMask.data(), core_.words, core_.total, 0, [&](int s) {
+        core_.rcMask, core_.words, core_.total, 0, [&](int s) {
             auto si = static_cast<std::size_t>(s);
             if (core_.headArrive[si] >= now)
                 return true; // written this cycle; eligible next cycle
@@ -145,9 +156,9 @@ Router::routeCompute(Cycle now)
                                    BlameCause::RoutePending, waited);
                 }
             }
-            bitops::maskSet(core_.activeMask.data(), s);
-            bitops::maskClear(core_.rcMask.data(), s);
-            bitops::maskSet(core_.vaReqMask.data(), s);
+            bitops::maskSet(core_.activeMask, s);
+            bitops::maskClear(core_.rcMask, s);
+            bitops::maskSet(core_.vaReqMask, s);
             PortId out = routing_.outputPort(id_, *core_.pkt[si]);
             core_.outPort[si] = out;
             core_.outVc[si] = INVALID_VC;
@@ -196,12 +207,12 @@ Router::vcAllocate(Cycle now)
     // leaves the priority sequence unchanged; iterating only the set
     // bits preserves the visit order of the legacy all-slot scan
     // because non-requesters were skipped there anyway.
-    if (!bitops::maskAny(core_.vaReqMask.data(), core_.words))
+    if (!bitops::maskAny(core_.vaReqMask, core_.words))
         return;
     int total = core_.total;
     int ptr = static_cast<int>(now % static_cast<Cycle>(total));
     bitops::forEachSetCyclic(
-        core_.vaReqMask.data(), core_.words, total, ptr, [&](int s) {
+        core_.vaReqMask, core_.words, total, ptr, [&](int s) {
             auto si = static_cast<std::size_t>(s);
             if (core_.fifo[si].empty() || core_.headArrive[si] >= now)
                 return true;
@@ -215,7 +226,7 @@ Router::vcAllocate(Cycle now)
                 core_.outVc[si] = v;
                 core_.headSince[si] = now;
                 ++activity_.arbOps;
-                bitops::maskClear(core_.vaReqMask.data(), s);
+                bitops::maskClear(core_.vaReqMask, s);
                 bitops::maskSet(core_.saReq(core_.outPort[si]), s);
             }
             if (kTelemetryEnabled && telemetry_ && v < 0)
@@ -237,11 +248,13 @@ Router::switchAllocate(Cycle now)
     // Per-input-port grant bookkeeping: at most two reads per input
     // port per cycle (the DSET split of §3.2), and when two, both must
     // feed the same output port (one v:1 arbiter per input, Fig 6).
-    // Member scratch vectors: assign() reuses their capacity, so the
-    // steady state allocates nothing.
-    scratchGrants_.assign(static_cast<std::size_t>(core_.ports), 0);
-    scratchOut_.assign(static_cast<std::size_t>(core_.ports),
-                       INVALID_PORT);
+    // The scratch lives in the core's packed hot buffer, so the
+    // per-cycle reset touches no scattered heap lines and the steady
+    // state allocates nothing.
+    for (PortId p = 0; p < core_.ports; ++p) {
+        core_.saGrants[p] = 0;
+        core_.saGrantOut[p] = INVALID_PORT;
+    }
     for (PortId o = 0; o < core_.ports; ++o)
         switchAllocatePort(o, now);
 }
@@ -289,14 +302,15 @@ Router::switchAllocatePort(PortId o, Cycle now)
         // Zero-load head-path accounting: this hop contributes one
         // switch cycle plus the channel delay, priced on the route
         // actually taken (detours included).
-        if (kTelemetryEnabled && flit.isHead() && flit.pkt->blame)
+        if (kTelemetryEnabled && blame_ && flit.isHead() &&
+            flit.pkt->blame)
             flit.pkt->blame->minHeadCycles +=
                 1 + static_cast<std::uint64_t>(op.chan->flitDelay());
         if (observer_)
             observer_->onFlitDepart(id_, o, flit, now);
 
         ++pg;
-        scratchOut_[static_cast<std::size_t>(in_port)] = o;
+        core_.saGrantOut[in_port] = o;
         ++granted;
         ++activity_.bufferReads;
         ++activity_.xbarTraversals;
@@ -324,13 +338,13 @@ Router::switchAllocatePort(PortId o, Cycle now)
 
         if (flit.isTail()) {
             op.allocMask &= ~(std::uint64_t{1} << out_vc);
-            bitops::maskClear(core_.activeMask.data(), s);
+            bitops::maskClear(core_.activeMask, s);
             bitops::maskClear(req, s);
             core_.outPort[si] = INVALID_PORT;
             core_.outVc[si] = INVALID_VC;
             core_.pkt[si] = nullptr;
             if (!fifo.empty()) // next packet's head awaits RC
-                bitops::maskSet(core_.rcMask.data(), s);
+                bitops::maskSet(core_.rcMask, s);
             return true; // packet finished at this hop
         }
         if (!fifo.empty())
@@ -355,10 +369,10 @@ Router::switchAllocatePort(PortId o, Cycle now)
                                   core_.pkt[si] ? core_.pkt[si]->id : 0);
             return granted < capacity;
         }
-        int &pg = scratchGrants_[static_cast<std::size_t>(in_port)];
+        int &pg = core_.saGrants[in_port];
         if (pg >= 2)
             return granted < capacity;
-        if (pg == 1 && scratchOut_[static_cast<std::size_t>(in_port)] != o)
+        if (pg == 1 && core_.saGrantOut[in_port] != o)
             return granted < capacity;
 
         bool finished = send_one(s, si, in_port, pg);
@@ -425,7 +439,7 @@ Router::blamePass(Cycle now)
     // implies a buffered flit, so the router is busy and this pass
     // runs every cycle the head waits.)
     bitops::forEachSetCyclic(
-        core_.vaReqMask.data(), core_.words, core_.total, 0, [&](int s) {
+        core_.vaReqMask, core_.words, core_.total, 0, [&](int s) {
             auto si = static_cast<std::size_t>(s);
             if (core_.fifo[si].empty() || core_.headArrive[si] >= now)
                 return true;

@@ -74,6 +74,11 @@ class Router
     void connectOutput(PortId p, Channel *chan, int down_vcs,
                        int down_depth);
 
+    /** Pack per-output credit counters once all ports are wired
+     *  (RouterCore::finalizeWiring). Call exactly once, after the
+     *  last connectOutput(). */
+    void finalizeWiring() { core_.finalizeWiring(); }
+
     /** Buffer-write: a flit delivered by the input channel at @p p. */
     void receiveFlit(PortId p, Flit flit, Cycle now);
 
@@ -83,6 +88,21 @@ class Router
     /** Run RC / VA / SA / ST for this cycle. */
     void step(Cycle now);
 
+    /** Prefetch the step working set (issued one active-list entry
+     *  ahead by the Network's blocked step loop, §6g). */
+    void
+    prefetchStep() const
+    {
+        bitops::prefetch(this);
+        core_.prefetchStep();
+    }
+
+    /** Bytes moveCoreToArena() will carve from the hot arena. */
+    std::size_t coreArenaBytes() const { return core_.arenaBytes(); }
+
+    /** Relocate the core's packed hot storage into @p arena (§6g). */
+    void moveCoreToArena(HotArena &arena) { core_.moveToArena(arena); }
+
     /**
      * @return true if stepping this cycle can have any effect. Exactly
      * the flit-holding condition: every pipeline stage requires a
@@ -90,6 +110,14 @@ class Router
      * its next flit, which re-marks the router busy on arrival).
      */
     bool busy() const { return flitCount_ > 0; }
+
+    /** Register a dense active list woken (with @p id) on this
+     *  router's idle→busy transitions; call before bindActivitySlot. */
+    void
+    addActivityWake(ActiveList *list, std::uint32_t id)
+    {
+        slot_.addWakeHook(list, id);
+    }
 
     /** Bind this router's cell in the Network's active-set bitmap. */
     void
@@ -150,16 +178,14 @@ class Router
      *  can classify stalls at the ejection funnel separately. */
     void markEjectionPort(PortId p) { ejectPort_ = p; }
 
-    /** Steady-state memory footprint: the SoA core, the SA scratch
-     *  vectors, and the object itself. */
+    /** Steady-state memory footprint: the SoA core, the OldestFirst
+     *  ordering scratch, and the object itself. */
     std::uint64_t
     footprintBytes() const
     {
         return static_cast<std::uint64_t>(sizeof(*this)) +
                core_.footprintBytes() +
-               scratchOrder_.capacity() * sizeof(int) +
-               scratchGrants_.capacity() * sizeof(int) +
-               scratchOut_.capacity() * sizeof(PortId);
+               scratchOrder_.capacity() * sizeof(int);
     }
 
     /** @name Introspection (health probes, conservation audit,
@@ -247,9 +273,7 @@ class Router
     Profiler *profiler_ = nullptr;
     BlameCollector *blame_ = nullptr;
     PortId ejectPort_ = INVALID_PORT;
-    std::vector<int> scratchOrder_;   ///< SA visiting order (OldestFirst)
-    std::vector<int> scratchGrants_;  ///< per-input-port grants this cycle
-    std::vector<PortId> scratchOut_;  ///< per-input-port granted output
+    std::vector<int> scratchOrder_; ///< SA visiting order (OldestFirst)
 };
 
 } // namespace hnoc

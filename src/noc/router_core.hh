@@ -19,18 +19,31 @@
  * so grant sequences — and therefore simulation results — are
  * bit-identical; see DESIGN.md "SoA router core".
  *
- * The arrays and masks are sized exactly once (construction /
- * connectOutput wiring), so the steady state performs zero heap
- * allocations (test_perf_zero_alloc).
+ * Hot/cold packing (§6g): the parallel arrays and request masks are
+ * not separate vectors but raw pointers into one owned, 64-byte
+ * aligned buffer, each section starting on its own cache line. A
+ * cycle's RC/VA/SA work therefore streams one contiguous region per
+ * router instead of a dozen scattered heap blocks — the unit the
+ * cache-blocked Network step order is sized around. Per-output
+ * downstream credit counters are likewise packed into a second
+ * aligned buffer (one 64-byte-aligned row per output port) built by
+ * finalizeWiring() once all ports are connected.
+ *
+ * Everything is sized exactly once (init / finalizeWiring), so the
+ * steady state performs zero heap allocations (test_perf_zero_alloc,
+ * which also pins the sizing formulas below).
  */
 
 #ifndef HNOC_NOC_ROUTER_CORE_HH
 #define HNOC_NOC_ROUTER_CORE_HH
 
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/hot_arena.hh"
 #include "common/logging.hh"
 #include "common/ring_buffer.hh"
 #include "common/types.hh"
@@ -45,19 +58,22 @@ class Channel;
 struct RouterCore
 {
     /** Output-port allocator state. Downstream-VC credit counts live
-     *  in a per-port array (indexed by downstream VC); the allocated
-     *  set is a single word, bounding downstream VC counts at 64. */
+     *  in a per-port row of the packed credit buffer (indexed by
+     *  downstream VC); the allocated set is a single word, bounding
+     *  downstream VC counts at 64. */
     struct Output
     {
         Channel *chan = nullptr;
         int lanes = 1;
         int downVcs = 0;
         std::uint64_t allocMask = 0; ///< allocated downstream VCs
-        std::vector<int> credits;    ///< per downstream VC
+        int *credits = nullptr;      ///< per downstream VC (packed row)
         /** Grant-driven part of the SA rotating pointer; the
          *  per-cycle part is implicit (ptr = (rrOffset + now) %
          *  total), so skipped idle cycles cannot desynchronise it. */
         unsigned rrOffset = 0;
+        /** Initial credit count, held until finalizeWiring(). */
+        int initDepth = 0;
     };
 
     int ports = 0;
@@ -65,26 +81,36 @@ struct RouterCore
     int total = 0; ///< ports * vcs input-VC slots
     int words = 0; ///< 64-bit words per slot mask
 
-    /** @name Per-slot parallel arrays (slot = port * vcs + vc) */
+    /** @name Per-slot parallel arrays (slot = port * vcs + vc),
+     *  pointing into the packed hot buffer (hotStore_) */
     ///@{
     std::vector<RingBuffer<Flit>> fifo; ///< fixed capacity = depth
-    std::vector<PortId> outPort;
-    std::vector<VcId> outVc;   ///< INVALID until VA succeeds
-    std::vector<VcId> vcLo;    ///< admissible downstream VC range
-    std::vector<VcId> vcHi;
-    std::vector<Cycle> headSince;  ///< when the head became ready
-    std::vector<Cycle> headArrive; ///< head flit's buffer-write cycle
-                                   ///< (CYCLE_NEVER while empty)
-    std::vector<Packet *> pkt;
+    PortId *outPort = nullptr;
+    VcId *outVc = nullptr; ///< INVALID until VA succeeds
+    VcId *vcLo = nullptr;  ///< admissible downstream VC range
+    VcId *vcHi = nullptr;
+    Cycle *headSince = nullptr;  ///< when the head became ready
+    Cycle *headArrive = nullptr; ///< head flit's buffer-write cycle
+                                 ///< (CYCLE_NEVER while empty)
+    Packet **pkt = nullptr;
     ///@}
 
-    /** @name Request bitmasks, one bit per slot */
+    /** @name Request bitmasks, one bit per slot (hot buffer) */
     ///@{
-    std::vector<std::uint64_t> activeMask; ///< slot owns a route
-    std::vector<std::uint64_t> rcMask;     ///< head awaiting RC
-    std::vector<std::uint64_t> vaReqMask;  ///< awaiting a VC grant
+    std::uint64_t *activeMask = nullptr; ///< slot owns a route
+    std::uint64_t *rcMask = nullptr;     ///< head awaiting RC
+    std::uint64_t *vaReqMask = nullptr;  ///< awaiting a VC grant
     /** SA candidates per output port, flattened [port * words]. */
-    std::vector<std::uint64_t> saReqMask;
+    std::uint64_t *saReqMask = nullptr;
+    ///@}
+
+    /** @name Per-input-port SA scratch (hot buffer): grants issued
+     *  this cycle and the output port they fed (the DSET two-reads /
+     *  same-output constraint). Living in the packed buffer keeps the
+     *  per-cycle reset off scattered heap lines. */
+    ///@{
+    int *saGrants = nullptr;
+    PortId *saGrantOut = nullptr;
     ///@}
 
     std::vector<Channel *> inChan; ///< upstream channel per input port
@@ -98,26 +124,92 @@ struct RouterCore
         total = num_ports * num_vcs;
         words = bitops::maskWords(total);
 
+        // Pack every slot's FIFO ring into one contiguous per-router
+        // allocation (§6g): slot i owns fifoStore_[i*cap, (i+1)*cap).
+        // One allocation replaces `total` scattered ones, so the
+        // pipeline's buffer reads/writes stream instead of chasing
+        // heap pointers.
         auto n = static_cast<std::size_t>(total);
+        std::size_t cap = RingBuffer<Flit>::boundCapacity(
+            static_cast<std::size_t>(buffer_depth));
+        fifoStore_.assign(n * cap, Flit{});
+        fifoBase_ = fifoStore_.data();
         fifo.resize(n);
-        for (auto &f : fifo)
-            f.reset(static_cast<std::size_t>(buffer_depth));
-        outPort.assign(n, INVALID_PORT);
-        outVc.assign(n, INVALID_VC);
-        vcLo.assign(n, 0);
-        vcHi.assign(n, 0);
-        headSince.assign(n, 0);
-        headArrive.assign(n, CYCLE_NEVER);
-        pkt.assign(n, nullptr);
+        for (std::size_t i = 0; i < n; ++i)
+            fifo[i].bindStorage(fifoStore_.data() + i * cap,
+                                static_cast<std::size_t>(buffer_depth));
 
+        // Lay the masks and slot arrays out in one aligned buffer:
+        // every section starts on a 64-byte boundary (units below are
+        // uint64 words; 8 words = one cache line).
         auto w = static_cast<std::size_t>(words);
-        activeMask.assign(w, 0);
-        rcMask.assign(w, 0);
-        vaReqMask.assign(w, 0);
-        saReqMask.assign(w * static_cast<std::size_t>(ports), 0);
+        std::size_t u32Sect = alignLine((n + 1) / 2); // n int32 values
+        std::size_t u64Sect = alignLine(n);
+        std::size_t off = 0;
+        std::size_t offActive = off;
+        off += alignLine(w);
+        std::size_t offRc = off;
+        off += alignLine(w);
+        std::size_t offVa = off;
+        off += alignLine(w);
+        std::size_t offSa = off;
+        off += alignLine(w * static_cast<std::size_t>(ports));
+        std::size_t offHeadArrive = off;
+        off += u64Sect;
+        std::size_t offHeadSince = off;
+        off += u64Sect;
+        std::size_t offPkt = off;
+        off += u64Sect;
+        std::size_t offOutPort = off;
+        off += u32Sect;
+        std::size_t offOutVc = off;
+        off += u32Sect;
+        std::size_t offVcLo = off;
+        off += u32Sect;
+        std::size_t offVcHi = off;
+        off += u32Sect;
+        std::size_t portSect =
+            alignLine((static_cast<std::size_t>(ports) + 1) / 2);
+        std::size_t offSaGrants = off;
+        off += portSect;
+        std::size_t offSaGrantOut = off;
+        off += portSect;
+
+        hotStore_.assign(off + kLineWords, 0);
+        hotWords_ = off + kLineWords;
+        std::uint64_t *base = alignedBase();
+        activeMask = base + offActive;
+        rcMask = base + offRc;
+        vaReqMask = base + offVa;
+        saReqMask = base + offSa;
+        headArrive = base + offHeadArrive;
+        headSince = base + offHeadSince;
+        pkt = reinterpret_cast<Packet **>(base + offPkt);
+        outPort = reinterpret_cast<PortId *>(base + offOutPort);
+        outVc = reinterpret_cast<VcId *>(base + offOutVc);
+        vcLo = reinterpret_cast<VcId *>(base + offVcLo);
+        vcHi = reinterpret_cast<VcId *>(base + offVcHi);
+        saGrants = reinterpret_cast<int *>(base + offSaGrants);
+        saGrantOut = reinterpret_cast<PortId *>(base + offSaGrantOut);
+
+        for (int p = 0; p < ports; ++p) {
+            saGrants[p] = 0;
+            saGrantOut[p] = INVALID_PORT;
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            outPort[i] = INVALID_PORT;
+            outVc[i] = INVALID_VC;
+            vcLo[i] = 0;
+            vcHi[i] = 0;
+            headSince[i] = 0;
+            headArrive[i] = CYCLE_NEVER;
+            pkt[i] = nullptr;
+        }
 
         inChan.assign(static_cast<std::size_t>(ports), nullptr);
         outputs.assign(static_cast<std::size_t>(ports), Output{});
+        creditStore_.clear();
     }
 
     int
@@ -129,28 +221,27 @@ struct RouterCore
     bool
     active(int s) const
     {
-        return bitops::maskTest(activeMask.data(), s);
+        return bitops::maskTest(activeMask, s);
     }
 
     /** SA candidate mask of output port @p p. */
     std::uint64_t *
     saReq(PortId p)
     {
-        return saReqMask.data() +
-               static_cast<std::size_t>(p) *
-                   static_cast<std::size_t>(words);
+        return saReqMask + static_cast<std::size_t>(p) *
+                               static_cast<std::size_t>(words);
     }
 
     const std::uint64_t *
     saReq(PortId p) const
     {
-        return saReqMask.data() +
-               static_cast<std::size_t>(p) *
-                   static_cast<std::size_t>(words);
+        return saReqMask + static_cast<std::size_t>(p) *
+                               static_cast<std::size_t>(words);
     }
 
     /** Wire output port @p p. @p down_vcs is capped at 64 by the
-     *  single-word allocated/credit masks. */
+     *  single-word allocated/credit masks. Credit counters become
+     *  live when finalizeWiring() packs them. */
     void
     connectOutput(PortId p, Channel *chan, int chan_lanes, int down_vcs,
                   int down_depth)
@@ -163,16 +254,48 @@ struct RouterCore
         op.lanes = chan_lanes;
         op.downVcs = down_vcs;
         op.allocMask = 0;
-        op.credits.assign(static_cast<std::size_t>(down_vcs), down_depth);
+        op.credits = nullptr;
+        op.initDepth = down_depth;
+    }
+
+    /**
+     * Pack per-output credit counters into one aligned buffer — one
+     * 64-byte-aligned row of roundUp(max downVcs, 16) ints per port —
+     * and point every Output::credits at its row. Call once, after
+     * the last connectOutput(); allocates the only storage that
+     * cannot be sized in init() (downstream VC counts are
+     * heterogeneous and only known after wiring).
+     */
+    void
+    finalizeWiring()
+    {
+        int maxVcs = 0;
+        for (const Output &op : outputs)
+            maxVcs = op.downVcs > maxVcs ? op.downVcs : maxVcs;
+        if (maxVcs == 0)
+            return;
+        creditRowInts_ = static_cast<std::size_t>((maxVcs + 15) / 16) * 16;
+        creditInts_ = static_cast<std::size_t>(ports) * creditRowInts_ + 16;
+        creditStore_.assign(creditInts_, 0);
+        auto addr = reinterpret_cast<std::uintptr_t>(creditStore_.data());
+        int *base = creditStore_.data() +
+                    (64 - addr % 64) % 64 / sizeof(int);
+        creditBase_ = base;
+        for (std::size_t p = 0; p < outputs.size(); ++p) {
+            Output &op = outputs[p];
+            op.credits = base + p * creditRowInts_;
+            for (int v = 0; v < op.downVcs; ++v)
+                op.credits[v] = op.initDepth;
+        }
     }
 
     /**
      * Steady-state memory footprint of the SoA arrays, from container
-     * capacities: per-slot FIFO storage, the parallel slot arrays, the
-     * request bitmasks, and per-output credit vectors. Everything here
-     * is sized once in init()/connectOutput(), so the value is
-     * constant after wiring — the sizing contract test_footprint pins
-     * it against the layout formulas.
+     * capacities: per-slot FIFO storage, the packed hot buffer (slot
+     * arrays + request bitmasks), and the packed per-output credit
+     * buffer. Everything here is sized once in init() /
+     * finalizeWiring(), so the value is constant after wiring — the
+     * sizing contract tests pin it against the layout formulas.
      */
     std::uint64_t
     footprintBytes() const
@@ -181,21 +304,108 @@ struct RouterCore
         b += fifo.capacity() * sizeof(RingBuffer<Flit>);
         for (const auto &f : fifo)
             b += static_cast<std::uint64_t>(f.capacity()) * sizeof(Flit);
-        b += outPort.capacity() * sizeof(PortId);
-        b += outVc.capacity() * sizeof(VcId);
-        b += vcLo.capacity() * sizeof(VcId);
-        b += vcHi.capacity() * sizeof(VcId);
-        b += headSince.capacity() * sizeof(Cycle);
-        b += headArrive.capacity() * sizeof(Cycle);
-        b += pkt.capacity() * sizeof(Packet *);
-        b += (activeMask.capacity() + rcMask.capacity() +
-              vaReqMask.capacity() + saReqMask.capacity()) *
-             sizeof(std::uint64_t);
+        b += hotWords_ * sizeof(std::uint64_t);
+        b += creditInts_ * sizeof(int);
         b += inChan.capacity() * sizeof(Channel *);
         b += outputs.capacity() * sizeof(Output);
-        for (const Output &op : outputs)
-            b += op.credits.capacity() * sizeof(int);
         return b;
+    }
+
+    /** Pull the step working set toward the cache one active-list
+     *  entry ahead of the step call (§6g): the leading request-mask
+     *  lines of the packed hot buffer (the hardware prefetcher
+     *  streams the rest of the contiguous buffer), the packed credit
+     *  rows, and the FIFO directory. */
+    void
+    prefetchStep() const
+    {
+        if (activeMask) {
+            bitops::prefetch(activeMask);
+            bitops::prefetch(saReqMask);
+        }
+        if (creditBase_)
+            bitops::prefetch(creditBase_);
+        if (fifoBase_)
+            bitops::prefetch(fifoBase_);
+    }
+
+    /** Bytes moveToArena() will carve (each section 64-B aligned). */
+    std::size_t
+    arenaBytes() const
+    {
+        auto r64 = [](std::size_t b) { return (b + 63) / 64 * 64; };
+        return r64(fifoStore_.size() * sizeof(Flit)) +
+               r64(hotWords_ * sizeof(std::uint64_t)) +
+               r64(creditInts_ * sizeof(int));
+    }
+
+    /**
+     * Relocate the packed FIFO, hot-section, and credit storage into
+     * @p arena (§6g): contents are copied verbatim, every pointer is
+     * re-based, and the self-owned vectors are released. Call after
+     * finalizeWiring() and before the first step. Exhaustion leaves
+     * the remaining sections self-owned — placement is a performance
+     * property only, so a partial move is still correct.
+     */
+    void
+    moveToArena(HotArena &arena)
+    {
+        if (!fifoStore_.empty()) {
+            auto *nf = reinterpret_cast<Flit *>(
+                arena.alloc(fifoStore_.size() * sizeof(Flit)));
+            if (nf != nullptr) {
+                std::size_t cap = fifoStore_.size() / fifo.size();
+                for (std::size_t i = 0; i < fifo.size(); ++i)
+                    fifo[i].moveStorageTo(nf + i * cap);
+                fifoBase_ = nf;
+                fifoStore_ = std::vector<Flit>();
+            }
+        }
+        if (!hotStore_.empty()) {
+            auto *nb = reinterpret_cast<std::uint64_t *>(
+                arena.alloc(hotWords_ * sizeof(std::uint64_t)));
+            if (nb != nullptr) {
+                std::uint64_t *ob = alignedBase();
+                std::memcpy(nb, ob,
+                            (hotWords_ - kLineWords) *
+                                sizeof(std::uint64_t));
+                auto rebase = [&](auto *&p) {
+                    using P = std::remove_reference_t<decltype(p)>;
+                    p = reinterpret_cast<P>(
+                        reinterpret_cast<char *>(nb) +
+                        (reinterpret_cast<char *>(p) -
+                         reinterpret_cast<char *>(ob)));
+                };
+                rebase(activeMask);
+                rebase(rcMask);
+                rebase(vaReqMask);
+                rebase(saReqMask);
+                rebase(headArrive);
+                rebase(headSince);
+                rebase(pkt);
+                rebase(outPort);
+                rebase(outVc);
+                rebase(vcLo);
+                rebase(vcHi);
+                rebase(saGrants);
+                rebase(saGrantOut);
+                hotStore_ = std::vector<std::uint64_t>();
+            }
+        }
+        if (!creditStore_.empty() && creditBase_ != nullptr) {
+            auto *nc = reinterpret_cast<int *>(
+                arena.alloc(creditInts_ * sizeof(int)));
+            if (nc != nullptr) {
+                std::memcpy(nc, creditBase_,
+                            static_cast<std::size_t>(ports) *
+                                creditRowInts_ * sizeof(int));
+                for (std::size_t p = 0; p < outputs.size(); ++p)
+                    if (outputs[p].credits != nullptr)
+                        outputs[p].credits = nc + p * creditRowInts_;
+                creditBase_ = nc;
+                creditStore_ = std::vector<int>();
+            }
+        }
     }
 
     /** Mirror the head-of-FIFO arrival cycle after a pop. */
@@ -206,6 +416,39 @@ struct RouterCore
         headArrive[i] =
             fifo[i].empty() ? CYCLE_NEVER : fifo[i].front().arrivedAt;
     }
+
+  private:
+    static constexpr std::size_t kLineWords = 8; ///< u64s per cache line
+
+    /** Round a section size up to whole cache lines (in u64 units). */
+    static std::size_t
+    alignLine(std::size_t u64s)
+    {
+        return (u64s + kLineWords - 1) / kLineWords * kLineWords;
+    }
+
+    /** First 64-byte-aligned word inside hotStore_. */
+    std::uint64_t *
+    alignedBase()
+    {
+        auto addr = reinterpret_cast<std::uintptr_t>(hotStore_.data());
+        return hotStore_.data() + (64 - addr % 64) % 64 / sizeof(std::uint64_t);
+    }
+
+    /** Packed backing storage for all slot FIFOs (slot i at
+     *  [i*cap, (i+1)*cap)); counted in footprintBytes() through the
+     *  bound per-slot capacities. */
+    std::vector<Flit> fifoStore_;
+    /** Backing storage of the aligned hot sections (+1 line of
+     *  alignment slack). */
+    std::vector<std::uint64_t> hotStore_;
+    /** Backing storage of the packed credit rows (+64 B slack). */
+    std::vector<int> creditStore_;
+    std::size_t creditRowInts_ = 0; ///< ints per port row
+    std::size_t hotWords_ = 0;   ///< hot-buffer size (survives a move)
+    std::size_t creditInts_ = 0; ///< credit-buffer size (ditto)
+    Flit *fifoBase_ = nullptr;   ///< packed FIFO storage (prefetch)
+    int *creditBase_ = nullptr;  ///< aligned credit rows (prefetch)
 };
 
 } // namespace hnoc

@@ -41,6 +41,7 @@ expectConfigsEqual(const NetworkConfig &a, const NetworkConfig &b)
     EXPECT_EQ(a.intraPacketPairing, b.intraPacketPairing);
     EXPECT_EQ(a.saPolicy, b.saPolicy);
     EXPECT_EQ(a.alwaysStep, b.alwaysStep);
+    EXPECT_EQ(a.blockTiles, b.blockTiles);
     EXPECT_EQ(a.pipelineStages, b.pipelineStages);
     EXPECT_EQ(a.linkLatency, b.linkLatency);
     EXPECT_DOUBLE_EQ(a.clockGHz, b.clockGHz);
@@ -60,6 +61,7 @@ TEST(ConfigIo, RoundTripHeterogeneous)
     cfg.saPolicy = SaPolicy::OldestFirst;
     cfg.intraPacketPairing = false;
     cfg.alwaysStep = true;
+    cfg.blockTiles = 16;
     expectConfigsEqual(cfg, configFromString(configToString(cfg)));
 }
 

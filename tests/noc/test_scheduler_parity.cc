@@ -15,6 +15,7 @@
 
 #include "common/job_pool.hh"
 #include "heteronoc/layout.hh"
+#include "noc/network.hh"
 #include "noc/sim_harness.hh"
 
 namespace hnoc
@@ -112,6 +113,39 @@ TEST_P(SchedulerParity, BitIdenticalAcrossPatternsAndSeeds)
     }
 }
 
+TEST_P(SchedulerParity, BitIdenticalAcrossBlockSizes)
+{
+    // Cache-blocked stepping (§6g) must be invisible at every block
+    // size: single-tile blocks (maximum cross-block traffic), the
+    // auto-sized default, and one whole-chip block (degenerate case)
+    // all against the exhaustive loop.
+    NetworkConfig auto_cfg = topoConfig(GetParam());
+    NetworkConfig one_cfg = auto_cfg;
+    one_cfg.blockTiles = 1;
+    NetworkConfig whole_cfg = auto_cfg;
+    whole_cfg.blockTiles = 1 << 20; // clamped to the router count
+    NetworkConfig always_cfg = auto_cfg;
+    always_cfg.alwaysStep = true;
+
+    for (TrafficPattern p : {TrafficPattern::UniformRandom,
+                             TrafficPattern::Transpose}) {
+        SCOPED_TRACE(trafficPatternName(p));
+        SimPointOptions opts = quickOptions(20260706);
+        opts.collectMetrics = true;
+        SimPointResult always = runOpenLoop(always_cfg, p, opts);
+        ASSERT_TRUE(always.metrics);
+        for (const NetworkConfig *cfg :
+             {&one_cfg, &auto_cfg, &whole_cfg}) {
+            SCOPED_TRACE("block_tiles " +
+                         std::to_string(cfg->blockTiles));
+            SimPointResult got = runOpenLoop(*cfg, p, opts);
+            expectBitIdentical(got, always);
+            ASSERT_TRUE(got.metrics);
+            EXPECT_EQ(got.metrics->json(), always.metrics->json());
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllTopologies, SchedulerParity,
     ::testing::Values(TopoCase{"mesh", TopologyType::Mesh},
@@ -167,6 +201,68 @@ TEST(SchedulerParityThreads, SweepMatchesAlwaysStepAcross134Threads)
         check(sweepLoad(active_cfg, TrafficPattern::UniformRandom, rates,
                         opts, &pool));
     }
+}
+
+TEST(SchedulerParityThreads, BlockSizesMatchAcross134Threads)
+{
+    // Block size x thread count: per-point state is thread-private, so
+    // any blocking of the per-point step loop must leave the parallel
+    // sweep bit-identical to the serial exhaustive reference.
+    NetworkConfig always_cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    always_cfg.alwaysStep = true;
+    const std::vector<double> rates = {0.01, 0.03, 0.05};
+    SimPointOptions opts = quickOptions(17);
+
+    auto reference = sweepLoadSerial(
+        always_cfg, TrafficPattern::UniformRandom, rates, opts);
+
+    for (int block_tiles : {1, 0, 1 << 20}) {
+        NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+        cfg.blockTiles = block_tiles;
+        for (int threads : {1, 3, 4}) {
+            SCOPED_TRACE("block_tiles " + std::to_string(block_tiles) +
+                         ", " + std::to_string(threads) + " threads");
+            JobPool pool(threads);
+            auto got = sweepLoad(cfg, TrafficPattern::UniformRandom,
+                                 rates, opts, &pool);
+            ASSERT_EQ(got.size(), reference.size());
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                SCOPED_TRACE("point " + std::to_string(i));
+                expectBitIdentical(got[i], reference[i]);
+            }
+        }
+    }
+}
+
+TEST(BlockSizeEscapeHatch, EnvVarOverridesConfigAndClampsToChip)
+{
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::Baseline); // 8x8
+    {
+        Network net(cfg); // auto-sized: sane block count, full cover
+        EXPECT_GE(net.blockTiles(), 1);
+        EXPECT_LE(net.blockTiles(), 64);
+        EXPECT_EQ((64 + net.blockTiles() - 1) / net.blockTiles(),
+                  net.numBlocks());
+    }
+    cfg.blockTiles = 16;
+    {
+        Network net(cfg);
+        EXPECT_EQ(net.blockTiles(), 16);
+        EXPECT_EQ(net.numBlocks(), 4);
+    }
+    ::setenv("HNOC_BLOCK_TILES", "8", 1);
+    {
+        Network net(cfg); // env wins over the config field
+        EXPECT_EQ(net.blockTiles(), 8);
+        EXPECT_EQ(net.numBlocks(), 8);
+    }
+    ::setenv("HNOC_BLOCK_TILES", "100000", 1);
+    {
+        Network net(cfg); // oversize clamps to one whole-chip block
+        EXPECT_EQ(net.blockTiles(), 64);
+        EXPECT_EQ(net.numBlocks(), 1);
+    }
+    ::unsetenv("HNOC_BLOCK_TILES");
 }
 
 TEST(SchedulerEscapeHatch, EnvVarAndConfigForceExhaustiveLoop)

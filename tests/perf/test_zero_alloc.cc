@@ -26,6 +26,7 @@
 #include <new>
 
 #include "heteronoc/layout.hh"
+#include "noc/active_set.hh"
 #include "noc/network.hh"
 #include "noc/router_core.hh"
 #include "telemetry/profiler.hh"
@@ -165,6 +166,48 @@ TEST(ZeroAlloc, HeterogeneousDiagonalBlIsAllocationFree)
     EXPECT_EQ(measureSteadyStateAllocs(cfg), 0u);
 }
 
+TEST(ZeroAlloc, SingleTileBlocksAreAllocationFree)
+{
+    // blockTiles=1 maximises block-boundary traffic: every channel
+    // delivery crosses the per-block active lists, so this is the
+    // densest sweep over the wake/merge/compact machinery.
+    NetworkConfig cfg = makeLayoutConfig(LayoutKind::DiagonalBL);
+    cfg.blockTiles = 1;
+    EXPECT_EQ(measureSteadyStateAllocs(cfg), 0u);
+}
+
+TEST(ZeroAlloc, ActiveListChurnIsAllocationFree)
+{
+    // Direct contract on the list itself: once reserve() has run,
+    // arbitrary wake/merge/compact churn never touches the heap.
+    ActiveList list;
+    list.reserve(/*id_space=*/64, /*max_members=*/64);
+    std::uint8_t busy[64] = {};
+
+    g_allocs.store(0);
+    g_counting.store(true);
+    for (int round = 0; round < 200; ++round) {
+        for (std::uint32_t i = 0; i < 64; ++i) {
+            if ((i + round) % 3 == 0) {
+                busy[i] = 1;
+                list.wake(i);
+            }
+        }
+        std::uint32_t prev = 0;
+        bool first = true;
+        list.forEachActive(busy, [&](std::uint32_t id) {
+            if (!first)
+                EXPECT_LT(prev, id); // canonical ascending order
+            prev = id;
+            first = false;
+            if (id % 2 == static_cast<std::uint32_t>(round % 2))
+                busy[id] = 0; // idles compact out next scan
+        });
+    }
+    g_counting.store(false);
+    EXPECT_EQ(g_allocs.load(), 0u);
+}
+
 TEST(ZeroAlloc, HeterogeneousDiagonalBlAlwaysStepIsAllocationFree)
 {
     // The exhaustive loop runs every router's RC/VA/SA every cycle,
@@ -195,14 +238,101 @@ TEST(Footprint, RouterCoreScalesExactlyWithBufferDepth)
               static_cast<std::uint64_t>(5 * 3) * 4 * sizeof(Flit));
 }
 
-TEST(Footprint, RouterCoreCountsPerOutputCreditStorage)
+TEST(Footprint, RouterCoreHotSectionsStartOnCacheLines)
 {
+    // The packed hot buffer promises every section its own 64-byte
+    // boundary, so RC/VA/SA never split a mask or slot array across
+    // the line holding a neighbouring section.
+    RouterCore core;
+    core.init(/*ports=*/5, /*vcs=*/3, /*depth=*/4);
+    auto lineAligned = [](const void *p) {
+        return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+    };
+    EXPECT_TRUE(lineAligned(core.activeMask));
+    EXPECT_TRUE(lineAligned(core.rcMask));
+    EXPECT_TRUE(lineAligned(core.vaReqMask));
+    EXPECT_TRUE(lineAligned(core.saReqMask));
+    EXPECT_TRUE(lineAligned(core.headArrive));
+    EXPECT_TRUE(lineAligned(core.headSince));
+    EXPECT_TRUE(lineAligned(core.pkt));
+    EXPECT_TRUE(lineAligned(core.outPort));
+    EXPECT_TRUE(lineAligned(core.outVc));
+    EXPECT_TRUE(lineAligned(core.vcLo));
+    EXPECT_TRUE(lineAligned(core.vcHi));
+}
+
+TEST(Footprint, RouterCoreCountsPackedCreditStorage)
+{
+    // connectOutput only records wiring facts; the packed credit
+    // buffer appears at finalizeWiring(): one 64-byte-aligned row of
+    // roundUp(max downVcs, 16) ints per port, plus 64 B of alignment
+    // slack.
     RouterCore core;
     core.init(5, 3, 4);
-    std::uint64_t before = core.footprintBytes();
+    std::uint64_t unwired = core.footprintBytes();
     core.connectOutput(/*p=*/0, /*chan=*/nullptr, /*lanes=*/1,
                        /*down_vcs=*/6, /*down_depth=*/4);
-    EXPECT_EQ(core.footprintBytes() - before, 6 * sizeof(int));
+    core.connectOutput(/*p=*/1, nullptr, 1, /*down_vcs=*/4, 4);
+    EXPECT_EQ(core.footprintBytes(), unwired);
+
+    core.finalizeWiring();
+    std::size_t row = (6 + 15) / 16 * 16; // max downVcs rounded to 16
+    EXPECT_EQ(core.footprintBytes() - unwired,
+              (5 * row + 16) * sizeof(int));
+    EXPECT_EQ(core.outputs[0].credits[5], 4); // initDepth landed
+    EXPECT_EQ(core.outputs[1].credits[3], 4);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(
+                  core.outputs[0].credits) % 64,
+              0u);
+}
+
+TEST(Footprint, ArenaMovePreservesStateAndAlignment)
+{
+    // moveToArena relocates the packed FIFO, hot-section, and credit
+    // storage into one externally owned region. The move must keep
+    // every section on its own cache line, preserve live contents
+    // (credits, buffered flits), and leave footprintBytes unchanged —
+    // placement is a performance property, never a sizing one.
+    hnoc::RouterCore core;
+    core.init(/*ports=*/5, /*vcs=*/3, /*depth=*/4);
+    core.connectOutput(/*p=*/0, nullptr, 1, /*down_vcs=*/6, /*depth=*/4);
+    core.connectOutput(/*p=*/1, nullptr, 1, /*down_vcs=*/4, /*depth=*/4);
+    core.finalizeWiring();
+    core.outputs[0].credits[2] = 7; // sentinel surviving the move
+    hnoc::Flit f;
+    f.seq = 42;
+    core.fifo[3].push_back(f);
+    std::uint64_t before = core.footprintBytes();
+    // Capture the quote before moving: arenaBytes() reports what a
+    // move *would* carve, and the packed-FIFO section transfers
+    // ownership out of the core when the move happens.
+    std::size_t quoted = core.arenaBytes();
+
+    hnoc::HotArena arena;
+    arena.reserve(quoted);
+    ASSERT_GT(arena.reservedBytes(), 0u);
+    core.moveToArena(arena);
+
+    auto lineAligned = [](const void *p) {
+        return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+    };
+    EXPECT_TRUE(lineAligned(core.activeMask));
+    EXPECT_TRUE(lineAligned(core.saReqMask));
+    EXPECT_TRUE(lineAligned(core.headArrive));
+    EXPECT_TRUE(lineAligned(core.outputs[0].credits));
+    EXPECT_EQ(core.outputs[0].credits[2], 7);
+    EXPECT_EQ(core.outputs[1].credits[3], 4); // initDepth intact
+    ASSERT_EQ(core.fifo[3].size(), 1u);
+    EXPECT_EQ(core.fifo[3].front().seq, 42);
+    EXPECT_EQ(core.footprintBytes(), before);
+    // Every section landed inside the reserved region: the bump
+    // cursor advanced (no section fell back to self-owned storage)
+    // and never past the quoted worst case (arenaBytes rounds each
+    // section up to whole lines; used() ends at the last section's
+    // exact byte count).
+    EXPECT_GT(arena.used(), 0u);
+    EXPECT_LE(arena.used(), quoted);
+    EXPECT_LE(arena.used(), arena.reservedBytes());
 }
 
 TEST(Footprint, SteadyStateMemoryAuditIsConstant)

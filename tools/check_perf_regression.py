@@ -46,6 +46,16 @@ reference (counters are deterministic, so these gates are noise-free):
         --candidate-benchmark 'scaling/mesh_16' \
         --counter ns_per_cycle_per_tile --max-increase-pct 50.0
 
+Counter mode also supports an absolute ceiling, which is how CI caps
+the profiled scan-overhead share (a percentage counter has a natural
+absolute meaning, so no baseline series is needed — only the candidate
+is read):
+
+    # active-set scan + loop overhead must stay under 15% of step time
+    check_perf_regression.py on.json on.json \
+        --benchmark 'profiledStepLoad/mesh_mid' \
+        --counter pct_scan_overhead --max-value 15.0
+
 Either input may also be an `hnoc-perf-trajectory-v1` snapshot (the
 distilled file make_perf_trajectory.py writes), so a committed
 BENCH_trajectory.json can serve as the recorded baseline.
@@ -210,6 +220,7 @@ def compare(
     max_delta_pct=None,
     max_increase_pct=None,
     require_equal=False,
+    max_value=None,
 ):
     """Core comparison; returns the process exit code.
 
@@ -222,8 +233,9 @@ def compare(
     much smaller), `max_delta_pct` (absolute relative delta bound),
     `max_increase_pct` (one-sided growth bound: the candidate may
     shrink freely but must not exceed baseline by more than this
-    percent — the scaling-curve gate), or `require_equal` (exact
-    match).
+    percent — the scaling-curve gate), `require_equal` (exact match),
+    or `max_value` (absolute ceiling on the candidate's counter alone;
+    the baseline file is not read).
     """
     cand_name = candidate_benchmark or benchmark
     label = (
@@ -231,6 +243,21 @@ def compare(
         if cand_name == benchmark
         else f"{benchmark} -> {cand_name}"
     )
+    if counter is not None and max_value is not None:
+        cand = best_counter(candidate, cand_name, counter)
+        print(
+            f"{cand_name} [{counter}]: value {cand:g} "
+            f"(ceiling {max_value:g})",
+            file=out,
+        )
+        if cand > max_value:
+            print(
+                f"FAIL: counter '{counter}' over absolute ceiling",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK", file=out)
+        return 0
     if counter is not None:
         base = best_counter(baseline, benchmark, counter)
         cand = best_counter(candidate, cand_name, counter)
@@ -301,7 +328,8 @@ def compare(
             return 0
         raise DataError(
             "--counter needs one of --min-reduction-pct, "
-            "--max-delta-pct, --max-increase-pct, or --require-equal"
+            "--max-delta-pct, --max-increase-pct, --max-value, or "
+            "--require-equal"
         )
     base = best_time(baseline, benchmark)
     cand = best_time(candidate, cand_name)
@@ -542,6 +570,35 @@ def self_test():
             ),
             0,
         )
+        # Absolute ceiling: reads only the candidate series, so a
+        # percentage counter gates without any baseline file.
+        check(
+            "counter within absolute ceiling",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, counter="presat_latency_ns",
+                max_value=25.0,
+            ),
+            0,
+        )
+        check(
+            "counter over absolute ceiling",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, counter="presat_latency_ns",
+                max_value=15.0,
+            ),
+            1,
+        )
+        check(
+            "absolute ceiling reads candidate series",
+            compare(
+                ctr, ctr, "sweep/ref", 2.0,
+                out=devnull, candidate_benchmark="sweep/ada",
+                counter="simulated_cycles", max_value=60000.0,
+            ),
+            0,
+        )
         check(
             "counter equality met",
             compare(
@@ -745,6 +802,13 @@ def main():
         "ns/cycle/tile bound)",
     )
     ap.add_argument(
+        "--max-value",
+        type=float,
+        help="with --counter: absolute ceiling on the candidate's "
+        "counter value; no baseline series is read (scan-overhead "
+        "share gate, e.g. 15 for pct_scan_overhead <= 15%%)",
+    )
+    ap.add_argument(
         "--require-equal",
         action="store_true",
         help="with --counter: values must match exactly "
@@ -765,6 +829,7 @@ def main():
             max_delta_pct=args.max_delta_pct,
             max_increase_pct=args.max_increase_pct,
             require_equal=args.require_equal,
+            max_value=args.max_value,
         )
     except DataError as e:
         print(f"error: {e}", file=sys.stderr)
